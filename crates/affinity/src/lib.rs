@@ -1,0 +1,32 @@
+//! Thread/process affinity substrate.
+//!
+//! `likwid-pin` enforces thread-core affinity "from the outside": it starts
+//! the target application with a wrapper library preloaded that intercepts
+//! `pthread_create` and pins each newly created thread to the next entry of
+//! a core-ID list, skipping management ("shepherd") threads according to a
+//! skip mask. This crate models every piece of that mechanism:
+//!
+//! * [`cpuset::CpuSet`] — affinity masks over the node's hardware threads;
+//! * [`pinlist`] — parsing of the `-c` pin lists (`0-3`, `0,2,4`, `S1:0-2`);
+//! * [`skipmask`] — the `-s 0x3` skip masks and the per-compiler defaults
+//!   (`-t intel`, `-t gnu`);
+//! * [`pinner::PthreadPinner`] — the interception state machine itself:
+//!   which created thread ends up on which hardware thread;
+//! * [`scheduler::SimScheduler`] — the *absence* of pinning: a simulated
+//!   OS scheduler that places threads with realistic randomness, used to
+//!   reproduce the unpinned STREAM distributions of Figures 4, 7 and 9;
+//! * [`host`] — best-effort real-host affinity through `libc` for running
+//!   the tools against the actual Linux machine (never required by tests).
+
+pub mod cpuset;
+pub mod host;
+pub mod pinlist;
+pub mod pinner;
+pub mod scheduler;
+pub mod skipmask;
+
+pub use cpuset::CpuSet;
+pub use pinlist::{parse_pin_list, PinListError};
+pub use pinner::{PinOutcome, PthreadPinner};
+pub use scheduler::{PlacementStrategy, SimScheduler};
+pub use skipmask::{SkipMask, ThreadingModel};

@@ -1,0 +1,273 @@
+//! Parsing of `likwid-pin -c` pin lists.
+//!
+//! The paper-era syntax is a comma-separated list of OS processor IDs and
+//! ranges (`-c 0-3`, `-c 0,2,4,6`). This module additionally supports the
+//! socket-relative form `S<socket>:<list>` (e.g. `S0:0-2,S1:0-2`), which
+//! expands to physical cores of that socket in the order "physical cores
+//! first, then SMT threads" — the distribution used for the pinned STREAM
+//! runs (Figures 5, 8 and 10).
+
+use likwid_x86_machine::TopologySpec;
+
+/// Errors from pin-list parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PinListError {
+    /// The expression could not be parsed.
+    Syntax(String),
+    /// A processor or socket index is out of range for this machine.
+    OutOfRange(String),
+}
+
+impl std::fmt::Display for PinListError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PinListError::Syntax(s) => write!(f, "cannot parse pin expression '{s}'"),
+            PinListError::OutOfRange(s) => write!(f, "pin expression '{s}' is out of range"),
+        }
+    }
+}
+
+impl std::error::Error for PinListError {}
+
+/// Parse a numeric list/range expression ("0-3", "0,2,4", "3").
+fn parse_numeric_list(expr: &str) -> Result<Vec<usize>, PinListError> {
+    let mut out = Vec::new();
+    for part in expr.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        if let Some((lo, hi)) = part.split_once('-') {
+            let lo: usize = lo
+                .trim()
+                .parse()
+                .map_err(|_| PinListError::Syntax(part.to_string()))?;
+            let hi: usize = hi
+                .trim()
+                .parse()
+                .map_err(|_| PinListError::Syntax(part.to_string()))?;
+            if hi < lo {
+                return Err(PinListError::Syntax(part.to_string()));
+            }
+            out.extend(lo..=hi);
+        } else {
+            out.push(part.parse().map_err(|_| PinListError::Syntax(part.to_string()))?);
+        }
+    }
+    Ok(out)
+}
+
+/// Parse a full `-c` pin list against a machine topology, returning the OS
+/// processor IDs in pinning order.
+///
+/// Supported forms (mixed freely, separated by commas at the top level for
+/// numeric entries):
+///
+/// * `0-5`, `0,2,4` — literal OS processor IDs;
+/// * `S<k>:<list>` — the *n*-th physical core of socket *k* in "cores
+///   first, SMT threads second" order; several socket expressions are
+///   separated by `@` (e.g. `S0:0-1@S1:0-1`).
+pub fn parse_pin_list(expr: &str, topo: &TopologySpec) -> Result<Vec<usize>, PinListError> {
+    let expr = expr.trim();
+    if expr.is_empty() {
+        return Err(PinListError::Syntax(String::new()));
+    }
+
+    // Socket-relative form.
+    if expr.starts_with('S') || expr.contains('@') {
+        let mut out = Vec::new();
+        for part in expr.split('@') {
+            let part = part.trim();
+            let Some(rest) = part.strip_prefix('S') else {
+                return Err(PinListError::Syntax(part.to_string()));
+            };
+            let Some((socket_str, list_str)) = rest.split_once(':') else {
+                return Err(PinListError::Syntax(part.to_string()));
+            };
+            let socket: u32 = socket_str
+                .parse()
+                .map_err(|_| PinListError::Syntax(part.to_string()))?;
+            if socket >= topo.sockets {
+                return Err(PinListError::OutOfRange(part.to_string()));
+            }
+            // "Physical cores first, then SMT threads": the k-th entry of a
+            // socket is the k-th physical core's SMT thread 0 for
+            // k < cores_per_socket, then SMT thread 1 of the (k - cores)-th
+            // core, and so on.
+            let cores = topo.socket_cores(socket);
+            let cores_per_socket = cores.len();
+            let expanded: Vec<usize> = parse_numeric_list(list_str)?
+                .into_iter()
+                .map(|k| {
+                    let smt = k / cores_per_socket;
+                    let core = k % cores_per_socket;
+                    cores
+                        .get(core)
+                        .and_then(|c| c.get(smt))
+                        .copied()
+                        .ok_or_else(|| PinListError::OutOfRange(part.to_string()))
+                })
+                .collect::<Result<_, _>>()?;
+            out.extend(expanded);
+        }
+        return Ok(out);
+    }
+
+    // Plain numeric form.
+    let ids = parse_numeric_list(expr)?;
+    for &id in &ids {
+        if id >= topo.num_hw_threads() {
+            return Err(PinListError::OutOfRange(id.to_string()));
+        }
+    }
+    Ok(ids)
+}
+
+/// Expand a "scatter" placement: threads distributed round-robin across
+/// sockets, physical cores before SMT threads — the placement
+/// `KMP_AFFINITY=scatter` produces and the one used for the pinned STREAM
+/// figures.
+pub fn scatter_placement(topo: &TopologySpec, num_threads: usize) -> Vec<usize> {
+    // Build per-socket lists in "cores first, then SMT" order.
+    let per_socket: Vec<Vec<usize>> = (0..topo.sockets)
+        .map(|s| {
+            let cores = topo.socket_cores(s);
+            let mut list = Vec::new();
+            for smt in 0..topo.threads_per_core as usize {
+                for core in &cores {
+                    if let Some(&id) = core.get(smt) {
+                        list.push(id);
+                    }
+                }
+            }
+            list
+        })
+        .collect();
+
+    let mut out = Vec::with_capacity(num_threads);
+    let mut index = vec![0usize; topo.sockets as usize];
+    let mut socket = 0usize;
+    while out.len() < num_threads {
+        let s = socket % topo.sockets as usize;
+        if let Some(&id) = per_socket[s].get(index[s]) {
+            out.push(id);
+            index[s] += 1;
+        } else {
+            // All sockets exhausted: wrap around (oversubscription).
+            if index.iter().zip(&per_socket).all(|(i, l)| *i >= l.len()) {
+                index.iter_mut().for_each(|i| *i = 0);
+                continue;
+            }
+        }
+        socket += 1;
+    }
+    out
+}
+
+/// Expand a "compact" placement: fill one socket's physical cores, then its
+/// SMT threads, then the next socket (`KMP_AFFINITY=compact`).
+pub fn compact_placement(topo: &TopologySpec, num_threads: usize) -> Vec<usize> {
+    let mut order = Vec::new();
+    for s in 0..topo.sockets {
+        let cores = topo.socket_cores(s);
+        for smt in 0..topo.threads_per_core as usize {
+            for core in &cores {
+                if let Some(&id) = core.get(smt) {
+                    order.push(id);
+                }
+            }
+        }
+    }
+    (0..num_threads).map(|i| order[i % order.len()]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use likwid_x86_machine::MachinePreset;
+
+    fn westmere() -> TopologySpec {
+        MachinePreset::WestmereEp2S.topology()
+    }
+
+    #[test]
+    fn numeric_ranges_and_lists() {
+        let topo = westmere();
+        assert_eq!(parse_pin_list("0-3", &topo).unwrap(), vec![0, 1, 2, 3]);
+        assert_eq!(parse_pin_list("0,2,4", &topo).unwrap(), vec![0, 2, 4]);
+        assert_eq!(parse_pin_list("7", &topo).unwrap(), vec![7]);
+        assert_eq!(parse_pin_list("0-2,5", &topo).unwrap(), vec![0, 1, 2, 5]);
+    }
+
+    #[test]
+    fn syntax_errors_are_reported() {
+        let topo = westmere();
+        assert!(matches!(parse_pin_list("a-b", &topo), Err(PinListError::Syntax(_))));
+        assert!(matches!(parse_pin_list("3-1", &topo), Err(PinListError::Syntax(_))));
+        assert!(matches!(parse_pin_list("", &topo), Err(PinListError::Syntax(_))));
+    }
+
+    #[test]
+    fn out_of_range_ids_are_rejected() {
+        let topo = westmere();
+        assert!(matches!(parse_pin_list("0-99", &topo), Err(PinListError::OutOfRange(_))));
+    }
+
+    #[test]
+    fn socket_expressions_expand_to_physical_cores_first() {
+        let topo = westmere();
+        // S0:0-2 = the first three physical cores of socket 0 (SMT thread 0):
+        // OS processor IDs 0, 1, 2 on this preset.
+        assert_eq!(parse_pin_list("S0:0-2", &topo).unwrap(), vec![0, 1, 2]);
+        // S1:0-1 = first two cores of socket 1: OS IDs 6, 7.
+        assert_eq!(parse_pin_list("S1:0-1", &topo).unwrap(), vec![6, 7]);
+        // Combined with '@'.
+        assert_eq!(parse_pin_list("S0:0-1@S1:0-1", &topo).unwrap(), vec![0, 1, 6, 7]);
+        // Entry 6 of a hexa-core socket is the SMT sibling of core 0.
+        assert_eq!(parse_pin_list("S0:6", &topo).unwrap(), vec![12]);
+    }
+
+    #[test]
+    fn socket_expression_errors() {
+        let topo = westmere();
+        assert!(matches!(parse_pin_list("S9:0", &topo), Err(PinListError::OutOfRange(_))));
+        assert!(matches!(parse_pin_list("S0-3", &topo), Err(PinListError::Syntax(_))));
+        assert!(matches!(parse_pin_list("S0:99", &topo), Err(PinListError::OutOfRange(_))));
+    }
+
+    #[test]
+    fn scatter_distributes_across_sockets_physical_cores_first() {
+        let topo = westmere();
+        let p = scatter_placement(&topo, 4);
+        // Round robin over sockets: core 0 of socket 0, core 0 of socket 1,
+        // core 1 of socket 0, core 1 of socket 1 => OS IDs 0, 6, 1, 7.
+        assert_eq!(p, vec![0, 6, 1, 7]);
+        // With 13 threads the 13th lands on an SMT thread (all 12 physical
+        // cores are taken first).
+        let p = scatter_placement(&topo, 13);
+        assert_eq!(p.len(), 13);
+        let physical_first_12: Vec<usize> = p[..12].to_vec();
+        assert!(physical_first_12.iter().all(|&id| id < 12), "first 12 threads use physical cores (SMT 0)");
+        assert!(p[12] >= 12, "13th thread lands on an SMT sibling");
+    }
+
+    #[test]
+    fn compact_fills_one_socket_first() {
+        let topo = westmere();
+        let p = compact_placement(&topo, 6);
+        assert_eq!(p, vec![0, 1, 2, 3, 4, 5], "compact stays on socket 0's physical cores");
+        let p = compact_placement(&topo, 7);
+        assert_eq!(p[6], 12, "the 7th compact thread uses socket 0's first SMT sibling");
+    }
+
+    #[test]
+    fn istanbul_has_no_smt_expansion() {
+        let topo = MachinePreset::IstanbulH2S.topology();
+        let p = scatter_placement(&topo, 12);
+        assert_eq!(p.len(), 12);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 12, "all 12 cores used exactly once");
+    }
+}

@@ -1,0 +1,203 @@
+//! The `pthread_create` interception state machine.
+//!
+//! `likwid-pin` preloads a wrapper library into the target process. The
+//! wrapper pins the initial (master) thread to the first entry of the pin
+//! list before `main` runs, and then, every time the application (or its
+//! OpenMP runtime) calls `pthread_create`, decides whether the new thread is
+//! a worker — in which case it is pinned to the next unused pin-list entry —
+//! or a shepherd that must be skipped. This module reproduces that decision
+//! logic so that the interaction between pin lists, skip masks and
+//! runtime-specific thread creation order can be tested and so that the
+//! workload layer can ask "where does worker *k* actually run?".
+
+use crate::skipmask::SkipMask;
+
+/// What happened to one created thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PinOutcome {
+    /// The thread was pinned to the given OS processor ID.
+    Pinned(usize),
+    /// The thread was recognised as a shepherd and left unpinned.
+    Skipped,
+    /// The pin list was exhausted; the thread runs unpinned (the wrapper
+    /// prints a warning in this case on the real tool).
+    Overflowed,
+}
+
+impl PinOutcome {
+    /// The processor the thread ended up bound to, if any.
+    pub fn cpu(self) -> Option<usize> {
+        match self {
+            PinOutcome::Pinned(cpu) => Some(cpu),
+            _ => None,
+        }
+    }
+}
+
+/// The wrapper-library state for one target process.
+#[derive(Debug, Clone)]
+pub struct PthreadPinner {
+    pin_list: Vec<usize>,
+    skip_mask: SkipMask,
+    /// Index of the next unused pin-list entry.
+    next_entry: usize,
+    /// How many `pthread_create` calls have been observed.
+    created: usize,
+    /// Recorded outcomes in creation order.
+    outcomes: Vec<PinOutcome>,
+    /// Where the master thread was pinned.
+    master_cpu: Option<usize>,
+}
+
+impl PthreadPinner {
+    /// Initialise the wrapper with the pin list and skip mask from the
+    /// environment. Pins the master thread to the first list entry, exactly
+    /// like the preloaded library does before `main`.
+    pub fn new(pin_list: Vec<usize>, skip_mask: SkipMask) -> Self {
+        let master_cpu = pin_list.first().copied();
+        PthreadPinner {
+            pin_list,
+            skip_mask,
+            next_entry: 1,
+            created: 0,
+            outcomes: Vec::new(),
+            master_cpu,
+        }
+    }
+
+    /// Where the master (initial) thread is pinned.
+    pub fn master_cpu(&self) -> Option<usize> {
+        self.master_cpu
+    }
+
+    /// Observe one `pthread_create` call and decide the new thread's fate.
+    pub fn on_thread_create(&mut self) -> PinOutcome {
+        let index = self.created;
+        self.created += 1;
+        let outcome = if self.skip_mask.skips(index) {
+            PinOutcome::Skipped
+        } else if self.next_entry < self.pin_list.len() {
+            let cpu = self.pin_list[self.next_entry];
+            self.next_entry += 1;
+            PinOutcome::Pinned(cpu)
+        } else {
+            PinOutcome::Overflowed
+        };
+        self.outcomes.push(outcome);
+        outcome
+    }
+
+    /// All outcomes so far, in creation order.
+    pub fn outcomes(&self) -> &[PinOutcome] {
+        &self.outcomes
+    }
+
+    /// The processors of the application's *worker* threads in creation
+    /// order, with the master thread first — i.e. the placement the parallel
+    /// region actually runs with. Skipped shepherd threads are excluded;
+    /// overflowed threads appear as `None`.
+    pub fn worker_placement(&self) -> Vec<Option<usize>> {
+        let mut placement = vec![self.master_cpu];
+        for outcome in &self.outcomes {
+            match outcome {
+                PinOutcome::Pinned(cpu) => placement.push(Some(*cpu)),
+                PinOutcome::Overflowed => placement.push(None),
+                PinOutcome::Skipped => {}
+            }
+        }
+        placement
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::skipmask::ThreadingModel;
+
+    #[test]
+    fn master_thread_is_pinned_to_the_first_entry() {
+        let p = PthreadPinner::new(vec![3, 4, 5], SkipMask::NONE);
+        assert_eq!(p.master_cpu(), Some(3));
+    }
+
+    #[test]
+    fn gcc_openmp_workers_consume_the_list_in_order() {
+        // gcc, 4 OpenMP threads: the master is pinned to entry 0 and the 3
+        // created workers to entries 1..3.
+        let mut p = PthreadPinner::new(vec![0, 1, 2, 3], ThreadingModel::GccOpenMp.default_skip_mask());
+        let outcomes: Vec<PinOutcome> = (0..3).map(|_| p.on_thread_create()).collect();
+        assert_eq!(
+            outcomes,
+            vec![PinOutcome::Pinned(1), PinOutcome::Pinned(2), PinOutcome::Pinned(3)]
+        );
+        assert_eq!(
+            p.worker_placement(),
+            vec![Some(0), Some(1), Some(2), Some(3)]
+        );
+    }
+
+    #[test]
+    fn intel_openmp_shepherd_is_skipped_and_does_not_consume_an_entry() {
+        // Intel, 4 OpenMP threads: 4 threads are created; the first is the
+        // shepherd. Workers must still land on cores 1, 2, 3.
+        let mut p = PthreadPinner::new(vec![0, 1, 2, 3], ThreadingModel::IntelOpenMp.default_skip_mask());
+        let outcomes: Vec<PinOutcome> = (0..4).map(|_| p.on_thread_create()).collect();
+        assert_eq!(outcomes[0], PinOutcome::Skipped);
+        assert_eq!(outcomes[1], PinOutcome::Pinned(1));
+        assert_eq!(outcomes[3], PinOutcome::Pinned(3));
+        assert_eq!(
+            p.worker_placement(),
+            vec![Some(0), Some(1), Some(2), Some(3)]
+        );
+    }
+
+    #[test]
+    fn forgetting_the_intel_skip_mask_shifts_every_worker() {
+        // The failure mode the paper warns about: pinning an Intel binary
+        // without the skip mask pins the shepherd to entry 1 and shifts all
+        // workers, so the last worker overflows the list and two threads can
+        // end up sharing a core.
+        let mut p = PthreadPinner::new(vec![0, 1, 2, 3], SkipMask::NONE);
+        let outcomes: Vec<PinOutcome> = (0..4).map(|_| p.on_thread_create()).collect();
+        assert_eq!(outcomes[0], PinOutcome::Pinned(1), "the shepherd wrongly consumes core 1");
+        assert_eq!(outcomes[3], PinOutcome::Overflowed, "the last worker has no core left");
+    }
+
+    #[test]
+    fn hybrid_mask_skips_two_threads() {
+        let mut p =
+            PthreadPinner::new(vec![0, 1, 2], ThreadingModel::IntelMpiIntelOpenMp.default_skip_mask());
+        let outcomes: Vec<PinOutcome> = (0..4).map(|_| p.on_thread_create()).collect();
+        assert_eq!(outcomes[0], PinOutcome::Skipped);
+        assert_eq!(outcomes[1], PinOutcome::Skipped);
+        assert_eq!(outcomes[2], PinOutcome::Pinned(1));
+        assert_eq!(outcomes[3], PinOutcome::Pinned(2));
+    }
+
+    #[test]
+    fn empty_pin_list_leaves_everything_unpinned() {
+        let mut p = PthreadPinner::new(vec![], SkipMask::NONE);
+        assert_eq!(p.master_cpu(), None);
+        assert_eq!(p.on_thread_create(), PinOutcome::Overflowed);
+    }
+
+    #[test]
+    fn outcomes_are_recorded_in_creation_order() {
+        let mut p = PthreadPinner::new(vec![5, 6], SkipMask(0x1));
+        p.on_thread_create();
+        p.on_thread_create();
+        p.on_thread_create();
+        assert_eq!(
+            p.outcomes(),
+            &[PinOutcome::Skipped, PinOutcome::Pinned(6), PinOutcome::Overflowed]
+        );
+        assert_eq!(p.worker_placement(), vec![Some(5), Some(6), None]);
+    }
+
+    #[test]
+    fn pin_outcome_cpu_accessor() {
+        assert_eq!(PinOutcome::Pinned(4).cpu(), Some(4));
+        assert_eq!(PinOutcome::Skipped.cpu(), None);
+        assert_eq!(PinOutcome::Overflowed.cpu(), None);
+    }
+}

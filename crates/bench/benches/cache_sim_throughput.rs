@@ -1,0 +1,61 @@
+//! Criterion bench for the cache-simulator substrate: accesses per second
+//! for streaming and cache-resident patterns, with and without prefetchers.
+//!
+//! This is the ablation bench for the simulator design choices called out in
+//! DESIGN.md (prefetcher modelling, inclusive back-invalidation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use likwid_cache_sim::{Access, HierarchyConfig, NodeCacheSystem, NumaPolicy, PrefetchConfig};
+use likwid_x86_machine::{MachinePreset, SimMachine};
+
+fn cache_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_sim_throughput");
+    let machine = SimMachine::new(MachinePreset::NehalemEp2S);
+    let accesses_per_iter = 10_000u64;
+    group.throughput(Throughput::Elements(accesses_per_iter));
+
+    for (label, prefetch) in [
+        ("prefetch_on", PrefetchConfig::all_enabled()),
+        ("prefetch_off", PrefetchConfig::all_disabled()),
+    ] {
+        group.bench_with_input(BenchmarkId::new("stream", label), &prefetch, |b, &prefetch| {
+            let mut cfg = HierarchyConfig::from_machine(&machine, NumaPolicy::interleave(4096));
+            cfg.prefetch = prefetch;
+            let mut sys = NodeCacheSystem::new(cfg);
+            let mut next = 0u64;
+            b.iter(|| {
+                for _ in 0..accesses_per_iter {
+                    sys.access(0, Access::load(next * 64));
+                    next += 1;
+                }
+            })
+        });
+    }
+
+    group.bench_function("resident_working_set", |b| {
+        let cfg = HierarchyConfig::from_machine(&machine, NumaPolicy::interleave(4096));
+        let mut sys = NodeCacheSystem::new(cfg);
+        b.iter(|| {
+            for i in 0..accesses_per_iter {
+                sys.access(0, Access::load((i % 256) * 64));
+            }
+        })
+    });
+
+    group.bench_function("write_allocate_stream", |b| {
+        let cfg = HierarchyConfig::from_machine(&machine, NumaPolicy::interleave(4096));
+        let mut sys = NodeCacheSystem::new(cfg);
+        let mut next = 0u64;
+        b.iter(|| {
+            for _ in 0..accesses_per_iter {
+                sys.access(0, Access::store(next * 64));
+                next += 1;
+            }
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, cache_sim);
+criterion_main!(benches);

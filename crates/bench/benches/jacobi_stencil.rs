@@ -1,0 +1,48 @@
+//! Criterion bench for the Jacobi simulation (Figure 11, Table II).
+//!
+//! Measures the cache-simulation cost of the three variants at a small grid
+//! size — the unit of work behind every point of Figure 11.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use likwid_workloads::jacobi::{Jacobi, JacobiConfig, JacobiVariant};
+use likwid_x86_machine::{MachinePreset, SimMachine};
+
+fn jacobi_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jacobi_stencil");
+    group.sample_size(10);
+    let machine = SimMachine::new(MachinePreset::NehalemEp2S);
+    let size = 48usize;
+
+    for variant in [JacobiVariant::Threaded, JacobiVariant::ThreadedNt, JacobiVariant::Wavefront] {
+        group.bench_with_input(
+            BenchmarkId::new("one_socket", variant.name()),
+            &variant,
+            |b, &variant| {
+                b.iter(|| {
+                    Jacobi::new(&machine).run(&JacobiConfig {
+                        size,
+                        time_steps: 4,
+                        placement: vec![0, 1, 2, 3],
+                        variant,
+                    })
+                })
+            },
+        );
+    }
+
+    group.bench_function("wavefront_split_sockets", |b| {
+        b.iter(|| {
+            Jacobi::new(&machine).run(&JacobiConfig {
+                size,
+                time_steps: 4,
+                placement: vec![0, 1, 4, 5],
+                variant: JacobiVariant::Wavefront,
+            })
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, jacobi_variants);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion bench for the measurement interfaces (Table I, "User API
+//! support"): marker-API region start/stop, PAPI-style start/stop, full
+//! wrapper-mode setup, and multiplex group switching.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use likwid::marker::MarkerApi;
+use likwid::perfctr::{EventGroupKind, MeasurementSpec, PerfCtr, PerfCtrConfig};
+use likwid_papi_compat::{Papi, PapiPreset};
+use likwid_x86_machine::{MachinePreset, SimMachine};
+
+fn api_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perfctr_overhead");
+    let machine = SimMachine::new(MachinePreset::Core2Quad);
+
+    group.bench_function("likwid_marker_start_stop", |b| {
+        let mut session = PerfCtr::new(
+            &machine,
+            PerfCtrConfig { cpus: vec![0], spec: MeasurementSpec::Group(EventGroupKind::FLOPS_DP) },
+        )
+        .unwrap();
+        session.start().unwrap();
+        let mut marker = MarkerApi::init(1, 1);
+        let region = marker.register_region("bench");
+        b.iter(|| {
+            marker.start_region(0, 0, &session).unwrap();
+            marker.stop_region(0, 0, region, &session).unwrap();
+        });
+    });
+
+    group.bench_function("papi_start_stop", |b| {
+        let mut papi = Papi::library_init(&machine);
+        let set = papi.create_eventset(0).unwrap();
+        papi.add_event(set, PapiPreset::PAPI_DP_OPS).unwrap();
+        papi.add_event(set, PapiPreset::PAPI_TOT_CYC).unwrap();
+        b.iter(|| {
+            papi.start(set).unwrap();
+            papi.stop(set).unwrap()
+        });
+    });
+
+    group.bench_function("wrapper_mode_session_setup", |b| {
+        b.iter(|| {
+            PerfCtr::new(
+                &machine,
+                PerfCtrConfig {
+                    cpus: vec![0, 1, 2, 3],
+                    spec: MeasurementSpec::Group(EventGroupKind::FLOPS_DP),
+                },
+            )
+            .unwrap()
+        });
+    });
+
+    let nehalem = SimMachine::new(MachinePreset::NehalemEp2S);
+    group.bench_function("multiplex_group_switch", |b| {
+        let mut session = PerfCtr::new(
+            &nehalem,
+            PerfCtrConfig {
+                cpus: vec![0],
+                spec: MeasurementSpec::Groups(vec![EventGroupKind::FLOPS_DP, EventGroupKind::L2]),
+            },
+        )
+        .unwrap();
+        session.start().unwrap();
+        b.iter(|| session.switch_group().unwrap());
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, api_overhead);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion bench for the STREAM triad experiment (Figures 4–10).
+//!
+//! Measures the cost of producing one unpinned sample and one pinned sample
+//! of the bandwidth model, and of a full (reduced-sample) figure series.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use likwid_workloads::openmp::{CompilerPersonality, PlacementPolicy};
+use likwid_workloads::stream::StreamExperiment;
+use likwid_x86_machine::MachinePreset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn stream_samples(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream_triad");
+    group.sample_size(20);
+
+    for (label, preset, personality) in [
+        ("westmere_icc", MachinePreset::WestmereEp2S, CompilerPersonality::IntelIcc),
+        ("westmere_gcc", MachinePreset::WestmereEp2S, CompilerPersonality::Gcc),
+        ("istanbul_icc", MachinePreset::IstanbulH2S, CompilerPersonality::IntelIcc),
+    ] {
+        let experiment = StreamExperiment::new(preset, personality);
+        group.bench_with_input(BenchmarkId::new("unpinned_sample", label), &experiment, |b, e| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| e.run_once(12, &PlacementPolicy::Unpinned, &mut rng).bandwidth_mbs)
+        });
+        group.bench_with_input(BenchmarkId::new("pinned_sample", label), &experiment, |b, e| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let policy = e.paper_pinned_policy(12);
+            b.iter(|| e.run_once(12, &policy, &mut rng).bandwidth_mbs)
+        });
+    }
+
+    // A reduced figure series (5 samples per point) — the unit of work the
+    // figure binaries perform 20x over.
+    group.bench_function("figure5_series_5_samples", |b| {
+        let mut experiment =
+            StreamExperiment::new(MachinePreset::WestmereEp2S, CompilerPersonality::IntelIcc);
+        experiment.samples_per_point = 5;
+        b.iter(|| {
+            experiment.series([1usize, 6, 12, 24], |t| experiment.paper_pinned_policy(t), 3)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, stream_samples);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion bench for `likwid-topology` (Figure 1 / Section II-B): the
+//! cost of probing and rendering the topology of every machine preset.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use likwid::topology::CpuTopology;
+use likwid_x86_machine::{MachinePreset, SimMachine};
+
+fn topology_probe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology_probe");
+    for &preset in MachinePreset::all() {
+        let machine = SimMachine::new(preset);
+        group.bench_with_input(BenchmarkId::new("probe", preset.id()), &machine, |b, m| {
+            b.iter(|| CpuTopology::probe(m).expect("probe"))
+        });
+    }
+    let machine = SimMachine::new(MachinePreset::WestmereEp2S);
+    let topo = CpuTopology::probe(&machine).expect("probe");
+    group.bench_function("render_text_extended", |b| b.iter(|| topo.render_text(true)));
+    group.bench_function("render_ascii_socket", |b| b.iter(|| topo.render_ascii_socket(0)));
+    group.finish();
+}
+
+criterion_group!(benches, topology_probe);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Regenerates Figure 1 and the Section II-B `likwid-topology` listings.
+
+fn main() {
+    print!("{}", likwid_bench::figure1_text());
+}

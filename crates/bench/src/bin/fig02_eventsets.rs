@@ -1,0 +1,8 @@
+//! Regenerates Figure 2: event sets, events and counters.
+
+use likwid_x86_machine::MachinePreset;
+
+fn main() {
+    print!("{}", likwid_bench::figure2_text(MachinePreset::WestmereEp2S));
+    print!("{}", likwid_bench::figure2_text(MachinePreset::Core2Quad));
+}

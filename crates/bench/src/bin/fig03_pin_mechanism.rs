@@ -1,0 +1,5 @@
+//! Regenerates Figure 3: the likwid-pin wrapper mechanism trace.
+
+fn main() {
+    print!("{}", likwid_bench::figure3_text());
+}

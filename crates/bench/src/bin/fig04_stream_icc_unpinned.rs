@@ -1,0 +1,7 @@
+//! Regenerates Figure 4: STREAM triad, Intel icc, Westmere EP, not pinned.
+
+fn main() {
+    let samples: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(100);
+    let fig = likwid_bench::stream_figures()[0];
+    print!("{}", likwid_bench::stream_figure_text(fig, samples, 4));
+}

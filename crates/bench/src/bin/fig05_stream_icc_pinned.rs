@@ -1,0 +1,8 @@
+//! Regenerates Figure 5: STREAM triad, Intel icc, Westmere EP, pinned with
+//! likwid-pin (round robin across sockets, physical cores first).
+
+fn main() {
+    let samples: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(100);
+    let fig = likwid_bench::stream_figures()[1];
+    print!("{}", likwid_bench::stream_figure_text(fig, samples, 5));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 6: STREAM triad, Intel icc, Westmere EP, with the
+//! Intel OpenMP affinity interface set to scatter.
+
+fn main() {
+    let samples: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(100);
+    let fig = likwid_bench::stream_figures()[2];
+    print!("{}", likwid_bench::stream_figure_text(fig, samples, 6));
+}

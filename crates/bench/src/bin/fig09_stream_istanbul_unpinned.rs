@@ -1,0 +1,7 @@
+//! Regenerates Figure 9: STREAM triad, Intel icc, AMD Istanbul, not pinned.
+
+fn main() {
+    let samples: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(100);
+    let fig = likwid_bench::stream_figures()[5];
+    print!("{}", likwid_bench::stream_figure_text(fig, samples, 9));
+}

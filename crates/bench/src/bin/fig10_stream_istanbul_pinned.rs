@@ -1,0 +1,8 @@
+//! Regenerates Figure 10: STREAM triad, Intel icc, AMD Istanbul, pinned with
+//! likwid-pin.
+
+fn main() {
+    let samples: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(100);
+    let fig = likwid_bench::stream_figures()[6];
+    print!("{}", likwid_bench::stream_figure_text(fig, samples, 10));
+}

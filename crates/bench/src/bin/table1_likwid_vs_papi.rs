@@ -1,0 +1,10 @@
+//! Regenerates Table I (qualitative comparison) and adds the measured
+//! marker-API vs. PAPI-style API overhead.
+
+fn main() {
+    print!("{}", likwid_bench::table1_text());
+    let (likwid_ns, papi_ns) = likwid_bench::api_overhead_ns(10_000);
+    println!("\nMeasured API overhead per start/stop pair (simulated machine):");
+    println!("  LIKWID marker API : {likwid_ns:8.0} ns");
+    println!("  PAPI-style API    : {papi_ns:8.0} ns");
+}

@@ -1,0 +1,9 @@
+//! Regenerates Table II: uncore traffic and performance of the three Jacobi
+//! variants on one Nehalem EP socket, measured through likwid-perfctr.
+//!
+//! Pass a grid size as the first argument (default 150).
+
+fn main() {
+    let size: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(150);
+    print!("{}", likwid_bench::table2_text(size, 4));
+}

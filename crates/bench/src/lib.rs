@@ -1,0 +1,401 @@
+//! Figure and table regeneration harness.
+//!
+//! Every figure and table of the paper's evaluation (Section IV) has a
+//! binary in `src/bin/` that regenerates it against the simulated machines;
+//! the shared logic lives here so that the binaries stay thin and the
+//! integration tests can call the same functions. The Criterion benches in
+//! `benches/` measure the cost of the building blocks themselves (topology
+//! probing, counter programming, marker/PAPI API overhead, cache-simulator
+//! throughput, the workload models).
+//!
+//! Output format: plain-text tables with one row per x-axis point, columns
+//! `min / q1 / median / q3 / max` for the box-plot figures — the same
+//! summary statistics the paper plots.
+
+use likwid::perfctr::{supported_groups, EventGroupKind, group_definition};
+use likwid::pin::{PinConfig, PinTool};
+use likwid::topology::CpuTopology;
+use likwid_affinity::ThreadingModel;
+use likwid_workloads::jacobi::{Jacobi, JacobiConfig, JacobiVariant};
+use likwid_workloads::openmp::{CompilerPersonality, KmpAffinity, PlacementPolicy};
+use likwid_workloads::stream::StreamExperiment;
+use likwid_x86_machine::{MachinePreset, SimMachine};
+
+/// Which placement regime a STREAM figure uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamScenario {
+    /// No pinning: the simulated scheduler decides (Figures 4, 7, 9).
+    Unpinned,
+    /// Pinned with likwid-pin, round robin over sockets, physical cores
+    /// first (Figures 5, 8, 10).
+    Pinned,
+    /// The Intel OpenMP runtime's `KMP_AFFINITY=scatter` (Figure 6).
+    KmpScatter,
+}
+
+impl StreamScenario {
+    /// Caption fragment used in the emitted tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            StreamScenario::Unpinned => "not pinned",
+            StreamScenario::Pinned => "pinned with likwid-pin",
+            StreamScenario::KmpScatter => "KMP_AFFINITY=scatter",
+        }
+    }
+}
+
+/// Description of one STREAM figure of the paper.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamFigure {
+    /// Figure number in the paper.
+    pub number: u32,
+    /// Machine the experiment runs on.
+    pub preset: MachinePreset,
+    /// Compiler personality.
+    pub personality: CompilerPersonality,
+    /// Placement regime.
+    pub scenario: StreamScenario,
+}
+
+/// The seven STREAM figures (4–10) of the paper.
+pub fn stream_figures() -> Vec<StreamFigure> {
+    use CompilerPersonality::{Gcc, IntelIcc};
+    use MachinePreset::{IstanbulH2S, WestmereEp2S};
+    vec![
+        StreamFigure { number: 4, preset: WestmereEp2S, personality: IntelIcc, scenario: StreamScenario::Unpinned },
+        StreamFigure { number: 5, preset: WestmereEp2S, personality: IntelIcc, scenario: StreamScenario::Pinned },
+        StreamFigure { number: 6, preset: WestmereEp2S, personality: IntelIcc, scenario: StreamScenario::KmpScatter },
+        StreamFigure { number: 7, preset: WestmereEp2S, personality: Gcc, scenario: StreamScenario::Unpinned },
+        StreamFigure { number: 8, preset: WestmereEp2S, personality: Gcc, scenario: StreamScenario::Pinned },
+        StreamFigure { number: 9, preset: IstanbulH2S, personality: IntelIcc, scenario: StreamScenario::Unpinned },
+        StreamFigure { number: 10, preset: IstanbulH2S, personality: IntelIcc, scenario: StreamScenario::Pinned },
+    ]
+}
+
+/// Regenerate one STREAM figure as a text table.
+///
+/// `samples` is the number of runs per thread count (the paper uses 100).
+pub fn stream_figure_text(figure: StreamFigure, samples: usize, seed: u64) -> String {
+    let mut experiment = StreamExperiment::new(figure.preset, figure.personality);
+    experiment.samples_per_point = samples.max(1);
+    let counts = experiment.paper_thread_counts();
+    let series = experiment.series(
+        counts,
+        |threads| match figure.scenario {
+            StreamScenario::Unpinned => PlacementPolicy::Unpinned,
+            StreamScenario::Pinned => experiment.paper_pinned_policy(threads),
+            StreamScenario::KmpScatter => PlacementPolicy::Kmp(KmpAffinity::Scatter),
+        },
+        seed,
+    );
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Figure {}: STREAM triad, {} compiler, {}, {} ({} samples per thread count)\n",
+        figure.number,
+        figure.personality.name(),
+        figure.preset.id(),
+        figure.scenario.label(),
+        samples
+    ));
+    out.push_str("threads  min[MB/s]  q1[MB/s]  median[MB/s]  q3[MB/s]  max[MB/s]\n");
+    for point in &series {
+        out.push_str(&format!(
+            "{:7}  {:9.0}  {:8.0}  {:12.0}  {:8.0}  {:9.0}\n",
+            point.threads,
+            point.stats.min,
+            point.stats.q1,
+            point.stats.median,
+            point.stats.q3,
+            point.stats.max
+        ));
+    }
+    out
+}
+
+/// Regenerate Figure 11: MLUPS vs. problem size for the three Jacobi
+/// curves (wavefront on one socket, wavefront split 2+2, threaded baseline).
+pub fn figure11_text(sizes: &[usize], time_steps: usize) -> String {
+    let machine = SimMachine::new(MachinePreset::NehalemEp2S);
+    let jacobi = Jacobi::new(&machine);
+    let one_socket = vec![0usize, 1, 2, 3];
+    let split = vec![0usize, 1, 4, 5];
+
+    let mut out = String::new();
+    out.push_str("Figure 11: 3D Jacobi smoother on Nehalem EP (2.66 GHz), 4 threads [MLUPS]\n");
+    out.push_str("size  wavefront 1x4 (one socket)  wavefront 1x4 (2 per socket)  threaded baseline\n");
+    for &size in sizes {
+        let wavefront = jacobi.run(&JacobiConfig {
+            size,
+            time_steps,
+            placement: one_socket.clone(),
+            variant: JacobiVariant::Wavefront,
+        });
+        let wrong = jacobi.run(&JacobiConfig {
+            size,
+            time_steps,
+            placement: split.clone(),
+            variant: JacobiVariant::Wavefront,
+        });
+        let baseline = jacobi.run(&JacobiConfig {
+            size,
+            time_steps,
+            placement: one_socket.clone(),
+            variant: JacobiVariant::Threaded,
+        });
+        out.push_str(&format!(
+            "{:4}  {:26.0}  {:28.0}  {:17.0}\n",
+            size, wavefront.mlups, wrong.mlups, baseline.mlups
+        ));
+    }
+    out
+}
+
+/// Regenerate Table II: uncore L3 line counts, data volume and MLUPS for the
+/// three Jacobi variants on one Nehalem EP socket, measured through
+/// `likwid-perfctr` (counters programmed via MSRs, credited by the counting
+/// engine from the simulated run).
+pub fn table2_text(size: usize, time_steps: usize) -> String {
+    use likwid::perfctr::{MeasurementSpec, PerfCtr, PerfCtrConfig};
+    use likwid_perf_events::EventEngine;
+    use likwid_workloads::exec::sample_from_simulation;
+
+    let machine = SimMachine::new(MachinePreset::NehalemEp2S);
+    let placement = vec![0usize, 1, 2, 3];
+
+    let mut rows = Vec::new();
+    for variant in [JacobiVariant::Threaded, JacobiVariant::ThreadedNt, JacobiVariant::Wavefront] {
+        // Measure the run through the real tool path: program the uncore
+        // events of the custom Table II set, run, credit, read back.
+        let table = likwid_perf_events::tables::for_arch(machine.arch());
+        let spec = likwid::perfctr::parse_event_spec(
+            "UNC_L3_LINES_IN_ANY:UPMC0,UNC_L3_LINES_OUT_ANY:UPMC1",
+            &table,
+        )
+        .expect("event spec");
+        let mut session = PerfCtr::new(
+            &machine,
+            PerfCtrConfig { cpus: placement.clone(), spec: MeasurementSpec::Custom(spec) },
+        )
+        .expect("session");
+        session.start().expect("start");
+
+        let result = Jacobi::new(&machine).run(&JacobiConfig {
+            size,
+            time_steps,
+            placement: placement.clone(),
+            variant,
+        });
+        let sample = sample_from_simulation(&machine, &result.stats, &result.profile);
+        EventEngine::new(&machine).apply(&machine, &sample);
+
+        session.stop().expect("stop");
+        let counts = session.read_counts().expect("read");
+        let results = session.results(&counts).expect("results");
+        let lines_in = results.event_count("UNC_L3_LINES_IN_ANY", 0).unwrap_or(0);
+        let lines_out = results.event_count("UNC_L3_LINES_OUT_ANY", 0).unwrap_or(0);
+
+        rows.push((
+            variant.name().to_string(),
+            lines_in,
+            lines_out,
+            result.memory_bytes as f64 / 1e9,
+            result.mlups,
+        ));
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Table II: likwid-perfCtr measurements on one Nehalem EP socket (N = {size}, {time_steps} sweeps)\n"
+    ));
+    out.push_str(&format!(
+        "{:28} {:>16} {:>16} {:>22} {:>20}\n",
+        "", "threaded", "threaded (NT)", "blocked (wavefront)", ""
+    ));
+    let metric_rows = [
+        ("UNC_L3_LINES_IN_ANY", rows.iter().map(|r| format!("{:.3e}", r.1 as f64)).collect::<Vec<_>>()),
+        ("UNC_L3_LINES_OUT_ANY", rows.iter().map(|r| format!("{:.3e}", r.2 as f64)).collect::<Vec<_>>()),
+        ("Total data volume [GB]", rows.iter().map(|r| format!("{:.2}", r.3)).collect::<Vec<_>>()),
+        ("Performance [MLUPS]", rows.iter().map(|r| format!("{:.0}", r.4)).collect::<Vec<_>>()),
+    ];
+    for (name, values) in metric_rows {
+        out.push_str(&format!(
+            "{:28} {:>16} {:>16} {:>22}\n",
+            name, values[0], values[1], values[2]
+        ));
+    }
+    out
+}
+
+/// Regenerate Table I: the qualitative LIKWID-vs-PAPI comparison.
+pub fn table1_text() -> String {
+    let mut out = String::new();
+    out.push_str("Table I: Comparison between LIKWID and PAPI\n");
+    for (aspect, likwid, papi) in likwid_papi_compat::table1_rows() {
+        out.push_str(&format!("{aspect}\n  LIKWID: {likwid}\n  PAPI:   {papi}\n"));
+    }
+    out
+}
+
+/// Regenerate Figure 1 and the Section II-B listing: the probed topology of
+/// the evaluation machines.
+pub fn figure1_text() -> String {
+    let mut out = String::new();
+    for preset in [MachinePreset::NehalemEp2S, MachinePreset::WestmereEp2S] {
+        let machine = SimMachine::new(preset);
+        let topo = CpuTopology::probe(&machine).expect("topology probe");
+        out.push_str(&format!("==== {} ====\n", preset.id()));
+        out.push_str(&topo.render_text(true));
+        for socket in 0..topo.sockets {
+            out.push_str(&format!("Socket {socket}:\n"));
+            out.push_str(&topo.render_ascii_socket(socket));
+        }
+    }
+    out
+}
+
+/// Regenerate Figure 2: the mapping from event sets through events to
+/// counters for every group supported on an architecture.
+pub fn figure2_text(preset: MachinePreset) -> String {
+    let machine = SimMachine::new(preset);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Figure 2: event sets -> hardware events -> performance counters ({})\n",
+        machine.arch().display_name()
+    ));
+    for kind in supported_groups(machine.arch()) {
+        let def = group_definition(machine.arch(), kind).expect("supported group");
+        out.push_str(&format!("{} ({}):\n", kind.name(), kind.description()));
+        for (event, slot) in &def.events {
+            out.push_str(&format!("    {:40} -> {}\n", event, slot.name()));
+        }
+        for (metric, formula) in &def.metrics {
+            out.push_str(&format!("    metric {:28} = {}\n", metric, formula));
+        }
+    }
+    out
+}
+
+/// Regenerate Figure 3: the likwid-pin interception mechanism, traced for
+/// an Intel OpenMP binary on the Westmere node.
+pub fn figure3_text() -> String {
+    let machine = SimMachine::new(MachinePreset::WestmereEp2S);
+    let tool = PinTool::new(
+        &machine,
+        PinConfig::new("0-3").with_model(ThreadingModel::IntelOpenMp),
+    )
+    .expect("pin configuration");
+    let mut out = String::new();
+    out.push_str("Figure 3: likwid-pin wrapper mechanism (Intel OpenMP binary, -c 0-3 -t intel)\n");
+    let env = tool.environment();
+    out.push_str(&format!(
+        "exported environment: LIKWID_PIN={} LIKWID_SKIP={} KMP_AFFINITY={} LD_PRELOAD={}\n",
+        env.likwid_pin, env.likwid_skip, env.kmp_affinity, env.ld_preload
+    ));
+    out.push_str(&format!("master thread pinned to hardware thread {:?}\n", tool.pinner().master_cpu()));
+    let mut pinner = tool.pinner();
+    for i in 0..ThreadingModel::IntelOpenMp.created_threads(4) {
+        let outcome = pinner.on_thread_create();
+        out.push_str(&format!("pthread_create #{i}: {outcome:?}\n"));
+    }
+    out
+}
+
+/// Marker-API vs. PAPI-style API overhead: the measured counterpart to the
+/// "User API support" row of Table I. Returns (likwid_ns, papi_ns) per
+/// start/stop pair, measured with `iterations` repetitions.
+pub fn api_overhead_ns(iterations: u32) -> (f64, f64) {
+    use likwid::marker::MarkerApi;
+    use likwid::perfctr::{MeasurementSpec, PerfCtr, PerfCtrConfig};
+    use likwid_papi_compat::{Papi, PapiPreset};
+    use std::time::Instant;
+
+    let machine = SimMachine::new(MachinePreset::Core2Quad);
+
+    let config = PerfCtrConfig {
+        cpus: vec![0],
+        spec: MeasurementSpec::Group(EventGroupKind::FLOPS_DP),
+    };
+    let mut session = PerfCtr::new(&machine, config).expect("session");
+    session.start().expect("start");
+    let mut marker = MarkerApi::init(1, 1);
+    let region = marker.register_region("bench");
+    let start = Instant::now();
+    for _ in 0..iterations {
+        marker.start_region(0, 0, &session).expect("start region");
+        marker.stop_region(0, 0, region, &session).expect("stop region");
+    }
+    let likwid_ns = start.elapsed().as_nanos() as f64 / iterations as f64;
+
+    let mut papi = Papi::library_init(&machine);
+    let set = papi.create_eventset(0).expect("eventset");
+    papi.add_event(set, PapiPreset::PAPI_DP_OPS).expect("add");
+    papi.add_event(set, PapiPreset::PAPI_TOT_CYC).expect("add");
+    let start = Instant::now();
+    for _ in 0..iterations {
+        papi.start(set).expect("start");
+        papi.stop(set).expect("stop");
+    }
+    let papi_ns = start.elapsed().as_nanos() as f64 / iterations as f64;
+
+    (likwid_ns, papi_ns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_stream_figures_are_described() {
+        let figs = stream_figures();
+        assert_eq!(figs.len(), 7);
+        assert_eq!(figs[0].number, 4);
+        assert_eq!(figs[6].number, 10);
+    }
+
+    #[test]
+    fn stream_figure_text_has_one_row_per_thread_count() {
+        let fig = stream_figures()[1]; // Figure 5, pinned (deterministic, cheap)
+        let text = stream_figure_text(fig, 3, 1);
+        let rows = text.lines().filter(|l| l.starts_with(|c: char| c.is_ascii_digit() || c == ' ')).count();
+        assert!(text.contains("Figure 5"));
+        assert!(rows >= 24, "24 thread counts on the Westmere node:\n{text}");
+    }
+
+    #[test]
+    fn figure11_text_contains_all_three_curves() {
+        let text = figure11_text(&[32, 48], 4);
+        assert!(text.contains("wavefront 1x4 (one socket)"));
+        assert!(text.contains("2 per socket"));
+        assert!(text.contains("threaded baseline"));
+        assert_eq!(text.lines().count(), 2 + 2, "header lines plus one row per size");
+    }
+
+    #[test]
+    fn table2_text_reports_the_four_metrics() {
+        let text = table2_text(48, 4);
+        assert!(text.contains("UNC_L3_LINES_IN_ANY"));
+        assert!(text.contains("UNC_L3_LINES_OUT_ANY"));
+        assert!(text.contains("Total data volume [GB]"));
+        assert!(text.contains("Performance [MLUPS]"));
+    }
+
+    #[test]
+    fn table1_and_conceptual_figures_render() {
+        assert!(table1_text().contains("Thread and process pinning"));
+        assert!(figure1_text().contains("Cache Topology"));
+        let fig2 = figure2_text(MachinePreset::WestmereEp2S);
+        assert!(fig2.contains("FLOPS_DP"));
+        assert!(fig2.contains("UPMC0"));
+        let fig3 = figure3_text();
+        assert!(fig3.contains("Skipped"));
+        assert!(fig3.contains("KMP_AFFINITY=disabled"));
+    }
+
+    #[test]
+    fn api_overhead_measures_both_interfaces() {
+        let (likwid_ns, papi_ns) = api_overhead_ns(100);
+        assert!(likwid_ns > 0.0);
+        assert!(papi_ns > 0.0);
+    }
+}

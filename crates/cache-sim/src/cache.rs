@@ -1,0 +1,313 @@
+//! A single set-associative cache instance.
+
+use crate::replacement::{ReplacementPolicy, ReplacementState};
+use crate::stats::CacheStats;
+
+/// State of one cache line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+}
+
+impl Line {
+    const INVALID: Line = Line { tag: 0, valid: false, dirty: false };
+}
+
+/// Result of a fill: what had to leave the cache to make room.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Eviction {
+    /// An invalid way was used; nothing was evicted.
+    None,
+    /// A clean line with the given line address was dropped.
+    Clean(u64),
+    /// A dirty line with the given line address must be written back.
+    Dirty(u64),
+}
+
+/// A set-associative, write-back cache with per-instance statistics.
+///
+/// Addresses are handled at line granularity: all methods take *line
+/// addresses* (byte address divided by the line size); the caller performs
+/// the division so that one convention holds across all levels.
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    sets: usize,
+    ways: usize,
+    line_size: u64,
+    lines: Vec<Line>,
+    replacement: Vec<ReplacementState>,
+    /// Public counters; the hierarchy updates demand hit/miss fields, the
+    /// cache itself updates fill/eviction fields.
+    pub stats: CacheStats,
+}
+
+impl SetAssocCache {
+    /// Create a cache with `sets` sets of `ways` ways and `line_size`-byte lines.
+    pub fn new(sets: usize, ways: usize, line_size: u64, policy: ReplacementPolicy) -> Self {
+        assert!(sets > 0 && ways > 0, "cache must have at least one set and way");
+        SetAssocCache {
+            sets,
+            ways,
+            line_size,
+            lines: vec![Line::INVALID; sets * ways],
+            replacement: vec![ReplacementState::new(policy, ways); sets],
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        (self.sets * self.ways) as u64 * self.line_size
+    }
+
+    /// Line size in bytes.
+    pub fn line_size(&self) -> u64 {
+        self.line_size
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.sets
+    }
+
+    fn set_index(&self, line_addr: u64) -> usize {
+        (line_addr % self.sets as u64) as usize
+    }
+
+    fn slot(&self, set: usize, way: usize) -> usize {
+        set * self.ways + way
+    }
+
+    /// Whether the line is present (does not touch replacement state or stats).
+    pub fn contains(&self, line_addr: u64) -> bool {
+        let set = self.set_index(line_addr);
+        (0..self.ways).any(|w| {
+            let l = self.lines[self.slot(set, w)];
+            l.valid && l.tag == line_addr
+        })
+    }
+
+    /// Look up a line as a demand access. Returns `true` on hit and updates
+    /// the replacement state; on a store hit the line is marked dirty.
+    pub fn lookup(&mut self, line_addr: u64, is_write: bool) -> bool {
+        let set = self.set_index(line_addr);
+        for way in 0..self.ways {
+            let slot = self.slot(set, way);
+            if self.lines[slot].valid && self.lines[slot].tag == line_addr {
+                if is_write {
+                    self.lines[slot].dirty = true;
+                }
+                self.replacement[set].on_hit(way);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Allocate a line (after a miss or for a prefetch). Returns what was
+    /// evicted. The new line is marked dirty if `dirty` is set
+    /// (write-allocate stores dirty the line immediately).
+    pub fn fill(&mut self, line_addr: u64, dirty: bool) -> Eviction {
+        let set = self.set_index(line_addr);
+        // If the line is already present (e.g. racing prefetch), just update flags.
+        for way in 0..self.ways {
+            let slot = self.slot(set, way);
+            if self.lines[slot].valid && self.lines[slot].tag == line_addr {
+                self.lines[slot].dirty |= dirty;
+                self.replacement[set].on_hit(way);
+                return Eviction::None;
+            }
+        }
+
+        let lines = &self.lines;
+        let ways = self.ways;
+        let victim_way = self.replacement[set]
+            .choose_victim(|w| lines[set * ways + w].valid);
+        let slot = self.slot(set, victim_way);
+        let evicted = self.lines[slot];
+        let eviction = if !evicted.valid {
+            Eviction::None
+        } else if evicted.dirty {
+            Eviction::Dirty(evicted.tag)
+        } else {
+            Eviction::Clean(evicted.tag)
+        };
+
+        self.lines[slot] = Line { tag: line_addr, valid: true, dirty };
+        self.replacement[set].on_fill(victim_way);
+
+        self.stats.lines_in += 1;
+        if !matches!(eviction, Eviction::None) {
+            self.stats.lines_out += 1;
+            if matches!(eviction, Eviction::Dirty(_)) {
+                self.stats.writebacks += 1;
+            }
+        }
+        eviction
+    }
+
+    /// Invalidate a line (used for inclusive back-invalidation). Returns
+    /// `Some(dirty)` if the line was present.
+    pub fn invalidate(&mut self, line_addr: u64) -> Option<bool> {
+        let set = self.set_index(line_addr);
+        for way in 0..self.ways {
+            let slot = self.slot(set, way);
+            if self.lines[slot].valid && self.lines[slot].tag == line_addr {
+                let dirty = self.lines[slot].dirty;
+                self.lines[slot] = Line::INVALID;
+                self.stats.lines_out += 1;
+                if dirty {
+                    self.stats.writebacks += 1;
+                }
+                return Some(dirty);
+            }
+        }
+        None
+    }
+
+    /// Mark a present line dirty (used when a dirty line is written back from
+    /// an inner level).
+    pub fn mark_dirty(&mut self, line_addr: u64) -> bool {
+        let set = self.set_index(line_addr);
+        for way in 0..self.ways {
+            let slot = self.slot(set, way);
+            if self.lines[slot].valid && self.lines[slot].tag == line_addr {
+                self.lines[slot].dirty = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of currently valid lines (diagnostic).
+    pub fn resident_lines(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cache() -> SetAssocCache {
+        // 4 sets x 2 ways x 64-byte lines = 512 bytes.
+        SetAssocCache::new(4, 2, 64, ReplacementPolicy::Lru)
+    }
+
+    #[test]
+    fn capacity_and_geometry() {
+        let c = small_cache();
+        assert_eq!(c.capacity_bytes(), 512);
+        assert_eq!(c.num_sets(), 4);
+        assert_eq!(c.line_size(), 64);
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = small_cache();
+        assert!(!c.lookup(10, false));
+        assert_eq!(c.fill(10, false), Eviction::None);
+        assert!(c.lookup(10, false));
+        assert!(c.contains(10));
+    }
+
+    #[test]
+    fn conflict_eviction_in_one_set() {
+        let mut c = small_cache();
+        // Lines 0, 4, 8 all map to set 0 (4 sets). Two ways -> third fill evicts.
+        c.fill(0, false);
+        c.fill(4, false);
+        let ev = c.fill(8, false);
+        assert_eq!(ev, Eviction::Clean(0), "LRU victim is the first line filled");
+        assert!(!c.contains(0));
+        assert!(c.contains(4));
+        assert!(c.contains(8));
+        assert_eq!(c.stats.lines_in, 3);
+        assert_eq!(c.stats.lines_out, 1);
+    }
+
+    #[test]
+    fn dirty_eviction_is_reported_for_writeback() {
+        let mut c = small_cache();
+        c.fill(0, true);
+        c.fill(4, false);
+        let ev = c.fill(8, false);
+        assert_eq!(ev, Eviction::Dirty(0));
+        assert_eq!(c.stats.writebacks, 1);
+    }
+
+    #[test]
+    fn store_hit_marks_line_dirty() {
+        let mut c = small_cache();
+        c.fill(0, false);
+        assert!(c.lookup(0, true));
+        c.fill(4, false);
+        let ev = c.fill(8, false);
+        assert_eq!(ev, Eviction::Dirty(0));
+    }
+
+    #[test]
+    fn refill_of_present_line_does_not_evict() {
+        let mut c = small_cache();
+        c.fill(0, false);
+        assert_eq!(c.fill(0, true), Eviction::None);
+        assert_eq!(c.stats.lines_in, 1, "second fill of the same line is not a new allocation");
+    }
+
+    #[test]
+    fn invalidate_removes_the_line() {
+        let mut c = small_cache();
+        c.fill(0, true);
+        assert_eq!(c.invalidate(0), Some(true));
+        assert!(!c.contains(0));
+        assert_eq!(c.invalidate(0), None);
+    }
+
+    #[test]
+    fn mark_dirty_only_applies_to_present_lines() {
+        let mut c = small_cache();
+        c.fill(0, false);
+        assert!(c.mark_dirty(0));
+        assert!(!c.mark_dirty(99));
+    }
+
+    #[test]
+    fn lru_keeps_the_hot_line() {
+        let mut c = small_cache();
+        c.fill(0, false);
+        c.fill(4, false);
+        // Touch line 0 so line 4 is the LRU victim.
+        c.lookup(0, false);
+        let ev = c.fill(8, false);
+        assert_eq!(ev, Eviction::Clean(4));
+        assert!(c.contains(0));
+    }
+
+    #[test]
+    fn resident_line_count_tracks_valid_lines() {
+        let mut c = small_cache();
+        assert_eq!(c.resident_lines(), 0);
+        c.fill(0, false);
+        c.fill(1, false);
+        assert_eq!(c.resident_lines(), 2);
+        c.invalidate(0);
+        assert_eq!(c.resident_lines(), 1);
+    }
+
+    #[test]
+    fn working_set_larger_than_capacity_cycles_lines() {
+        let mut c = small_cache();
+        // 16 distinct lines through an 8-line cache: every fill after the
+        // first 8 evicts something.
+        let mut evictions = 0;
+        for line in 0..16 {
+            if !matches!(c.fill(line, false), Eviction::None) {
+                evictions += 1;
+            }
+        }
+        assert_eq!(evictions, 8);
+        assert_eq!(c.resident_lines(), 8);
+    }
+}

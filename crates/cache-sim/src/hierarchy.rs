@@ -1,0 +1,573 @@
+//! The node-level cache system: all cache instances, prefetchers and memory
+//! controllers of one machine, driven by per-hardware-thread access streams.
+
+use crate::access::{Access, AccessKind, HitLevel};
+use crate::cache::{Eviction, SetAssocCache};
+use crate::config::HierarchyConfig;
+use crate::memory::MemoryController;
+use crate::prefetch::PrefetchEngine;
+use crate::stats::{LevelStats, NodeStats};
+
+/// The complete simulated memory hierarchy of a node.
+///
+/// One instance is created per simulated benchmark run. The workload
+/// execution engine calls [`NodeCacheSystem::access`] for every memory
+/// operation of every (simulated) application thread; afterwards the
+/// counters are read back — either directly via [`NodeCacheSystem::stats`]
+/// or, in the full reproduction pipeline, through the architectural event
+/// layer of `likwid-perf-events`.
+pub struct NodeCacheSystem {
+    config: HierarchyConfig,
+    /// `levels[l]` holds all instances of cache level `l` in the node.
+    levels: Vec<Vec<SetAssocCache>>,
+    /// `thread_instance[l][t]` is the instance of level `l` used by thread `t`.
+    thread_instance: Vec<Vec<usize>>,
+    /// One memory controller per socket.
+    memory: Vec<MemoryController>,
+    prefetch: PrefetchEngine,
+    thread_loads: Vec<u64>,
+    thread_stores: Vec<u64>,
+}
+
+impl NodeCacheSystem {
+    /// Build the hierarchy from a configuration.
+    pub fn new(config: HierarchyConfig) -> Self {
+        let mut levels = Vec::new();
+        let mut thread_instance = Vec::new();
+        for level in &config.levels {
+            let n = config.instances_of(level);
+            levels.push(
+                (0..n)
+                    .map(|_| {
+                        SetAssocCache::new(level.sets, level.ways, level.line_size, level.replacement)
+                    })
+                    .collect::<Vec<_>>(),
+            );
+            thread_instance.push(
+                (0..config.num_threads)
+                    .map(|t| config.instance_for_thread(level, t))
+                    .collect::<Vec<_>>(),
+            );
+        }
+        let memory = (0..config.num_sockets).map(|_| MemoryController::default()).collect();
+        let prefetch = PrefetchEngine::new(config.prefetch, config.num_threads);
+        let thread_loads = vec![0; config.num_threads];
+        let thread_stores = vec![0; config.num_threads];
+        NodeCacheSystem { config, levels, thread_instance, memory, prefetch, thread_loads, thread_stores }
+    }
+
+    /// The configuration this hierarchy was built from.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.config
+    }
+
+    /// Line size of the innermost level, used to split accesses into lines.
+    fn l1_line_size(&self) -> u64 {
+        self.config.levels.first().map(|l| l.line_size).unwrap_or(64)
+    }
+
+    /// Issue one memory access on behalf of hardware thread `thread`.
+    ///
+    /// Returns the slowest level that had to be consulted to satisfy the
+    /// access (for multi-line accesses, the worst line).
+    pub fn access(&mut self, thread: usize, access: Access) -> HitLevel {
+        assert!(thread < self.config.num_threads, "no such hardware thread {thread}");
+        let socket = self.config.thread_socket[thread];
+
+        if access.kind == AccessKind::NonTemporalStore {
+            self.thread_stores[thread] += 1;
+            let domain = self.config.numa_policy.domain_of(access.address) % self.config.num_sockets;
+            self.memory[domain as usize].write(access.size as u64, socket, domain, true);
+            return HitLevel::Streaming;
+        }
+
+        let (first, last) = access.line_range(self.l1_line_size());
+        let is_write = access.kind.is_write();
+        if access.kind.is_demand() {
+            if is_write {
+                self.thread_stores[thread] += 1;
+            } else {
+                self.thread_loads[thread] += 1;
+            }
+        }
+
+        let mut worst = HitLevel::L1;
+        for line in first..=last {
+            let level = self.demand_line_access(thread, socket, access.address, line, is_write);
+            if is_write {
+                // Invalidation-based coherence: a store makes every copy of
+                // the line outside the writer's own cache path stale. This
+                // is what turns the wavefront plane hand-off into memory
+                // traffic when producer and consumer do not share a cache.
+                self.invalidate_other_copies(thread, line);
+            }
+            if level > worst {
+                worst = level;
+            }
+        }
+        worst
+    }
+
+    /// Invalidate `line` in every cache instance that is not on `thread`'s
+    /// own lookup path (other cores' private caches, other sockets' shared
+    /// caches).
+    fn invalidate_other_copies(&mut self, thread: usize, line: u64) {
+        for l in 0..self.levels.len() {
+            let own = self.thread_instance[l][thread];
+            for inst in 0..self.levels[l].len() {
+                if inst != own {
+                    self.levels[l][inst].invalidate(line);
+                }
+            }
+        }
+    }
+
+    /// Demand access to one line: walk the hierarchy, fill on the way back,
+    /// then let the prefetchers react.
+    fn demand_line_access(
+        &mut self,
+        thread: usize,
+        socket: u32,
+        byte_address: u64,
+        line: u64,
+        is_write: bool,
+    ) -> HitLevel {
+        let num_levels = self.levels.len();
+        let mut hit_level: Option<usize> = None;
+
+        for l in 0..num_levels {
+            let inst = self.thread_instance[l][thread];
+            let cache = &mut self.levels[l][inst];
+            cache.stats.accesses += 1;
+            if is_write {
+                cache.stats.stores += 1;
+            } else {
+                cache.stats.loads += 1;
+            }
+            if cache.lookup(line, is_write && l == 0) {
+                cache.stats.hits += 1;
+                hit_level = Some(l);
+                break;
+            } else {
+                cache.stats.misses += 1;
+            }
+        }
+
+        let l1_missed = !matches!(hit_level, Some(0));
+        let l2_missed = hit_level.map_or(true, |l| l > 1);
+
+        // Fetch from memory if no level had the line.
+        if hit_level.is_none() {
+            let domain = self.config.numa_policy.domain_of(byte_address) % self.config.num_sockets;
+            self.memory[domain as usize].read(self.config.memory_line_size, socket, domain);
+        }
+
+        // Fill the line into every level between the hit level (exclusive)
+        // and L1, innermost last so the dirty bit lands in L1 for stores.
+        let fill_from = hit_level.unwrap_or(num_levels);
+        for l in (0..fill_from).rev() {
+            // The line becomes dirty only in L1 (write-back propagates
+            // dirtiness outward on eviction).
+            let dirty = is_write && l == 0;
+            self.fill_line(thread, socket, l, line, dirty);
+        }
+
+        // Prefetcher reaction (demand accesses only).
+        let decision = self.prefetch.observe(thread, line, l1_missed, l2_missed);
+        for &pline in &decision.l1_lines {
+            self.prefetch_line(thread, socket, 0, pline);
+        }
+        for &pline in &decision.l2_lines {
+            if num_levels > 1 {
+                self.prefetch_line(thread, socket, 1, pline);
+            }
+        }
+
+        match hit_level {
+            Some(0) => HitLevel::L1,
+            Some(1) => HitLevel::L2,
+            Some(_) => HitLevel::L3,
+            None => HitLevel::Memory,
+        }
+    }
+
+    /// Fill `line` into level `l`, handling the resulting eviction.
+    fn fill_line(&mut self, thread: usize, socket: u32, l: usize, line: u64, dirty: bool) {
+        let inst = self.thread_instance[l][thread];
+        let eviction = self.levels[l][inst].fill(line, dirty);
+        self.handle_eviction(thread, socket, l, eviction);
+    }
+
+    /// Process an eviction from level `l`: write dirty data outward and
+    /// back-invalidate inner levels if `l` is inclusive.
+    fn handle_eviction(&mut self, thread: usize, socket: u32, l: usize, eviction: Eviction) {
+        let (victim, dirty) = match eviction {
+            Eviction::None => return,
+            Eviction::Clean(v) => (v, false),
+            Eviction::Dirty(v) => (v, true),
+        };
+
+        if dirty {
+            self.writeback(thread, socket, l + 1, victim);
+        }
+
+        // Inclusive caches force the victim out of all inner levels.
+        if self.config.levels[l].inclusive && l > 0 {
+            // Only inner instances reachable from this instance (same sharing
+            // domain) can hold the line; iterate over the threads mapping to
+            // this instance and invalidate their inner caches.
+            let this_inst = self.thread_instance[l][thread];
+            let sharers: Vec<usize> = (0..self.config.num_threads)
+                .filter(|&t| self.thread_instance[l][t] == this_inst)
+                .collect();
+            for inner in 0..l {
+                let mut seen = Vec::new();
+                for &t in &sharers {
+                    let inner_inst = self.thread_instance[inner][t];
+                    if seen.contains(&inner_inst) {
+                        continue;
+                    }
+                    seen.push(inner_inst);
+                    if let Some(was_dirty) = self.levels[inner][inner_inst].invalidate(victim) {
+                        if was_dirty {
+                            // The inner copy was newer; it must reach memory.
+                            self.writeback(thread, socket, l + 1, victim);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Write a dirty line back into level `l` (or memory if past the LLC).
+    fn writeback(&mut self, thread: usize, socket: u32, l: usize, line: u64) {
+        if l >= self.levels.len() {
+            let byte_address = line * self.config.memory_line_size;
+            let domain = self.config.numa_policy.domain_of(byte_address) % self.config.num_sockets;
+            self.memory[domain as usize].write(self.config.memory_line_size, socket, domain, false);
+            return;
+        }
+        let inst = self.thread_instance[l][thread];
+        if self.levels[l][inst].mark_dirty(line) {
+            return;
+        }
+        // Non-inclusive outer level did not hold the line: allocate it there
+        // as dirty (victim-cache style fill).
+        let eviction = self.levels[l][inst].fill(line, true);
+        self.handle_eviction(thread, socket, l, eviction);
+    }
+
+    /// Bring `line` into level `l` as a prefetch (no demand statistics, no
+    /// further prefetch recursion). The fill follows the same path as a
+    /// demand fill: if the line has to come from memory it is allocated in
+    /// every level from the outermost inwards, so prefetched lines are
+    /// visible in the shared cache like on the (mostly inclusive) real
+    /// hierarchies.
+    fn prefetch_line(&mut self, thread: usize, socket: u32, l: usize, line: u64) {
+        let inst = self.thread_instance[l][thread];
+        self.levels[l][inst].stats.prefetch_requests += 1;
+        if self.levels[l][inst].contains(line) {
+            return;
+        }
+        // Find the innermost outer level that already has the line.
+        let mut found_at = None;
+        for outer in (l + 1)..self.levels.len() {
+            let outer_inst = self.thread_instance[outer][thread];
+            if self.levels[outer][outer_inst].contains(line) {
+                found_at = Some(outer);
+                break;
+            }
+        }
+        if found_at.is_none() {
+            let byte_address = line * self.config.memory_line_size;
+            let domain = self.config.numa_policy.domain_of(byte_address) % self.config.num_sockets;
+            self.memory[domain as usize].read(self.config.memory_line_size, socket, domain);
+        }
+        let fill_from = found_at.unwrap_or(self.levels.len());
+        for level in (l..fill_from).rev() {
+            let level_inst = self.thread_instance[level][thread];
+            let eviction = {
+                let cache = &mut self.levels[level][level_inst];
+                let ev = cache.fill(line, false);
+                if level == l {
+                    cache.stats.prefetch_fills += 1;
+                }
+                ev
+            };
+            self.handle_eviction(thread, socket, level, eviction);
+        }
+    }
+
+    /// Snapshot all counters.
+    pub fn stats(&self) -> NodeStats {
+        NodeStats {
+            levels: self
+                .config
+                .levels
+                .iter()
+                .zip(&self.levels)
+                .map(|(cfg, instances)| LevelStats {
+                    level: cfg.level,
+                    instances: instances.iter().map(|c| c.stats).collect(),
+                })
+                .collect(),
+            memory: self.memory.iter().map(|m| m.stats).collect(),
+            thread_loads: self.thread_loads.clone(),
+            thread_stores: self.thread_stores.clone(),
+        }
+    }
+
+    /// Reset all counters (cache contents are preserved, mirroring what
+    /// starting a new measurement region does on real hardware).
+    pub fn reset_stats(&mut self) {
+        for level in &mut self.levels {
+            for cache in level {
+                cache.stats = Default::default();
+            }
+        }
+        for mc in &mut self.memory {
+            mc.stats = Default::default();
+        }
+        self.thread_loads.iter_mut().for_each(|v| *v = 0);
+        self.thread_stores.iter_mut().for_each(|v| *v = 0);
+    }
+
+    /// The socket-level (last level) cache statistics of one socket.
+    pub fn llc_stats_of_socket(&self, socket: u32) -> crate::stats::CacheStats {
+        let Some(last) = self.levels.last() else {
+            return Default::default();
+        };
+        // Find a thread on that socket and use its LLC instance.
+        let thread = self
+            .config
+            .thread_socket
+            .iter()
+            .position(|&s| s == socket)
+            .unwrap_or(0);
+        let inst = self.thread_instance[self.levels.len() - 1][thread];
+        last[inst].stats
+    }
+
+    /// Memory statistics of one socket's controller.
+    pub fn memory_stats_of_socket(&self, socket: u32) -> crate::stats::MemoryStats {
+        self.memory.get(socket as usize).map(|m| m.stats).unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CacheLevelConfig, PrefetchConfig, WritePolicy};
+    use crate::memory::NumaPolicy;
+    use crate::replacement::ReplacementPolicy;
+    use crate::Access;
+
+    /// A small synthetic two-thread, two-socket machine: 4-set/2-way L1,
+    /// 16-set/4-way L2, 64-set/8-way shared L3 per socket.
+    fn tiny_config(prefetch: PrefetchConfig) -> HierarchyConfig {
+        HierarchyConfig {
+            levels: vec![
+                CacheLevelConfig {
+                    level: 1,
+                    sets: 4,
+                    ways: 2,
+                    line_size: 64,
+                    inclusive: false,
+                    shared_by_threads: 1,
+                    write_policy: WritePolicy::WriteBackAllocate,
+                    replacement: ReplacementPolicy::Lru,
+                },
+                CacheLevelConfig {
+                    level: 2,
+                    sets: 16,
+                    ways: 4,
+                    line_size: 64,
+                    inclusive: false,
+                    shared_by_threads: 1,
+                    write_policy: WritePolicy::WriteBackAllocate,
+                    replacement: ReplacementPolicy::Lru,
+                },
+                CacheLevelConfig {
+                    level: 3,
+                    sets: 64,
+                    ways: 8,
+                    line_size: 64,
+                    inclusive: true,
+                    shared_by_threads: 2,
+                    write_policy: WritePolicy::WriteBackAllocate,
+                    replacement: ReplacementPolicy::Lru,
+                },
+            ],
+            num_threads: 4,
+            thread_socket: vec![0, 0, 1, 1],
+            thread_core: vec![0, 1, 2, 3],
+            num_sockets: 2,
+            prefetch,
+            numa_policy: NumaPolicy::interleave(4096),
+            memory_line_size: 64,
+        }
+    }
+
+    fn system(prefetch: PrefetchConfig) -> NodeCacheSystem {
+        NodeCacheSystem::new(tiny_config(prefetch))
+    }
+
+    #[test]
+    fn first_access_misses_everywhere_then_hits_in_l1() {
+        let mut sys = system(PrefetchConfig::all_disabled());
+        assert_eq!(sys.access(0, Access::load(0)), HitLevel::Memory);
+        assert_eq!(sys.access(0, Access::load(8)), HitLevel::L1, "same line");
+        let stats = sys.stats();
+        assert_eq!(stats.level_total(1).misses, 1);
+        assert_eq!(stats.level_total(1).hits, 1);
+        assert_eq!(stats.memory[0].bytes_read + stats.memory[1].bytes_read, 64);
+    }
+
+    #[test]
+    fn store_miss_causes_write_allocate_read() {
+        let mut sys = system(PrefetchConfig::all_disabled());
+        assert_eq!(sys.access(0, Access::store(0)), HitLevel::Memory);
+        let stats = sys.stats();
+        assert_eq!(stats.total_memory_bytes(), 64, "the line is read before being written");
+        assert_eq!(stats.memory.iter().map(|m| m.bytes_written).sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn nt_store_streams_to_memory_without_reading() {
+        let mut sys = system(PrefetchConfig::all_disabled());
+        assert_eq!(sys.access(0, Access { address: 0, size: 64, kind: AccessKind::NonTemporalStore }), HitLevel::Streaming);
+        let stats = sys.stats();
+        assert_eq!(stats.memory.iter().map(|m| m.bytes_read).sum::<u64>(), 0);
+        assert_eq!(stats.memory.iter().map(|m| m.bytes_written).sum::<u64>(), 64);
+        assert_eq!(stats.level_total(1).accesses, 0, "NT stores bypass the caches");
+    }
+
+    #[test]
+    fn dirty_lines_are_written_back_when_evicted_through_the_hierarchy() {
+        let mut sys = system(PrefetchConfig::all_disabled());
+        // Write a line, then stream enough distinct lines through the caches
+        // to force it all the way out of the (inclusive) L3.
+        sys.access(0, Access::store(0));
+        // L3: 64 sets x 8 ways = 512 lines. Stream 2048 distinct lines.
+        for i in 1..2048u64 {
+            sys.access(0, Access::load(i * 64));
+        }
+        let stats = sys.stats();
+        let written: u64 = stats.memory.iter().map(|m| m.bytes_written).sum();
+        assert!(written >= 64, "the dirty line must eventually be written back, got {written}");
+    }
+
+    #[test]
+    fn smt_siblings_share_nothing_but_socket_peers_share_l3() {
+        let mut sys = system(PrefetchConfig::all_disabled());
+        sys.access(0, Access::load(0));
+        // Thread 1 is on the same socket: its first access to the same line
+        // should hit in the shared L3 (not memory).
+        assert_eq!(sys.access(1, Access::load(0)), HitLevel::L3);
+        // Thread 2 is on the other socket: full miss.
+        assert_eq!(sys.access(2, Access::load(0)), HitLevel::Memory);
+    }
+
+    #[test]
+    fn streaming_traffic_matches_the_working_set_size() {
+        let mut sys = system(PrefetchConfig::all_disabled());
+        let lines = 4096u64;
+        for i in 0..lines {
+            sys.access(0, Access::load(i * 64));
+        }
+        let stats = sys.stats();
+        assert_eq!(
+            stats.memory.iter().map(|m| m.bytes_read).sum::<u64>(),
+            lines * 64,
+            "each distinct line is fetched exactly once"
+        );
+    }
+
+    #[test]
+    fn repeated_small_working_set_stays_in_cache() {
+        let mut sys = system(PrefetchConfig::all_disabled());
+        // 4 lines fit easily in the 8-line L1.
+        for _rep in 0..100 {
+            for i in 0..4u64 {
+                sys.access(0, Access::load(i * 64));
+            }
+        }
+        let stats = sys.stats();
+        assert_eq!(stats.memory.iter().map(|m| m.bytes_read).sum::<u64>(), 4 * 64);
+        assert_eq!(stats.level_total(1).misses, 4);
+        assert_eq!(stats.level_total(1).hits, 396);
+    }
+
+    #[test]
+    fn prefetchers_reduce_demand_misses_on_streaming_patterns() {
+        let lines = 2048u64;
+        let mut without = system(PrefetchConfig::all_disabled());
+        for i in 0..lines {
+            without.access(0, Access::load(i * 64));
+        }
+        let mut with = system(PrefetchConfig::all_enabled());
+        for i in 0..lines {
+            with.access(0, Access::load(i * 64));
+        }
+        let miss_without = without.stats().level_total(2).misses;
+        let miss_with = with.stats().level_total(2).misses;
+        assert!(
+            miss_with < miss_without,
+            "prefetching should reduce L2 demand misses ({miss_with} !< {miss_without})"
+        );
+        assert!(with.stats().level_total(2).prefetch_fills > 0);
+    }
+
+    #[test]
+    fn stats_reset_clears_counters_but_keeps_contents() {
+        let mut sys = system(PrefetchConfig::all_disabled());
+        sys.access(0, Access::load(0));
+        sys.reset_stats();
+        assert_eq!(sys.stats().level_total(1).accesses, 0);
+        // The line is still resident: the next access is an L1 hit.
+        assert_eq!(sys.access(0, Access::load(0)), HitLevel::L1);
+    }
+
+    #[test]
+    fn numa_partitioning_routes_traffic_to_the_right_controller() {
+        let mut cfg = tiny_config(PrefetchConfig::all_disabled());
+        cfg.numa_policy = NumaPolicy::Partitioned { boundaries: vec![1 << 20, u64::MAX] };
+        let mut sys = NodeCacheSystem::new(cfg);
+        // Thread 0 (socket 0) reads an address homed on socket 1.
+        sys.access(0, Access::load(2 << 20));
+        let s0 = sys.memory_stats_of_socket(0);
+        let s1 = sys.memory_stats_of_socket(1);
+        assert_eq!(s0.bytes_read, 0);
+        assert_eq!(s1.bytes_read, 64);
+        assert_eq!(s1.remote_reads, 1);
+        assert_eq!(s1.local_reads, 0);
+    }
+
+    #[test]
+    fn hits_plus_misses_equals_accesses_at_every_level() {
+        let mut sys = system(PrefetchConfig::all_enabled());
+        for i in 0..512u64 {
+            let addr = (i * 7919) % (1 << 16); // pseudo-random pattern
+            if i % 3 == 0 {
+                sys.access((i % 4) as usize, Access::store(addr));
+            } else {
+                sys.access((i % 4) as usize, Access::load(addr));
+            }
+        }
+        let stats = sys.stats();
+        for level in &stats.levels {
+            for inst in &level.instances {
+                assert!(inst.is_consistent(), "level {} stats inconsistent: {inst:?}", level.level);
+            }
+        }
+    }
+
+    #[test]
+    fn llc_stats_of_socket_reports_the_right_instance() {
+        let mut sys = system(PrefetchConfig::all_disabled());
+        sys.access(0, Access::load(0));
+        sys.access(2, Access::load(1 << 20));
+        assert_eq!(sys.llc_stats_of_socket(0).lines_in, 1);
+        assert_eq!(sys.llc_stats_of_socket(1).lines_in, 1);
+    }
+}

@@ -1,0 +1,217 @@
+//! Hardware prefetcher models.
+//!
+//! Intel Core 2 class processors have four prefetchers that `likwid-features`
+//! can toggle (Section II-D of the paper): the L2 hardware streamer, the
+//! adjacent cache line prefetcher, the L1 DCU streamer and the L1 IP-stride
+//! prefetcher. The models here are deliberately simple — they capture the
+//! *qualitative* behaviour (extra lines pulled into the cache on streaming
+//! access patterns, roughly doubling the fetch width when the adjacent-line
+//! unit is on) so that toggling them through the tool has a visible,
+//! testable effect on the simulated event counts.
+
+use crate::config::PrefetchConfig;
+
+/// Prefetch requests generated in response to one demand access.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PrefetchDecision {
+    /// Line addresses to bring into L1.
+    pub l1_lines: Vec<u64>,
+    /// Line addresses to bring into L2.
+    pub l2_lines: Vec<u64>,
+}
+
+impl PrefetchDecision {
+    /// Whether no prefetch was issued.
+    pub fn is_empty(&self) -> bool {
+        self.l1_lines.is_empty() && self.l2_lines.is_empty()
+    }
+}
+
+/// Per-hardware-thread prefetcher state.
+#[derive(Debug, Clone, Default)]
+struct ThreadState {
+    /// Last line address that missed in L1 (DCU streamer detection).
+    last_l1_miss_line: Option<u64>,
+    /// Last demand line address (IP/stride detection).
+    last_line: Option<u64>,
+    /// Detected stride in lines (IP prefetcher).
+    stride: i64,
+    /// How many times the current stride repeated.
+    stride_confidence: u32,
+    /// Last line address that missed in L2 (hardware streamer detection).
+    last_l2_miss_line: Option<u64>,
+}
+
+/// The prefetch engine of the node: per-thread detection state plus the
+/// global enable switches.
+#[derive(Debug, Clone)]
+pub struct PrefetchEngine {
+    config: PrefetchConfig,
+    threads: Vec<ThreadState>,
+}
+
+impl PrefetchEngine {
+    /// Engine for `num_threads` hardware threads.
+    pub fn new(config: PrefetchConfig, num_threads: usize) -> Self {
+        PrefetchEngine { config, threads: vec![ThreadState::default(); num_threads] }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> PrefetchConfig {
+        self.config
+    }
+
+    /// Observe a demand access and decide which lines to prefetch.
+    ///
+    /// * `line` — the demand line address.
+    /// * `l1_miss` / `l2_miss` — whether the demand access missed those levels.
+    pub fn observe(&mut self, thread: usize, line: u64, l1_miss: bool, l2_miss: bool) -> PrefetchDecision {
+        let mut decision = PrefetchDecision::default();
+        let st = &mut self.threads[thread];
+
+        // IP / stride prefetcher: detect a constant stride in the demand
+        // stream and prefetch one stride ahead into L1.
+        if self.config.ip_enabled {
+            if let Some(last) = st.last_line {
+                let stride = line as i64 - last as i64;
+                if stride != 0 && stride == st.stride {
+                    st.stride_confidence = st.stride_confidence.saturating_add(1);
+                } else {
+                    st.stride = stride;
+                    st.stride_confidence = 0;
+                }
+                if st.stride_confidence >= 2 {
+                    let next = line as i64 + st.stride;
+                    if next >= 0 {
+                        decision.l1_lines.push(next as u64);
+                    }
+                }
+            }
+        }
+        st.last_line = Some(line);
+
+        // DCU streamer: two successive ascending L1 misses trigger a
+        // next-line prefetch into L1.
+        if self.config.dcu_enabled && l1_miss {
+            if st.last_l1_miss_line == Some(line.wrapping_sub(1)) {
+                decision.l1_lines.push(line + 1);
+            }
+            st.last_l1_miss_line = Some(line);
+        }
+
+        // L2 hardware streamer: successive ascending L2 misses trigger a
+        // next-line prefetch into L2 (streaming ahead of the demand stream).
+        if self.config.hardware_enabled && l2_miss {
+            if st.last_l2_miss_line == Some(line.wrapping_sub(1)) {
+                decision.l2_lines.push(line + 1);
+                decision.l2_lines.push(line + 2);
+            }
+            st.last_l2_miss_line = Some(line);
+        }
+
+        // Adjacent cache line prefetcher: every L2 fill also fetches the
+        // buddy line completing the naturally aligned 128-byte pair.
+        if self.config.adjacent_line_enabled && l2_miss {
+            decision.l2_lines.push(line ^ 1);
+        }
+
+        // Deduplicate: a line should not appear twice in one decision.
+        decision.l1_lines.sort_unstable();
+        decision.l1_lines.dedup();
+        decision.l2_lines.sort_unstable();
+        decision.l2_lines.dedup();
+        // The demand line itself is never a prefetch target.
+        decision.l1_lines.retain(|&l| l != line);
+        decision.l2_lines.retain(|&l| l != line);
+        decision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_engine_never_prefetches() {
+        let mut e = PrefetchEngine::new(PrefetchConfig::all_disabled(), 1);
+        for line in 0..64 {
+            assert!(e.observe(0, line, true, true).is_empty());
+        }
+    }
+
+    #[test]
+    fn adjacent_line_prefetches_the_buddy() {
+        let cfg = PrefetchConfig {
+            adjacent_line_enabled: true,
+            ..PrefetchConfig::all_disabled()
+        };
+        let mut e = PrefetchEngine::new(cfg, 1);
+        let d = e.observe(0, 10, true, true);
+        assert_eq!(d.l2_lines, vec![11], "line 10's buddy in the 128-byte pair is line 11");
+        let d = e.observe(0, 11, true, true);
+        assert_eq!(d.l2_lines, vec![10], "line 11's buddy is line 10");
+    }
+
+    #[test]
+    fn adjacent_line_buddy_of_odd_line_is_the_even_one() {
+        let cfg = PrefetchConfig {
+            adjacent_line_enabled: true,
+            ..PrefetchConfig::all_disabled()
+        };
+        let mut e = PrefetchEngine::new(cfg, 1);
+        let d = e.observe(0, 7, false, true);
+        assert_eq!(d.l2_lines, vec![6]);
+    }
+
+    #[test]
+    fn dcu_streamer_needs_two_sequential_misses() {
+        let cfg = PrefetchConfig { dcu_enabled: true, ..PrefetchConfig::all_disabled() };
+        let mut e = PrefetchEngine::new(cfg, 1);
+        assert!(e.observe(0, 100, true, false).is_empty());
+        let d = e.observe(0, 101, true, false);
+        assert_eq!(d.l1_lines, vec![102]);
+    }
+
+    #[test]
+    fn hardware_streamer_runs_ahead_in_l2() {
+        let cfg = PrefetchConfig { hardware_enabled: true, ..PrefetchConfig::all_disabled() };
+        let mut e = PrefetchEngine::new(cfg, 1);
+        e.observe(0, 200, true, true);
+        let d = e.observe(0, 201, true, true);
+        assert_eq!(d.l2_lines, vec![202, 203]);
+    }
+
+    #[test]
+    fn ip_prefetcher_detects_constant_strides() {
+        let cfg = PrefetchConfig { ip_enabled: true, ..PrefetchConfig::all_disabled() };
+        let mut e = PrefetchEngine::new(cfg, 1);
+        // Stride of 3 lines: 0, 3, 6, 9 -> after confidence builds, prefetch 12.
+        assert!(e.observe(0, 0, false, false).is_empty());
+        assert!(e.observe(0, 3, false, false).is_empty());
+        assert!(e.observe(0, 6, false, false).is_empty());
+        let d = e.observe(0, 9, false, false);
+        assert_eq!(d.l1_lines, vec![12]);
+    }
+
+    #[test]
+    fn per_thread_state_is_independent() {
+        let cfg = PrefetchConfig { dcu_enabled: true, ..PrefetchConfig::all_disabled() };
+        let mut e = PrefetchEngine::new(cfg, 2);
+        e.observe(0, 100, true, false);
+        // Thread 1's first miss at 101 must not look sequential with thread 0's 100.
+        assert!(e.observe(1, 101, true, false).is_empty());
+    }
+
+    #[test]
+    fn random_pattern_triggers_no_stream_prefetches() {
+        let mut e = PrefetchEngine::new(PrefetchConfig::all_enabled(), 1);
+        // Widely scattered lines: only the adjacent-line unit may fire (on L2
+        // misses), never the streamers.
+        let lines = [5u64, 900, 77, 12345, 3, 40000];
+        for &l in &lines {
+            let d = e.observe(0, l, true, true);
+            assert!(d.l1_lines.is_empty());
+            assert!(d.l2_lines.iter().all(|&pl| pl == l ^ 1));
+        }
+    }
+}

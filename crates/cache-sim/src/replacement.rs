@@ -1,0 +1,119 @@
+//! Replacement policies for the set-associative cache model.
+//!
+//! Real Intel/AMD caches use true LRU for small associativities and
+//! pseudo-LRU (tree or NRU approximations) for larger ones. For the traffic
+//! numbers this suite reproduces, the exact policy only matters at the
+//! margin; both true LRU and a round-robin/FIFO policy are provided, and
+//! tests pin down the eviction order they produce.
+
+/// Replacement policy selection for one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplacementPolicy {
+    /// True least-recently-used.
+    Lru,
+    /// First-in first-out (round-robin victim selection).
+    Fifo,
+}
+
+/// Per-set replacement state.
+///
+/// Stores an age value per way; the semantics of the value depend on the
+/// policy (LRU: last-touch stamp, FIFO: fill stamp).
+#[derive(Debug, Clone)]
+pub struct ReplacementState {
+    policy: ReplacementPolicy,
+    stamps: Vec<u64>,
+    tick: u64,
+}
+
+impl ReplacementState {
+    /// State for one set with `ways` ways.
+    pub fn new(policy: ReplacementPolicy, ways: usize) -> Self {
+        ReplacementState { policy, stamps: vec![0; ways], tick: 0 }
+    }
+
+    /// Record a fill into `way`.
+    pub fn on_fill(&mut self, way: usize) {
+        self.tick += 1;
+        self.stamps[way] = self.tick;
+    }
+
+    /// Record a hit on `way`.
+    pub fn on_hit(&mut self, way: usize) {
+        if self.policy == ReplacementPolicy::Lru {
+            self.tick += 1;
+            self.stamps[way] = self.tick;
+        }
+        // FIFO ignores hits: age is fill order only.
+    }
+
+    /// Choose a victim among the ways for which `valid` returns true being
+    /// preferred *not* to be chosen, i.e. invalid ways are used first.
+    pub fn choose_victim(&self, valid: impl Fn(usize) -> bool) -> usize {
+        // Prefer an invalid way.
+        for way in 0..self.stamps.len() {
+            if !valid(way) {
+                return way;
+            }
+        }
+        // Otherwise evict the oldest stamp.
+        self.stamps
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &stamp)| stamp)
+            .map(|(way, _)| way)
+            .expect("cache sets have at least one way")
+    }
+
+    /// Number of ways tracked.
+    pub fn ways(&self) -> usize {
+        self.stamps.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalid_ways_are_used_before_eviction() {
+        let mut st = ReplacementState::new(ReplacementPolicy::Lru, 4);
+        st.on_fill(0);
+        st.on_fill(1);
+        // Ways 2 and 3 still invalid.
+        let victim = st.choose_victim(|w| w < 2);
+        assert!(victim == 2 || victim == 3);
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_touched_way() {
+        let mut st = ReplacementState::new(ReplacementPolicy::Lru, 4);
+        for w in 0..4 {
+            st.on_fill(w);
+        }
+        // Touch 0 again; way 1 becomes the LRU victim.
+        st.on_hit(0);
+        assert_eq!(st.choose_victim(|_| true), 1);
+    }
+
+    #[test]
+    fn fifo_ignores_hits() {
+        let mut st = ReplacementState::new(ReplacementPolicy::Fifo, 4);
+        for w in 0..4 {
+            st.on_fill(w);
+        }
+        st.on_hit(0);
+        st.on_hit(0);
+        assert_eq!(st.choose_victim(|_| true), 0, "FIFO still evicts the oldest fill");
+    }
+
+    #[test]
+    fn repeated_fills_cycle_through_ways_under_fifo() {
+        let mut st = ReplacementState::new(ReplacementPolicy::Fifo, 2);
+        st.on_fill(0);
+        st.on_fill(1);
+        assert_eq!(st.choose_victim(|_| true), 0);
+        st.on_fill(0);
+        assert_eq!(st.choose_victim(|_| true), 1);
+    }
+}

@@ -1,0 +1,12 @@
+//! The `likwid-features` command-line tool (simulated-machine edition).
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match likwid::cli::run_features(&args) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("likwid-features: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! Command-line front ends of the four tools.
+//!
+//! The binaries in `src/bin/` are thin wrappers around the functions here,
+//! which parse arguments and produce the tool output as a string (so the
+//! argument handling is unit-testable without spawning processes). Since
+//! the reproduction drives a *simulated* machine, every tool accepts a
+//! `--machine <preset>` switch selecting one of the paper's node
+//! configurations; the remaining switches mirror the original tools
+//! (`-c`, `-g`, `-t`, `-s`, `-e`/`-u`, …).
+
+use likwid_affinity::{SkipMask, ThreadingModel};
+use likwid_x86_machine::{MachinePreset, Prefetcher, SimMachine};
+
+use crate::error::{LikwidError, Result};
+use crate::features::FeaturesTool;
+use crate::perfctr::{supported_groups, EventGroupKind};
+use crate::pin::{PinConfig, PinTool};
+use crate::topology::CpuTopology;
+
+/// Parse `--machine <id>` (default: the Westmere EP node of the paper).
+fn parse_machine(args: &[String]) -> Result<MachinePreset> {
+    let mut machine = MachinePreset::WestmereEp2S;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--machine" || arg == "-M" {
+            let id = iter
+                .next()
+                .ok_or_else(|| LikwidError::Usage("--machine needs an argument".into()))?;
+            machine = MachinePreset::from_id(id).ok_or_else(|| {
+                LikwidError::Usage(format!(
+                    "unknown machine '{id}'; available: {}",
+                    MachinePreset::all().iter().map(|p| p.id()).collect::<Vec<_>>().join(", ")
+                ))
+            })?;
+        }
+    }
+    Ok(machine)
+}
+
+/// Fetch the value following a flag.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// Whether a boolean flag is present.
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+/// `likwid-topology [-c] [-g] [--machine <id>]`.
+pub fn run_topology(args: &[String]) -> Result<String> {
+    if has_flag(args, "-h") || has_flag(args, "--help") {
+        return Ok(topology_help());
+    }
+    let machine = SimMachine::new(parse_machine(args)?);
+    let topo = CpuTopology::probe(&machine)?;
+    let mut out = topo.render_text(has_flag(args, "-c"));
+    if has_flag(args, "-g") {
+        for socket in 0..topo.sockets {
+            out.push_str(&format!("Socket {socket}:\n"));
+            out.push_str(&topo.render_ascii_socket(socket));
+        }
+    }
+    Ok(out)
+}
+
+fn topology_help() -> String {
+    "likwid-topology [-c] [-g] [--machine <preset>]\n\
+     -c  print extended cache parameters\n\
+     -g  print the cache hierarchy as ASCII art\n"
+        .to_string()
+}
+
+/// `likwid-features [-c <core>] [-e <PREFETCHER>] [-u <PREFETCHER>]`.
+pub fn run_features(args: &[String]) -> Result<String> {
+    if has_flag(args, "-h") || has_flag(args, "--help") {
+        return Ok("likwid-features [-c <core>] [-e NAME] [-u NAME] [--machine <preset>]\n".into());
+    }
+    let machine = SimMachine::new(parse_machine(args)?);
+    let tool = FeaturesTool::new(&machine);
+    let cpu: usize = flag_value(args, "-c")
+        .map(|v| v.parse().map_err(|_| LikwidError::Usage(format!("bad core id '{v}'"))))
+        .transpose()?
+        .unwrap_or(0);
+
+    let mut out = String::new();
+    if let Some(name) = flag_value(args, "-u") {
+        let prefetcher = Prefetcher::from_cli_name(name)
+            .ok_or_else(|| LikwidError::Usage(format!("unknown prefetcher '{name}'")))?;
+        tool.disable_prefetcher(cpu, prefetcher)?;
+        out.push_str(&format!("{}: disabled\n", name));
+    }
+    if let Some(name) = flag_value(args, "-e") {
+        let prefetcher = Prefetcher::from_cli_name(name)
+            .ok_or_else(|| LikwidError::Usage(format!("unknown prefetcher '{name}'")))?;
+        tool.enable_prefetcher(cpu, prefetcher)?;
+        out.push_str(&format!("{}: enabled\n", name));
+    }
+    out.push_str(&tool.render(cpu)?);
+    Ok(out)
+}
+
+/// `likwid-pin -c <list> [-t <model>] [-s <mask>] [-n <threads>]`.
+///
+/// The simulated front end reports the placement the wrapper library will
+/// enforce for the given number of application threads instead of exec'ing
+/// a target binary.
+pub fn run_pin(args: &[String]) -> Result<String> {
+    if has_flag(args, "-h") || has_flag(args, "--help") {
+        return Ok(
+            "likwid-pin -c <list> [-t intel|gnu|posix|intel-mpi] [-s <mask>] [-n <threads>] [--machine <preset>]\n"
+                .into(),
+        );
+    }
+    let machine = SimMachine::new(parse_machine(args)?);
+    let expression = flag_value(args, "-c")
+        .ok_or_else(|| LikwidError::Usage("likwid-pin requires -c <list>".into()))?;
+    let mut config = PinConfig::new(expression);
+    if let Some(model) = flag_value(args, "-t") {
+        config = config.with_model(
+            ThreadingModel::from_cli_name(model)
+                .ok_or_else(|| LikwidError::Usage(format!("unknown threading model '{model}'")))?,
+        );
+    }
+    if let Some(mask) = flag_value(args, "-s") {
+        config = config.with_skip_mask(
+            SkipMask::parse(mask)
+                .ok_or_else(|| LikwidError::Usage(format!("bad skip mask '{mask}'")))?,
+        );
+    }
+    let threads: usize = flag_value(args, "-n")
+        .map(|v| v.parse().map_err(|_| LikwidError::Usage(format!("bad thread count '{v}'"))))
+        .transpose()?
+        .unwrap_or_else(|| {
+            parse_pin_list_len(&machine, expression)
+        });
+
+    let tool = PinTool::new(&machine, config)?;
+    let env = tool.environment();
+    let mut out = String::new();
+    out.push_str(&format!("Pin list: {}\n", env.likwid_pin));
+    out.push_str(&format!("Skip mask: {}\n", env.likwid_skip));
+    out.push_str(&format!("KMP_AFFINITY={}\n", env.kmp_affinity));
+    out.push_str(&format!("LD_PRELOAD={}\n", env.ld_preload));
+    out.push_str(&format!("Placement for {threads} application threads:\n"));
+    for (i, cpu) in tool.worker_placement(threads).iter().enumerate() {
+        match cpu {
+            Some(c) => out.push_str(&format!("  thread {i} -> hardware thread {c}\n")),
+            None => out.push_str(&format!("  thread {i} -> UNPINNED (pin list exhausted)\n")),
+        }
+    }
+    Ok(out)
+}
+
+fn parse_pin_list_len(machine: &SimMachine, expression: &str) -> usize {
+    likwid_affinity::parse_pin_list(expression, machine.topology())
+        .map(|l| l.len())
+        .unwrap_or(1)
+}
+
+/// `likwid-perfctr -c <cpus> -g <group> [-a] [--machine <preset>]`.
+///
+/// Wrapper mode against a real target process is replaced by reporting the
+/// measurement configuration (group resolution, counter assignment, socket
+/// locks); the full measurement pipeline is exercised by the workload and
+/// benchmark crates, which drive the counting engine.
+pub fn run_perfctr(args: &[String]) -> Result<String> {
+    if has_flag(args, "-h") || has_flag(args, "--help") {
+        return Ok(
+            "likwid-perfctr -c <cpus> -g <group|EVENT:CTR,…> [-a] [--machine <preset>]\n".into(),
+        );
+    }
+    let machine = SimMachine::new(parse_machine(args)?);
+
+    if has_flag(args, "-a") {
+        let mut out = String::from("Available event groups:\n");
+        for g in supported_groups(machine.arch()) {
+            out.push_str(&format!("{:10} {}\n", g.name(), g.description()));
+        }
+        return Ok(out);
+    }
+
+    let cpus_expr = flag_value(args, "-c")
+        .ok_or_else(|| LikwidError::Usage("likwid-perfctr requires -c <cpus>".into()))?;
+    let cpus = likwid_affinity::parse_pin_list(cpus_expr, machine.topology())?;
+    let group_arg = flag_value(args, "-g")
+        .ok_or_else(|| LikwidError::Usage("likwid-perfctr requires -g <group>".into()))?;
+
+    let table = likwid_perf_events::tables::for_arch(machine.arch());
+    let spec = if let Some(kind) = EventGroupKind::parse(group_arg) {
+        crate::perfctr::MeasurementSpec::Group(kind)
+    } else if group_arg.contains(':') {
+        crate::perfctr::MeasurementSpec::Custom(crate::perfctr::parse_event_spec(group_arg, &table)?)
+    } else {
+        return Err(LikwidError::UnknownGroup(group_arg.to_string()));
+    };
+
+    let session = crate::perfctr::PerfCtr::new(
+        &machine,
+        crate::perfctr::PerfCtrConfig { cpus: cpus.clone(), spec },
+    )?;
+    let mut out = String::new();
+    out.push_str(&format!("CPU type: {}\n", machine.arch().display_name()));
+    out.push_str(&format!("CPU clock: {}\n", machine.clock().display()));
+    out.push_str(&format!("Measuring group {group_arg}\n"));
+    out.push_str(&format!("Measured hardware threads: {cpus:?}\n"));
+    for &cpu in session.cpus() {
+        if session.owns_socket_lock(cpu) {
+            out.push_str(&format!("Socket lock owner: hardware thread {cpu}\n"));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn topology_cli_produces_the_listing() {
+        let out = run_topology(&args(&["--machine", "westmere-ep-2s", "-c"])).unwrap();
+        assert!(out.contains("Sockets: 2"));
+        assert!(out.contains("Shared among 12 threads"));
+        let with_art = run_topology(&args(&["-g"])).unwrap();
+        assert!(with_art.contains("Socket 0:"));
+        assert!(with_art.contains("12MB"));
+    }
+
+    #[test]
+    fn topology_cli_rejects_unknown_machines() {
+        assert!(run_topology(&args(&["--machine", "sparc"])).is_err());
+        assert!(run_topology(&args(&["--machine"])).is_err());
+    }
+
+    #[test]
+    fn features_cli_toggles_prefetchers() {
+        let out = run_features(&args(&["--machine", "core2-duo", "-u", "CL_PREFETCHER"])).unwrap();
+        assert!(out.contains("CL_PREFETCHER: disabled"));
+        assert!(out.contains("Adjacent Cache Line Prefetch: disabled"));
+        assert!(run_features(&args(&["--machine", "core2-duo", "-u", "BOGUS"])).is_err());
+    }
+
+    #[test]
+    fn pin_cli_reports_the_placement() {
+        let out = run_pin(&args(&[
+            "--machine",
+            "westmere-ep-2s",
+            "-c",
+            "0-3",
+            "-t",
+            "intel",
+            "-n",
+            "4",
+        ]))
+        .unwrap();
+        assert!(out.contains("Skip mask: 0x1"));
+        assert!(out.contains("thread 3 -> hardware thread 3"));
+        assert!(out.contains("KMP_AFFINITY=disabled"));
+        assert!(run_pin(&args(&["-t", "intel"])).is_err(), "-c is mandatory");
+    }
+
+    #[test]
+    fn perfctr_cli_lists_groups_and_validates_specs() {
+        let listing = run_perfctr(&args(&["-a", "--machine", "westmere-ep-2s"])).unwrap();
+        assert!(listing.contains("FLOPS_DP"));
+        assert!(listing.contains("Main memory bandwidth"));
+
+        let out = run_perfctr(&args(&[
+            "--machine",
+            "nehalem-ep-2s",
+            "-c",
+            "0-7",
+            "-g",
+            "MEM",
+        ]))
+        .unwrap();
+        assert!(out.contains("Measuring group MEM"));
+        assert!(out.contains("Socket lock owner: hardware thread 0"));
+        assert!(out.contains("Socket lock owner: hardware thread 4"));
+
+        assert!(run_perfctr(&args(&["-c", "0", "-g", "NOT_A_GROUP"])).is_err());
+        let custom = run_perfctr(&args(&[
+            "--machine",
+            "core2-quad",
+            "-c",
+            "1",
+            "-g",
+            "SIMD_COMP_INST_RETIRED_PACKED_DOUBLE:PMC0,SIMD_COMP_INST_RETIRED_SCALAR_DOUBLE:PMC1",
+        ]))
+        .unwrap();
+        assert!(custom.contains("Measured hardware threads: [1]"));
+    }
+
+    #[test]
+    fn help_flags_short_circuit() {
+        assert!(run_topology(&args(&["-h"])).unwrap().contains("likwid-topology"));
+        assert!(run_pin(&args(&["--help"])).unwrap().contains("likwid-pin"));
+        assert!(run_perfctr(&args(&["-h"])).unwrap().contains("likwid-perfctr"));
+        assert!(run_features(&args(&["-h"])).unwrap().contains("likwid-features"));
+    }
+}

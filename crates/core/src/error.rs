@@ -1,0 +1,111 @@
+//! Error type of the tool suite.
+
+use likwid_x86_machine::MachineError;
+
+/// Errors surfaced by the LIKWID tools.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LikwidError {
+    /// A machine interface (cpuid / MSR) failed.
+    Machine(MachineError),
+    /// Counter programming failed.
+    PerfMon(String),
+    /// An unknown event name was given on the command line.
+    UnknownEvent(String),
+    /// An unknown event group was requested.
+    UnknownGroup(String),
+    /// An unknown counter name was used in an event specification.
+    UnknownCounter(String),
+    /// The requested event group is not available on this architecture.
+    GroupUnsupported {
+        /// Group name.
+        group: String,
+        /// Architecture display name.
+        arch: String,
+    },
+    /// More events requested than counters available (and multiplexing off).
+    NotEnoughCounters {
+        /// Events requested.
+        requested: usize,
+        /// Counters available.
+        available: usize,
+    },
+    /// A pin expression could not be parsed or applied.
+    Pin(String),
+    /// Marker API misuse (nesting, stopping a region that was not started, …).
+    Marker(String),
+    /// A derived-metric formula failed to parse or evaluate.
+    Formula(String),
+    /// Command-line usage error.
+    Usage(String),
+    /// The feature is not available on this CPU (e.g. prefetcher control on AMD).
+    Unsupported(String),
+}
+
+impl std::fmt::Display for LikwidError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LikwidError::Machine(e) => write!(f, "machine access failed: {e}"),
+            LikwidError::PerfMon(e) => write!(f, "counter programming failed: {e}"),
+            LikwidError::UnknownEvent(e) => write!(f, "unknown event '{e}'"),
+            LikwidError::UnknownGroup(g) => write!(f, "unknown event group '{g}'"),
+            LikwidError::UnknownCounter(c) => write!(f, "unknown counter '{c}'"),
+            LikwidError::GroupUnsupported { group, arch } => {
+                write!(f, "event group '{group}' is not supported on {arch}")
+            }
+            LikwidError::NotEnoughCounters { requested, available } => write!(
+                f,
+                "{requested} events requested but only {available} counters available (use multiplexing)"
+            ),
+            LikwidError::Pin(e) => write!(f, "pinning failed: {e}"),
+            LikwidError::Marker(e) => write!(f, "marker API misuse: {e}"),
+            LikwidError::Formula(e) => write!(f, "metric formula error: {e}"),
+            LikwidError::Usage(e) => write!(f, "usage error: {e}"),
+            LikwidError::Unsupported(e) => write!(f, "not supported: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LikwidError {}
+
+impl From<MachineError> for LikwidError {
+    fn from(e: MachineError) -> Self {
+        LikwidError::Machine(e)
+    }
+}
+
+impl From<likwid_perf_events::PerfMonError> for LikwidError {
+    fn from(e: likwid_perf_events::PerfMonError) -> Self {
+        LikwidError::PerfMon(e.to_string())
+    }
+}
+
+impl From<likwid_affinity::PinListError> for LikwidError {
+    fn from(e: likwid_affinity::PinListError) -> Self {
+        LikwidError::Pin(e.to_string())
+    }
+}
+
+/// Result alias for the tool suite.
+pub type Result<T> = std::result::Result<T, LikwidError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = LikwidError::NotEnoughCounters { requested: 4, available: 2 };
+        assert!(e.to_string().contains('4'));
+        assert!(e.to_string().contains('2'));
+        let e = LikwidError::GroupUnsupported { group: "MEM".into(), arch: "Core 2".into() };
+        assert!(e.to_string().contains("MEM"));
+        assert!(e.to_string().contains("Core 2"));
+    }
+
+    #[test]
+    fn conversions_from_substrate_errors() {
+        let e: LikwidError =
+            MachineError::NoSuchCpu { cpu: 3, available: 2 }.into();
+        assert!(matches!(e, LikwidError::Machine(_)));
+    }
+}

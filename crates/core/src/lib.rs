@@ -1,0 +1,38 @@
+//! The LIKWID tool suite.
+//!
+//! This crate is the reproduction of the paper's primary contribution: the
+//! four command-line tools and the marker API, implemented on top of the
+//! simulated machine substrate.
+//!
+//! * [`topology`] — `likwid-topology`: probes the hardware thread and cache
+//!   topology of a node by decoding `cpuid`, and renders it as text and
+//!   ASCII art.
+//! * [`perfctr`] — `likwid-perfCtr`: programs hardware performance counters
+//!   through MSRs, offers preconfigured event groups with derived metrics,
+//!   wrapper/marker/multiplexing measurement modes and socket locks for
+//!   uncore events.
+//! * [`marker`] — the user-code marker API (`likwid_markerInit`,
+//!   `likwid_markerStartRegion`, …) for restricting measurements to named
+//!   code regions with automatic accumulation.
+//! * [`pin`] — `likwid-pin`: thread-core affinity "from the outside" via the
+//!   `pthread_create` interception model of the `likwid-affinity` crate.
+//! * [`features`] — `likwid-features`: reporting and toggling of hardware
+//!   prefetchers and other switchable processor features.
+//! * [`output`] — the ASCII table/box rendering shared by the tools.
+//! * [`cli`] — command-line argument parsing for the four tool binaries.
+
+pub mod cli;
+pub mod error;
+pub mod features;
+pub mod marker;
+pub mod output;
+pub mod perfctr;
+pub mod pin;
+pub mod topology;
+
+pub use error::{LikwidError, Result};
+pub use features::FeaturesTool;
+pub use marker::MarkerApi;
+pub use perfctr::{EventGroupKind, PerfCtr, PerfCtrConfig, PerfCtrResults};
+pub use pin::{PinConfig, PinTool};
+pub use topology::CpuTopology;

@@ -1,0 +1,370 @@
+//! The marker API: restricting measurements to named code regions.
+//!
+//! The paper's listing (Section II-A) shows the C API:
+//!
+//! ```c
+//! likwid_markerInit(numberOfThreads, numberOfRegions);
+//! int MainId = likwid_markerRegisterRegion("Main");
+//! likwid_markerStartRegion(0, coreID);
+//! /* measured code */
+//! likwid_markerStopRegion(0, coreID, MainId);
+//! likwid_markerClose();
+//! ```
+//!
+//! Event counts are accumulated automatically over all executions of a
+//! region with the same name; nesting or partial overlap of regions is not
+//! allowed. This module reproduces those semantics on top of the
+//! [`PerfCtr`] session: starting a region snapshots the counters of the
+//! calling thread's core, stopping it attributes the difference to the
+//! named region.
+
+use std::collections::HashMap;
+
+use crate::error::{LikwidError, Result};
+use crate::perfctr::session::{GroupCounts, PerfCtr};
+use crate::perfctr::PerfCtrResults;
+
+/// Identifier returned by [`MarkerApi::register_region`].
+pub type RegionId = usize;
+
+/// Per-region accumulated counts.
+#[derive(Debug, Clone)]
+struct RegionData {
+    name: String,
+    /// Accumulated counts in the shape of the active group's `GroupCounts`.
+    counts: GroupCounts,
+    /// Number of start/stop pairs folded into `counts` (per measured cpu).
+    call_counts: Vec<u64>,
+}
+
+/// The marker API state of one instrumented process.
+pub struct MarkerApi {
+    num_threads: usize,
+    regions: Vec<RegionData>,
+    /// Open region snapshot per application thread: (cpu, counter snapshot).
+    open: HashMap<usize, (usize, GroupCounts)>,
+    closed: bool,
+}
+
+impl MarkerApi {
+    /// `likwid_markerInit(numberOfThreads, numberOfRegions)`.
+    ///
+    /// `number_of_regions` is a capacity hint in the original API; regions
+    /// are registered explicitly afterwards.
+    pub fn init(number_of_threads: usize, number_of_regions: usize) -> Self {
+        MarkerApi {
+            num_threads: number_of_threads,
+            regions: Vec::with_capacity(number_of_regions),
+            open: HashMap::new(),
+            closed: false,
+        }
+    }
+
+    /// `likwid_markerRegisterRegion(name)`: returns the region handle.
+    /// Registering the same name twice returns the existing handle, which is
+    /// what gives automatic accumulation across calls.
+    pub fn register_region(&mut self, name: &str) -> RegionId {
+        if let Some(id) = self.regions.iter().position(|r| r.name == name) {
+            return id;
+        }
+        self.regions.push(RegionData {
+            name: name.to_string(),
+            counts: Vec::new(),
+            call_counts: Vec::new(),
+        });
+        self.regions.len() - 1
+    }
+
+    /// Number of registered regions.
+    pub fn num_regions(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// The name of a region.
+    pub fn region_name(&self, id: RegionId) -> Option<&str> {
+        self.regions.get(id).map(|r| r.name.as_str())
+    }
+
+    /// `likwid_markerStartRegion(threadId, coreId)`: snapshot the counters.
+    ///
+    /// Nesting is not allowed: starting a second region on a thread that
+    /// already has one open is an error.
+    pub fn start_region(&mut self, thread_id: usize, core_id: usize, session: &PerfCtr<'_>) -> Result<()> {
+        if self.closed {
+            return Err(LikwidError::Marker("markerClose was already called".into()));
+        }
+        if thread_id >= self.num_threads {
+            return Err(LikwidError::Marker(format!(
+                "thread id {thread_id} out of range (markerInit said {})",
+                self.num_threads
+            )));
+        }
+        if self.open.contains_key(&thread_id) {
+            return Err(LikwidError::Marker(format!(
+                "thread {thread_id} already has an open region (nesting is not allowed)"
+            )));
+        }
+        let snapshot = session.read_counts()?;
+        self.open.insert(thread_id, (core_id, snapshot));
+        Ok(())
+    }
+
+    /// `likwid_markerStopRegion(threadId, coreId, regionId)`: accumulate the
+    /// difference since the matching start into the region.
+    pub fn stop_region(
+        &mut self,
+        thread_id: usize,
+        core_id: usize,
+        region: RegionId,
+        session: &PerfCtr<'_>,
+    ) -> Result<()> {
+        if self.closed {
+            return Err(LikwidError::Marker("markerClose was already called".into()));
+        }
+        let (start_core, start_counts) = self.open.remove(&thread_id).ok_or_else(|| {
+            LikwidError::Marker(format!("thread {thread_id} has no open region"))
+        })?;
+        if start_core != core_id {
+            return Err(LikwidError::Marker(format!(
+                "region started on core {start_core} but stopped on core {core_id}"
+            )));
+        }
+        let region_data = self
+            .regions
+            .get_mut(region)
+            .ok_or_else(|| LikwidError::Marker(format!("unknown region id {region}")))?;
+
+        let now = session.read_counts()?;
+        // Initialise the accumulator lazily with the group shape.
+        if region_data.counts.is_empty() {
+            region_data.counts = vec![vec![0; session.cpus().len()]; now.len()];
+            region_data.call_counts = vec![0; session.cpus().len()];
+        }
+        // Only the counters of the calling thread's core are attributed: the
+        // other measured cpus' activity belongs to their own threads' calls.
+        let Some(cpu_pos) = session.cpus().iter().position(|&c| c == core_id) else {
+            return Err(LikwidError::Marker(format!(
+                "core {core_id} is not part of the measurement set"
+            )));
+        };
+        for (ei, per_cpu) in now.iter().enumerate() {
+            let delta = per_cpu[cpu_pos].saturating_sub(start_counts[ei][cpu_pos]);
+            region_data.counts[ei][cpu_pos] += delta;
+        }
+        region_data.call_counts[cpu_pos] += 1;
+        Ok(())
+    }
+
+    /// `likwid_markerClose()`: no further regions may be started or stopped.
+    pub fn close(&mut self) -> Result<()> {
+        if !self.open.is_empty() {
+            return Err(LikwidError::Marker(format!(
+                "{} region(s) still open at markerClose",
+                self.open.len()
+            )));
+        }
+        self.closed = true;
+        Ok(())
+    }
+
+    /// Accumulated raw counts of a region.
+    pub fn region_counts(&self, id: RegionId) -> Option<&GroupCounts> {
+        self.regions.get(id).map(|r| &r.counts).filter(|c| !c.is_empty())
+    }
+
+    /// How many start/stop pairs were accumulated for a region on one
+    /// measured cpu position.
+    pub fn region_call_count(&self, id: RegionId, cpu_position: usize) -> u64 {
+        self.regions
+            .get(id)
+            .and_then(|r| r.call_counts.get(cpu_position))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Results (events + derived metrics) of a region, computed with the
+    /// session's active group definition.
+    pub fn region_results(&self, id: RegionId, session: &PerfCtr<'_>) -> Result<PerfCtrResults> {
+        let region = self
+            .regions
+            .get(id)
+            .ok_or_else(|| LikwidError::Marker(format!("unknown region id {id}")))?;
+        if region.counts.is_empty() {
+            return Err(LikwidError::Marker(format!(
+                "region '{}' was never measured",
+                region.name
+            )));
+        }
+        session.results(&region.counts)
+    }
+
+    /// Render all regions in the style of the paper's marker-mode listing
+    /// ("Region: Init", tables, "Region: Benchmark", tables).
+    pub fn render(&self, session: &PerfCtr<'_>) -> Result<String> {
+        let mut out = String::new();
+        for (id, region) in self.regions.iter().enumerate() {
+            if region.counts.is_empty() {
+                continue;
+            }
+            out.push_str(&format!("Region: {}\n", region.name));
+            out.push_str(&self.region_results(id, session)?.render());
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perfctr::{EventGroupKind, MeasurementSpec, PerfCtrConfig};
+    use likwid_perf_events::{EventEngine, EventSample, HwEventKind};
+    use likwid_x86_machine::{MachinePreset, SimMachine};
+
+    fn run_activity(machine: &SimMachine, cpu: usize, packed: u64, cycles: u64) {
+        let engine = EventEngine::new(machine);
+        let mut sample =
+            EventSample::new(machine.num_hw_threads(), machine.topology().sockets as usize);
+        sample.threads[cpu].add(HwEventKind::SimdPackedDouble, packed);
+        sample.threads[cpu].add(HwEventKind::SimdScalarDouble, 1);
+        sample.threads[cpu].add(HwEventKind::CoreCycles, cycles);
+        sample.threads[cpu].add(HwEventKind::InstructionsRetired, cycles / 2);
+        engine.apply(machine, &sample);
+    }
+
+    fn session(machine: &SimMachine) -> PerfCtr<'_> {
+        let config = PerfCtrConfig {
+            cpus: vec![0, 1, 2, 3],
+            spec: MeasurementSpec::Group(EventGroupKind::FLOPS_DP),
+        };
+        let mut s = PerfCtr::new(machine, config).unwrap();
+        s.start().unwrap();
+        s
+    }
+
+    #[test]
+    fn regions_accumulate_over_multiple_calls() {
+        let machine = SimMachine::new(MachinePreset::Core2Quad);
+        let s = session(&machine);
+        let mut marker = MarkerApi::init(1, 2);
+        let accum = marker.register_region("Accum");
+
+        // Two passes through the region on core 0, like the paper's loop.
+        for _ in 0..2 {
+            marker.start_region(0, 0, &s).unwrap();
+            run_activity(&machine, 0, 1000, 5000);
+            marker.stop_region(0, 0, accum, &s).unwrap();
+        }
+        // Activity outside any region must not be attributed.
+        run_activity(&machine, 0, 999_999, 10_000);
+        marker.close().unwrap();
+
+        let results = marker.region_results(accum, &s).unwrap();
+        assert_eq!(results.event_count("SIMD_COMP_INST_RETIRED_PACKED_DOUBLE", 0), Some(2000));
+        assert_eq!(marker.region_call_count(accum, 0), 2);
+    }
+
+    #[test]
+    fn registering_the_same_name_returns_the_same_region() {
+        let mut marker = MarkerApi::init(1, 4);
+        let a = marker.register_region("Main");
+        let b = marker.register_region("Main");
+        assert_eq!(a, b);
+        assert_eq!(marker.num_regions(), 1);
+        assert_eq!(marker.region_name(a), Some("Main"));
+    }
+
+    #[test]
+    fn two_regions_are_kept_separate() {
+        let machine = SimMachine::new(MachinePreset::Core2Quad);
+        let s = session(&machine);
+        let mut marker = MarkerApi::init(1, 2);
+        let init = marker.register_region("Init");
+        let bench = marker.register_region("Benchmark");
+
+        marker.start_region(0, 0, &s).unwrap();
+        run_activity(&machine, 0, 0, 300_000);
+        marker.stop_region(0, 0, init, &s).unwrap();
+
+        marker.start_region(0, 0, &s).unwrap();
+        run_activity(&machine, 0, 8_192_000, 28_000_000);
+        marker.stop_region(0, 0, bench, &s).unwrap();
+
+        let init_results = marker.region_results(init, &s).unwrap();
+        let bench_results = marker.region_results(bench, &s).unwrap();
+        assert_eq!(init_results.event_count("SIMD_COMP_INST_RETIRED_PACKED_DOUBLE", 0), Some(0));
+        assert_eq!(
+            bench_results.event_count("SIMD_COMP_INST_RETIRED_PACKED_DOUBLE", 0),
+            Some(8_192_000)
+        );
+        let rendered = marker.render(&s).unwrap();
+        assert!(rendered.contains("Region: Init"));
+        assert!(rendered.contains("Region: Benchmark"));
+    }
+
+    #[test]
+    fn per_thread_attribution_only_counts_the_calling_core() {
+        let machine = SimMachine::new(MachinePreset::Core2Quad);
+        let s = session(&machine);
+        let mut marker = MarkerApi::init(4, 1);
+        let region = marker.register_region("Main");
+
+        // Thread 0 on core 0 and thread 1 on core 1 both measure the region;
+        // core 1 does 3x the work of core 0.
+        marker.start_region(0, 0, &s).unwrap();
+        marker.start_region(1, 1, &s).unwrap();
+        run_activity(&machine, 0, 100, 1000);
+        run_activity(&machine, 1, 300, 1000);
+        marker.stop_region(0, 0, region, &s).unwrap();
+        marker.stop_region(1, 1, region, &s).unwrap();
+
+        let results = marker.region_results(region, &s).unwrap();
+        assert_eq!(results.event_count("SIMD_COMP_INST_RETIRED_PACKED_DOUBLE", 0), Some(100));
+        assert_eq!(results.event_count("SIMD_COMP_INST_RETIRED_PACKED_DOUBLE", 1), Some(300));
+    }
+
+    #[test]
+    fn nesting_is_rejected() {
+        let machine = SimMachine::new(MachinePreset::Core2Quad);
+        let s = session(&machine);
+        let mut marker = MarkerApi::init(1, 2);
+        marker.register_region("Outer");
+        marker.start_region(0, 0, &s).unwrap();
+        assert!(matches!(
+            marker.start_region(0, 0, &s),
+            Err(LikwidError::Marker(_))
+        ));
+    }
+
+    #[test]
+    fn misuse_is_reported() {
+        let machine = SimMachine::new(MachinePreset::Core2Quad);
+        let s = session(&machine);
+        let mut marker = MarkerApi::init(2, 1);
+        let region = marker.register_region("Main");
+
+        // Stop without start.
+        assert!(marker.stop_region(0, 0, region, &s).is_err());
+        // Thread id out of range.
+        assert!(marker.start_region(5, 0, &s).is_err());
+        // Core mismatch between start and stop.
+        marker.start_region(0, 0, &s).unwrap();
+        assert!(marker.stop_region(0, 2, region, &s).is_err());
+        // Close with an open region.
+        marker.start_region(1, 1, &s).unwrap();
+        assert!(marker.close().is_err());
+        marker.stop_region(1, 1, region, &s).unwrap();
+        marker.close().unwrap();
+        // After close, nothing works.
+        assert!(marker.start_region(0, 0, &s).is_err());
+    }
+
+    #[test]
+    fn unmeasured_region_has_no_results() {
+        let machine = SimMachine::new(MachinePreset::Core2Quad);
+        let s = session(&machine);
+        let mut marker = MarkerApi::init(1, 1);
+        let region = marker.register_region("Never");
+        assert!(marker.region_results(region, &s).is_err());
+        assert!(marker.region_counts(region).is_none());
+    }
+}

@@ -1,0 +1,340 @@
+//! Derived-metric formula evaluator.
+//!
+//! LIKWID's preconfigured event groups define their derived metrics as
+//! arithmetic formulas over counter names (`1.0E-06*(PMC0*2.0+PMC1)/time`).
+//! This module implements the small expression language those formulas use:
+//! numbers (including scientific notation), identifiers bound to counter
+//! values or to the helper variables `time` and `inverseClock`, the four
+//! arithmetic operators and parentheses.
+
+use std::collections::HashMap;
+
+use crate::error::{LikwidError, Result};
+
+/// A parsed formula, ready to evaluate against different variable bindings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Formula {
+    source: String,
+    expr: Expr,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Expr {
+    Number(f64),
+    Variable(String),
+    Binary { op: Op, lhs: Box<Expr>, rhs: Box<Expr> },
+    Negate(Box<Expr>),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Number(f64),
+    Ident(String),
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    LParen,
+    RParen,
+}
+
+fn tokenize(src: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' => i += 1,
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token::Minus);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            c if c.is_ascii_digit() || c == '.' => {
+                let start = i;
+                while i < chars.len()
+                    && (chars[i].is_ascii_digit()
+                        || chars[i] == '.'
+                        || chars[i] == 'e'
+                        || chars[i] == 'E'
+                        || ((chars[i] == '+' || chars[i] == '-')
+                            && i > start
+                            && (chars[i - 1] == 'e' || chars[i - 1] == 'E')))
+                {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                let value = text
+                    .parse::<f64>()
+                    .map_err(|_| LikwidError::Formula(format!("bad number '{text}'")))?;
+                tokens.push(Token::Number(value));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(chars[start..i].iter().collect()));
+            }
+            other => {
+                return Err(LikwidError::Formula(format!("unexpected character '{other}'")));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// expression := term (('+' | '-') term)*
+    fn expression(&mut self) -> Result<Expr> {
+        let mut lhs = self.term()?;
+        while let Some(op) = match self.peek() {
+            Some(Token::Plus) => Some(Op::Add),
+            Some(Token::Minus) => Some(Op::Sub),
+            _ => None,
+        } {
+            self.next();
+            let rhs = self.term()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    /// term := factor (('*' | '/') factor)*
+    fn term(&mut self) -> Result<Expr> {
+        let mut lhs = self.factor()?;
+        while let Some(op) = match self.peek() {
+            Some(Token::Star) => Some(Op::Mul),
+            Some(Token::Slash) => Some(Op::Div),
+            _ => None,
+        } {
+            self.next();
+            let rhs = self.factor()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    /// factor := '-' factor | number | ident | '(' expression ')'
+    fn factor(&mut self) -> Result<Expr> {
+        match self.next() {
+            Some(Token::Minus) => Ok(Expr::Negate(Box::new(self.factor()?))),
+            Some(Token::Number(v)) => Ok(Expr::Number(v)),
+            Some(Token::Ident(name)) => Ok(Expr::Variable(name)),
+            Some(Token::LParen) => {
+                let inner = self.expression()?;
+                match self.next() {
+                    Some(Token::RParen) => Ok(inner),
+                    _ => Err(LikwidError::Formula("missing closing parenthesis".into())),
+                }
+            }
+            other => Err(LikwidError::Formula(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+impl Formula {
+    /// Parse a formula.
+    pub fn parse(src: &str) -> Result<Self> {
+        let tokens = tokenize(src)?;
+        if tokens.is_empty() {
+            return Err(LikwidError::Formula("empty formula".into()));
+        }
+        let mut parser = Parser { tokens, pos: 0 };
+        let expr = parser.expression()?;
+        if parser.pos != parser.tokens.len() {
+            return Err(LikwidError::Formula(format!(
+                "trailing input after position {} in '{src}'",
+                parser.pos
+            )));
+        }
+        Ok(Formula { source: src.to_string(), expr })
+    }
+
+    /// The original source text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// Variables referenced by the formula.
+    pub fn variables(&self) -> Vec<String> {
+        fn collect(expr: &Expr, out: &mut Vec<String>) {
+            match expr {
+                Expr::Variable(name) => {
+                    if !out.contains(name) {
+                        out.push(name.clone());
+                    }
+                }
+                Expr::Binary { lhs, rhs, .. } => {
+                    collect(lhs, out);
+                    collect(rhs, out);
+                }
+                Expr::Negate(inner) => collect(inner, out),
+                Expr::Number(_) => {}
+            }
+        }
+        let mut out = Vec::new();
+        collect(&self.expr, &mut out);
+        out
+    }
+
+    /// Evaluate against variable bindings. Unknown variables are an error;
+    /// division by zero yields 0 (matching the real tool's behaviour of
+    /// printing 0 for metrics whose events did not fire).
+    pub fn evaluate(&self, vars: &HashMap<String, f64>) -> Result<f64> {
+        fn eval(expr: &Expr, vars: &HashMap<String, f64>) -> Result<f64> {
+            Ok(match expr {
+                Expr::Number(v) => *v,
+                Expr::Variable(name) => *vars
+                    .get(name)
+                    .ok_or_else(|| LikwidError::Formula(format!("unbound variable '{name}'")))?,
+                Expr::Negate(inner) => -eval(inner, vars)?,
+                Expr::Binary { op, lhs, rhs } => {
+                    let l = eval(lhs, vars)?;
+                    let r = eval(rhs, vars)?;
+                    match op {
+                        Op::Add => l + r,
+                        Op::Sub => l - r,
+                        Op::Mul => l * r,
+                        Op::Div => {
+                            if r == 0.0 {
+                                0.0
+                            } else {
+                                l / r
+                            }
+                        }
+                    }
+                }
+            })
+        }
+        eval(&self.expr, vars)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vars(pairs: &[(&str, f64)]) -> HashMap<String, f64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let f = Formula::parse("1+2*3").unwrap();
+        assert_eq!(f.evaluate(&vars(&[])).unwrap(), 7.0);
+        let f = Formula::parse("(1+2)*3").unwrap();
+        assert_eq!(f.evaluate(&vars(&[])).unwrap(), 9.0);
+        let f = Formula::parse("10-2-3").unwrap();
+        assert_eq!(f.evaluate(&vars(&[])).unwrap(), 5.0, "subtraction is left associative");
+        let f = Formula::parse("8/2/2").unwrap();
+        assert_eq!(f.evaluate(&vars(&[])).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn scientific_notation_and_unary_minus() {
+        let f = Formula::parse("1.0E-06*2000000").unwrap();
+        assert!((f.evaluate(&vars(&[])).unwrap() - 2.0).abs() < 1e-12);
+        let f = Formula::parse("-3+5").unwrap();
+        assert_eq!(f.evaluate(&vars(&[])).unwrap(), 2.0);
+        let f = Formula::parse("2*-3").unwrap();
+        assert_eq!(f.evaluate(&vars(&[])).unwrap(), -6.0);
+    }
+
+    #[test]
+    fn the_flops_dp_formula_from_likwid_groups() {
+        // MFlops/s = 1.0E-06*(PMC0*2.0+PMC1)/time
+        let f = Formula::parse("1.0E-06*(PMC0*2.0+PMC1*1.0)/time").unwrap();
+        let v = vars(&[("PMC0", 8.192e6), ("PMC1", 1.0), ("time", 0.01)]);
+        let mflops = f.evaluate(&v).unwrap();
+        assert!((mflops - 1638.4).abs() < 0.1, "got {mflops}");
+    }
+
+    #[test]
+    fn cpi_formula() {
+        let f = Formula::parse("FIXC1/FIXC0").unwrap();
+        let v = vars(&[("FIXC0", 18_802_400.0), ("FIXC1", 28_583_800.0)]);
+        assert!((f.evaluate(&v).unwrap() - 1.5202).abs() < 0.001);
+    }
+
+    #[test]
+    fn variables_are_reported() {
+        let f = Formula::parse("1.0E-06*(UPMC0+UPMC1)*64.0/time").unwrap();
+        let mut vs = f.variables();
+        vs.sort();
+        assert_eq!(vs, vec!["UPMC0", "UPMC1", "time"]);
+    }
+
+    #[test]
+    fn unbound_variable_is_an_error() {
+        let f = Formula::parse("PMC0/time").unwrap();
+        assert!(f.evaluate(&vars(&[("PMC0", 1.0)])).is_err());
+    }
+
+    #[test]
+    fn division_by_zero_yields_zero() {
+        let f = Formula::parse("PMC0/PMC1").unwrap();
+        let v = vars(&[("PMC0", 5.0), ("PMC1", 0.0)]);
+        assert_eq!(f.evaluate(&v).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(Formula::parse("").is_err());
+        assert!(Formula::parse("1+").is_err());
+        assert!(Formula::parse("(1+2").is_err());
+        assert!(Formula::parse("1 ? 2").is_err());
+        assert!(Formula::parse("1 2").is_err());
+    }
+
+    #[test]
+    fn source_is_preserved() {
+        let src = "FIXC1*inverseClock";
+        assert_eq!(Formula::parse(src).unwrap().source(), src);
+    }
+}

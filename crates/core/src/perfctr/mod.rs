@@ -1,0 +1,23 @@
+//! `likwid-perfCtr`: hardware performance counter measurement.
+//!
+//! The tool has three measurement modes, all reproduced here:
+//!
+//! * **wrapper mode** — program the counters, start them, run the
+//!   application, stop, read and report;
+//! * **marker mode** — the application uses the marker API
+//!   ([`crate::marker`]) to restrict measurement to named code regions;
+//! * **multiplexing mode** — more event groups than counters are measured
+//!   round-robin and extrapolated.
+//!
+//! Submodules: [`formula`] implements the derived-metric expression
+//! language, [`groups`] the preconfigured event groups of the paper's
+//! table, and [`session`] the counter-programming session (including
+//! socket locks for uncore events) and result rendering.
+
+pub mod formula;
+pub mod groups;
+pub mod session;
+
+pub use formula::Formula;
+pub use groups::{group_definition, supported_groups, EventGroupKind, GroupDefinition};
+pub use session::{parse_event_spec, MeasurementSpec, PerfCtr, PerfCtrConfig, PerfCtrResults};

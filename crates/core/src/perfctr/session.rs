@@ -1,0 +1,675 @@
+//! The counter-programming session: from event specification to rendered
+//! result tables.
+
+use std::collections::HashMap;
+
+use likwid_perf_events::{CounterSlot, EventDefinition, EventTable, MultiplexSchedule, PerfMon};
+use likwid_x86_machine::SimMachine;
+
+use crate::error::{LikwidError, Result};
+use crate::output::{self, Table};
+use crate::perfctr::formula::Formula;
+use crate::perfctr::groups::{group_definition, EventGroupKind, GroupDefinition};
+
+/// What to measure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MeasurementSpec {
+    /// One preconfigured group (`-g FLOPS_DP`).
+    Group(EventGroupKind),
+    /// Several groups measured via multiplexing (`-g FLOPS_DP,MEM` with
+    /// round-robin switching).
+    Groups(Vec<EventGroupKind>),
+    /// Explicit event list (`-g EVENT:PMC0,EVENT2:PMC1`).
+    Custom(Vec<(String, CounterSlot)>),
+}
+
+/// Configuration of a measurement session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfCtrConfig {
+    /// The hardware threads to measure (`-c 0-3`).
+    pub cpus: Vec<usize>,
+    /// What to measure.
+    pub spec: MeasurementSpec,
+}
+
+/// Parse a `-g` custom event specification
+/// (`SIMD_COMP_INST_RETIRED_PACKED_DOUBLE:PMC0,...:PMC1`).
+pub fn parse_event_spec(spec: &str, table: &EventTable) -> Result<Vec<(String, CounterSlot)>> {
+    let mut out = Vec::new();
+    for part in spec.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (event, counter) = part
+            .split_once(':')
+            .ok_or_else(|| LikwidError::Usage(format!("event spec '{part}' must be EVENT:COUNTER")))?;
+        let slot = CounterSlot::parse(counter)
+            .ok_or_else(|| LikwidError::UnknownCounter(counter.to_string()))?;
+        let def = table
+            .find(event)
+            .ok_or_else(|| LikwidError::UnknownEvent(event.to_string()))?;
+        if !table.allowed_slots(def).contains(&slot) {
+            return Err(LikwidError::Usage(format!(
+                "event {event} cannot be counted on {counter}"
+            )));
+        }
+        out.push((event.to_string(), slot));
+    }
+    if out.is_empty() {
+        return Err(LikwidError::Usage("empty event specification".into()));
+    }
+    Ok(out)
+}
+
+/// One event group resolved against the architecture's event table.
+#[derive(Debug, Clone)]
+struct ResolvedGroup {
+    name: String,
+    events: Vec<(String, CounterSlot, EventDefinition)>,
+    time_formula: String,
+    metrics: Vec<(String, String)>,
+}
+
+impl ResolvedGroup {
+    fn from_definition(def: &GroupDefinition, table: &EventTable) -> Result<Self> {
+        let events = def
+            .events
+            .iter()
+            .map(|(name, slot)| {
+                table
+                    .find(name)
+                    .cloned()
+                    .map(|d| (name.to_string(), *slot, d))
+                    .ok_or_else(|| LikwidError::UnknownEvent(name.to_string()))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(ResolvedGroup {
+            name: def.kind.name().to_string(),
+            events,
+            time_formula: def.time_formula.to_string(),
+            metrics: def
+                .metrics
+                .iter()
+                .map(|(n, f)| (n.to_string(), f.to_string()))
+                .collect(),
+        })
+    }
+
+    fn from_custom(spec: &[(String, CounterSlot)], table: &EventTable) -> Result<Self> {
+        let events = spec
+            .iter()
+            .map(|(name, slot)| {
+                table
+                    .find(name)
+                    .cloned()
+                    .map(|d| (name.clone(), *slot, d))
+                    .ok_or_else(|| LikwidError::UnknownEvent(name.clone()))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(ResolvedGroup {
+            name: "CUSTOM".to_string(),
+            events,
+            time_formula: String::new(),
+            metrics: Vec::new(),
+        })
+    }
+}
+
+/// Raw counts of one group: `counts[event_index][cpu_index]`.
+pub type GroupCounts = Vec<Vec<u64>>;
+
+/// A measurement session over one machine.
+///
+/// The session opens one MSR device per measured hardware thread, resolves
+/// the requested groups against the architecture's event table, applies
+/// socket locks for uncore events (only the first measured hardware thread
+/// of each socket programs and reads the package-level counters), and — in
+/// multiplexing mode — rotates through the groups with round-robin
+/// accounting.
+pub struct PerfCtr<'m> {
+    machine: &'m SimMachine,
+    cpus: Vec<usize>,
+    groups: Vec<ResolvedGroup>,
+    perfmon: PerfMon,
+    /// Socket → owning measured cpu (the "socket lock" of the paper).
+    socket_owner: HashMap<u32, usize>,
+    active_group: usize,
+    schedule: MultiplexSchedule,
+    /// Accumulated raw counts per group (multiplex mode).
+    accumulated: Vec<GroupCounts>,
+    running: bool,
+}
+
+impl<'m> PerfCtr<'m> {
+    /// Create a session.
+    pub fn new(machine: &'m SimMachine, config: PerfCtrConfig) -> Result<Self> {
+        if config.cpus.is_empty() {
+            return Err(LikwidError::Usage("no hardware threads selected (-c)".into()));
+        }
+        let table = likwid_perf_events::tables::for_arch(machine.arch());
+        let groups: Vec<ResolvedGroup> = match &config.spec {
+            MeasurementSpec::Group(kind) => {
+                vec![ResolvedGroup::from_definition(&group_definition(machine.arch(), *kind)?, &table)?]
+            }
+            MeasurementSpec::Groups(kinds) => {
+                if kinds.is_empty() {
+                    return Err(LikwidError::Usage("no groups given".into()));
+                }
+                kinds
+                    .iter()
+                    .map(|k| {
+                        ResolvedGroup::from_definition(&group_definition(machine.arch(), *k)?, &table)
+                    })
+                    .collect::<Result<Vec<_>>>()?
+            }
+            MeasurementSpec::Custom(spec) => vec![ResolvedGroup::from_custom(spec, &table)?],
+        };
+
+        // Validate counter capacity per group.
+        for g in &groups {
+            let pmcs = g
+                .events
+                .iter()
+                .filter(|(_, s, _)| matches!(s, CounterSlot::Pmc(_)))
+                .count();
+            if pmcs > table.num_pmc {
+                return Err(LikwidError::NotEnoughCounters {
+                    requested: pmcs,
+                    available: table.num_pmc,
+                });
+            }
+        }
+
+        // Socket locks: the first measured cpu of each socket owns the uncore.
+        let topo = machine.topology();
+        let mut socket_owner = HashMap::new();
+        for &cpu in &config.cpus {
+            let socket = topo.hw_thread(cpu)?.socket;
+            socket_owner.entry(socket).or_insert(cpu);
+        }
+
+        let perfmon = PerfMon::new(machine, &config.cpus)?;
+        let num_groups = groups.len();
+        let accumulated = groups
+            .iter()
+            .map(|g| vec![vec![0u64; config.cpus.len()]; g.events.len()])
+            .collect();
+
+        let mut session = PerfCtr {
+            machine,
+            cpus: config.cpus,
+            groups,
+            perfmon,
+            socket_owner,
+            active_group: 0,
+            schedule: MultiplexSchedule::new(num_groups),
+            accumulated,
+            running: false,
+        };
+        session.program_group(0)?;
+        Ok(session)
+    }
+
+    /// The measured hardware threads.
+    pub fn cpus(&self) -> &[usize] {
+        &self.cpus
+    }
+
+    /// Number of event groups in this session (more than one only in
+    /// multiplexing mode).
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The index of the currently programmed group.
+    pub fn active_group(&self) -> usize {
+        self.active_group
+    }
+
+    /// Whether a cpu owns its socket's uncore counters in this session.
+    pub fn owns_socket_lock(&self, cpu: usize) -> bool {
+        self.socket_owner.values().any(|&owner| owner == cpu)
+    }
+
+    /// Program all counters of group `index` (does not start them).
+    fn program_group(&mut self, index: usize) -> Result<()> {
+        let group = &self.groups[index];
+        for &cpu in &self.cpus {
+            for (_, slot, def) in &group.events {
+                if slot.is_uncore() && !self.owns_socket_lock(cpu) {
+                    continue;
+                }
+                self.perfmon.setup(cpu, *slot, def)?;
+            }
+        }
+        self.active_group = index;
+        Ok(())
+    }
+
+    /// Start counting on all measured hardware threads.
+    pub fn start(&mut self) -> Result<()> {
+        for &cpu in &self.cpus {
+            self.perfmon.start(cpu)?;
+        }
+        self.running = true;
+        Ok(())
+    }
+
+    /// Stop counting on all measured hardware threads.
+    pub fn stop(&mut self) -> Result<()> {
+        for &cpu in &self.cpus {
+            self.perfmon.stop(cpu)?;
+        }
+        self.running = false;
+        Ok(())
+    }
+
+    /// Read the current raw counts of the active group:
+    /// `counts[event][cpu_position]`. Uncore events are attributed to the
+    /// socket-lock owner; other cpus read 0 for them.
+    pub fn read_counts(&self) -> Result<GroupCounts> {
+        let group = &self.groups[self.active_group];
+        let mut counts = vec![vec![0u64; self.cpus.len()]; group.events.len()];
+        for (ei, (_, slot, _)) in group.events.iter().enumerate() {
+            for (ci, &cpu) in self.cpus.iter().enumerate() {
+                if slot.is_uncore() && !self.owns_socket_lock(cpu) {
+                    continue;
+                }
+                counts[ei][ci] = self.perfmon.read(cpu, *slot)?;
+            }
+        }
+        Ok(counts)
+    }
+
+    /// Multiplexing: accumulate the active group's counts, rotate to the next
+    /// group, reprogram and keep running. Mirrors the round-robin counter
+    /// reassignment of the real tool.
+    pub fn switch_group(&mut self) -> Result<usize> {
+        let was_running = self.running;
+        if was_running {
+            self.stop()?;
+        }
+        let counts = self.read_counts()?;
+        let active = self.active_group;
+        for (ei, per_cpu) in counts.iter().enumerate() {
+            for (ci, &v) in per_cpu.iter().enumerate() {
+                self.accumulated[active][ei][ci] += v;
+            }
+        }
+        self.schedule.tick();
+        let next = (active + 1) % self.groups.len();
+        self.program_group(next)?;
+        if was_running {
+            self.start()?;
+        }
+        Ok(next)
+    }
+
+    /// Finish a multiplexed measurement: stop counting and fold any residual
+    /// counts of the active group into its accumulator. Unlike
+    /// [`PerfCtr::switch_group`] this does not account a schedule interval —
+    /// intervals correspond to the completed measurement slices, which is
+    /// what the extrapolation divides by.
+    pub fn finish(&mut self) -> Result<()> {
+        if self.running {
+            self.stop()?;
+        }
+        let counts = self.read_counts()?;
+        let active = self.active_group;
+        for (ei, per_cpu) in counts.iter().enumerate() {
+            for (ci, &v) in per_cpu.iter().enumerate() {
+                self.accumulated[active][ei][ci] += v;
+            }
+        }
+        Ok(())
+    }
+
+    /// The extrapolated counts of a group after a multiplexed run.
+    pub fn extrapolated_counts(&self, group: usize) -> GroupCounts {
+        self.accumulated[group]
+            .iter()
+            .map(|per_cpu| {
+                per_cpu.iter().map(|&v| self.schedule.extrapolate(group, v)).collect()
+            })
+            .collect()
+    }
+
+    /// Compute results (event table + derived metrics) for the active group
+    /// from raw counts.
+    pub fn results(&self, counts: &GroupCounts) -> Result<PerfCtrResults> {
+        self.results_for_group(self.active_group, counts)
+    }
+
+    /// Compute results for an arbitrary group index (used by the multiplexed
+    /// and marker paths).
+    pub fn results_for_group(&self, group: usize, counts: &GroupCounts) -> Result<PerfCtrResults> {
+        let g = &self.groups[group];
+        let inverse_clock = 1.0 / self.machine.clock().frequency_hz;
+
+        let mut metrics = Vec::new();
+        if !g.metrics.is_empty() {
+            let time_formula = Formula::parse(&g.time_formula)?;
+            let parsed: Vec<(String, Formula)> = g
+                .metrics
+                .iter()
+                .map(|(n, f)| Formula::parse(f).map(|pf| (n.clone(), pf)))
+                .collect::<Result<Vec<_>>>()?;
+            for (name, f) in &parsed {
+                let mut per_cpu = Vec::with_capacity(self.cpus.len());
+                for ci in 0..self.cpus.len() {
+                    let mut vars: HashMap<String, f64> = HashMap::new();
+                    vars.insert("inverseClock".to_string(), inverse_clock);
+                    for (ei, (_, slot, _)) in g.events.iter().enumerate() {
+                        vars.insert(slot.name(), counts[ei][ci] as f64);
+                    }
+                    let time = time_formula.evaluate(&vars)?;
+                    vars.insert("time".to_string(), time);
+                    per_cpu.push(f.evaluate(&vars)?);
+                }
+                metrics.push((name.clone(), per_cpu));
+            }
+        }
+
+        Ok(PerfCtrResults {
+            group_name: g.name.clone(),
+            cpus: self.cpus.clone(),
+            events: g
+                .events
+                .iter()
+                .enumerate()
+                .map(|(ei, (name, slot, _))| (name.clone(), *slot, counts[ei].clone()))
+                .collect(),
+            metrics,
+        })
+    }
+
+    /// Convenience wrapper-mode flow: start, run `body`, stop, and return the
+    /// results of the active group. `body` receives the machine so it can
+    /// drive workload execution.
+    pub fn measure<T>(&mut self, body: impl FnOnce(&SimMachine) -> T) -> Result<(T, PerfCtrResults)> {
+        self.start()?;
+        let value = body(self.machine);
+        self.stop()?;
+        let counts = self.read_counts()?;
+        let results = self.results(&counts)?;
+        Ok((value, results))
+    }
+}
+
+/// Measured event counts and derived metrics, ready for rendering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfCtrResults {
+    /// Group name (e.g. "FLOPS_DP").
+    pub group_name: String,
+    /// Measured hardware threads (column order).
+    pub cpus: Vec<usize>,
+    /// `(event name, counter, per-cpu counts)`.
+    pub events: Vec<(String, CounterSlot, Vec<u64>)>,
+    /// `(metric name, per-cpu values)`.
+    pub metrics: Vec<(String, Vec<f64>)>,
+}
+
+impl PerfCtrResults {
+    /// The count of an event on one measured cpu (by position).
+    pub fn event_count(&self, event: &str, cpu_position: usize) -> Option<u64> {
+        self.events
+            .iter()
+            .find(|(n, _, _)| n == event)
+            .and_then(|(_, _, counts)| counts.get(cpu_position).copied())
+    }
+
+    /// The value of a metric on one measured cpu (by position).
+    pub fn metric(&self, name: &str, cpu_position: usize) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.get(cpu_position).copied())
+    }
+
+    /// Render the two tables of the tool output (events, then metrics), in
+    /// the style of the FLOPS_DP listing of the paper.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut header: Vec<String> = vec!["Event".to_string()];
+        header.extend(self.cpus.iter().map(|c| format!("core {c}")));
+        let mut events_table = Table::new(header);
+        for (name, _, counts) in &self.events {
+            let mut row = vec![name.clone()];
+            row.extend(counts.iter().map(|&c| output::format_count(c)));
+            events_table.add_row(row);
+        }
+        out.push_str(&events_table.render());
+
+        if !self.metrics.is_empty() {
+            let mut header: Vec<String> = vec!["Metric".to_string()];
+            header.extend(self.cpus.iter().map(|c| format!("core {c}")));
+            let mut metrics_table = Table::new(header);
+            for (name, values) in &self.metrics {
+                let mut row = vec![name.clone()];
+                row.extend(values.iter().map(|&v| output::format_value(v)));
+                metrics_table.add_row(row);
+            }
+            out.push_str(&metrics_table.render());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use likwid_perf_events::{EventEngine, EventSample, HwEventKind};
+    use likwid_x86_machine::MachinePreset;
+
+    /// Drive a synthetic "workload" through the counting engine: every
+    /// measured cpu retires the given per-thread counts.
+    fn apply_activity(machine: &SimMachine, activity: &[(usize, HwEventKind, u64)], uncore: &[(usize, HwEventKind, u64)]) {
+        let engine = EventEngine::new(machine);
+        let mut sample =
+            EventSample::new(machine.num_hw_threads(), machine.topology().sockets as usize);
+        for &(cpu, kind, value) in activity {
+            sample.threads[cpu].add(kind, value);
+        }
+        for &(socket, kind, value) in uncore {
+            sample.sockets[socket].add(kind, value);
+        }
+        engine.apply(machine, &sample);
+    }
+
+    #[test]
+    fn flops_dp_wrapper_mode_reproduces_the_paper_listing_shape() {
+        // The paper's Core 2 Quad FLOPS_DP marker listing: 8.192e6 packed DP
+        // operations per core in the benchmark region, ~1640 MFlops/s.
+        let machine = SimMachine::new(MachinePreset::Core2Quad);
+        let config = PerfCtrConfig {
+            cpus: vec![0, 1, 2, 3],
+            spec: MeasurementSpec::Group(EventGroupKind::FLOPS_DP),
+        };
+        let mut session = PerfCtr::new(&machine, config).unwrap();
+        session.start().unwrap();
+        let activity: Vec<(usize, HwEventKind, u64)> = (0..4)
+            .flat_map(|cpu| {
+                vec![
+                    (cpu, HwEventKind::SimdPackedDouble, 8_192_000),
+                    (cpu, HwEventKind::SimdScalarDouble, 1),
+                    (cpu, HwEventKind::InstructionsRetired, 18_802_400),
+                    (cpu, HwEventKind::CoreCycles, 28_583_800),
+                ]
+            })
+            .collect();
+        apply_activity(&machine, &activity, &[]);
+        session.stop().unwrap();
+        let counts = session.read_counts().unwrap();
+        let results = session.results(&counts).unwrap();
+
+        assert_eq!(results.event_count("SIMD_COMP_INST_RETIRED_PACKED_DOUBLE", 0), Some(8_192_000));
+        assert_eq!(results.event_count("INSTR_RETIRED_ANY", 2), Some(18_802_400));
+        let cpi = results.metric("CPI", 0).unwrap();
+        assert!((cpi - 1.52).abs() < 0.01, "CPI should be ~1.52, got {cpi}");
+        let runtime = results.metric("Runtime [s]", 0).unwrap();
+        assert!((runtime - 0.0101).abs() < 0.0003, "runtime ~10.1 ms, got {runtime}");
+        let mflops = results.metric("DP MFlops/s", 0).unwrap();
+        assert!((mflops - 1620.0).abs() < 30.0, "~1620 MFlops/s, got {mflops}");
+        let rendered = results.render();
+        assert!(rendered.contains("SIMD_COMP_INST_RETIRED_PACKED_DOUBLE"));
+        assert!(rendered.contains("DP MFlops/s"));
+    }
+
+    #[test]
+    fn uncore_events_use_socket_locks() {
+        let machine = SimMachine::new(MachinePreset::NehalemEp2S);
+        // Measure all 8 physical-core SMT-0 threads across both sockets.
+        let cpus: Vec<usize> = (0..8).collect();
+        let config = PerfCtrConfig {
+            cpus: cpus.clone(),
+            spec: MeasurementSpec::Group(EventGroupKind::MEM),
+        };
+        let mut session = PerfCtr::new(&machine, config).unwrap();
+        // Socket 0's owner is cpu 0, socket 1's owner is cpu 4.
+        assert!(session.owns_socket_lock(0));
+        assert!(session.owns_socket_lock(4));
+        assert!(!session.owns_socket_lock(1));
+        session.start().unwrap();
+        apply_activity(
+            &machine,
+            &(0..8).map(|c| (c, HwEventKind::CoreCycles, 2_660_000_000)).collect::<Vec<_>>(),
+            &[
+                (0, HwEventKind::MemoryReads, 900_000_000),
+                (0, HwEventKind::MemoryWrites, 300_000_000),
+                (1, HwEventKind::MemoryReads, 100_000_000),
+            ],
+        );
+        session.stop().unwrap();
+        let counts = session.read_counts().unwrap();
+        let results = session.results(&counts).unwrap();
+        // The uncore read event is attributed to the socket owners only.
+        assert_eq!(results.event_count("UNC_QMC_NORMAL_READS_ANY", 0), Some(900_000_000));
+        assert_eq!(results.event_count("UNC_QMC_NORMAL_READS_ANY", 1), Some(0));
+        assert_eq!(results.event_count("UNC_QMC_NORMAL_READS_ANY", 4), Some(100_000_000));
+        // Memory bandwidth on the socket-0 owner: (0.9e9+0.3e9)*64/1s ≈ 76.8 GB/s
+        // over a 1-second (2.66e9 cycles) run.
+        let bw = results.metric("Memory bandwidth [MBytes/s]", 0).unwrap();
+        assert!((bw - 76_800.0).abs() / 76_800.0 < 0.01, "got {bw}");
+    }
+
+    #[test]
+    fn custom_event_spec_is_parsed_and_validated() {
+        let machine = SimMachine::new(MachinePreset::Core2Quad);
+        let table = likwid_perf_events::tables::for_arch(machine.arch());
+        let spec = parse_event_spec(
+            "SIMD_COMP_INST_RETIRED_PACKED_DOUBLE:PMC0,SIMD_COMP_INST_RETIRED_SCALAR_DOUBLE:PMC1",
+            &table,
+        )
+        .unwrap();
+        assert_eq!(spec.len(), 2);
+        assert_eq!(spec[0].1, CounterSlot::Pmc(0));
+
+        assert!(parse_event_spec("NO_SUCH_EVENT:PMC0", &table).is_err());
+        assert!(parse_event_spec("SIMD_COMP_INST_RETIRED_PACKED_DOUBLE:PMC9", &table).is_err());
+        assert!(parse_event_spec("SIMD_COMP_INST_RETIRED_PACKED_DOUBLE", &table).is_err());
+        assert!(parse_event_spec("", &table).is_err());
+
+        let config = PerfCtrConfig { cpus: vec![1], spec: MeasurementSpec::Custom(spec) };
+        let mut session = PerfCtr::new(&machine, config).unwrap();
+        session.start().unwrap();
+        apply_activity(&machine, &[(1, HwEventKind::SimdPackedDouble, 1234)], &[]);
+        session.stop().unwrap();
+        let counts = session.read_counts().unwrap();
+        let results = session.results(&counts).unwrap();
+        assert_eq!(results.event_count("SIMD_COMP_INST_RETIRED_PACKED_DOUBLE", 0), Some(1234));
+        assert!(results.metrics.is_empty(), "custom specs have no derived metrics");
+    }
+
+    #[test]
+    fn unsupported_group_is_rejected() {
+        let machine = SimMachine::new(MachinePreset::Core2Quad);
+        let config = PerfCtrConfig {
+            cpus: vec![0],
+            spec: MeasurementSpec::Group(EventGroupKind::L3),
+        };
+        assert!(matches!(
+            PerfCtr::new(&machine, config),
+            Err(LikwidError::GroupUnsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_cpu_list_is_rejected() {
+        let machine = SimMachine::new(MachinePreset::Core2Quad);
+        let config = PerfCtrConfig {
+            cpus: vec![],
+            spec: MeasurementSpec::Group(EventGroupKind::FLOPS_DP),
+        };
+        assert!(PerfCtr::new(&machine, config).is_err());
+    }
+
+    #[test]
+    fn multiplexing_rotates_groups_and_extrapolates() {
+        let machine = SimMachine::new(MachinePreset::WestmereEp2S);
+        let config = PerfCtrConfig {
+            cpus: vec![0],
+            spec: MeasurementSpec::Groups(vec![EventGroupKind::FLOPS_DP, EventGroupKind::L2]),
+        };
+        let mut session = PerfCtr::new(&machine, config).unwrap();
+        assert_eq!(session.num_groups(), 2);
+        session.start().unwrap();
+
+        // Four equal time slices of identical activity; each group is active
+        // for two of them, so extrapolation should recover the full total.
+        for _slice in 0..4 {
+            apply_activity(
+                &machine,
+                &[
+                    (0, HwEventKind::SimdPackedDouble, 1000),
+                    (0, HwEventKind::L1Misses, 500),
+                    (0, HwEventKind::L2LinesOut, 100),
+                    (0, HwEventKind::InstructionsRetired, 10_000),
+                    (0, HwEventKind::CoreCycles, 20_000),
+                ],
+                &[],
+            );
+            session.switch_group().unwrap();
+        }
+        session.finish().unwrap();
+
+        let flops = session.extrapolated_counts(0);
+        let results0 = session.results_for_group(0, &flops).unwrap();
+        let packed = results0.event_count("FP_COMP_OPS_EXE_SSE_FP_PACKED", 0).unwrap();
+        assert!(
+            (packed as i64 - 4000).abs() <= 10,
+            "extrapolated packed count should be ~4000, got {packed}"
+        );
+
+        let l2 = session.extrapolated_counts(1);
+        let results1 = session.results_for_group(1, &l2).unwrap();
+        let repl = results1.event_count("L1D_REPL", 0).unwrap();
+        assert!((repl as i64 - 2000).abs() <= 10, "extrapolated L1D_REPL ~2000, got {repl}");
+    }
+
+    #[test]
+    fn measure_wrapper_runs_the_body_between_start_and_stop() {
+        let machine = SimMachine::new(MachinePreset::Core2Quad);
+        let config = PerfCtrConfig {
+            cpus: vec![0],
+            spec: MeasurementSpec::Group(EventGroupKind::FLOPS_DP),
+        };
+        let mut session = PerfCtr::new(&machine, config).unwrap();
+        let (value, results) = session
+            .measure(|m| {
+                apply_activity(
+                    m,
+                    &[
+                        (0, HwEventKind::SimdPackedDouble, 77),
+                        (0, HwEventKind::CoreCycles, 1000),
+                        (0, HwEventKind::InstructionsRetired, 500),
+                    ],
+                    &[],
+                );
+                42
+            })
+            .unwrap();
+        assert_eq!(value, 42);
+        assert_eq!(results.event_count("SIMD_COMP_INST_RETIRED_PACKED_DOUBLE", 0), Some(77));
+    }
+}

@@ -1,0 +1,236 @@
+//! Event definitions and per-architecture event tables.
+
+use crate::kinds::HwEventKind;
+
+/// A counter slot an event can be programmed into.
+///
+/// The names follow LIKWID's command-line syntax (`…:PMC0`, `…:FIXC1`,
+/// `…:UPMC0`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CounterSlot {
+    /// General-purpose core counter `n`.
+    Pmc(u8),
+    /// Fixed-function core counter `n` (0 = INSTR_RETIRED_ANY,
+    /// 1 = CPU_CLK_UNHALTED_CORE, 2 = CPU_CLK_UNHALTED_REF).
+    Fixed(u8),
+    /// General-purpose uncore counter `n` (Nehalem/Westmere).
+    UncorePmc(u8),
+    /// The fixed uncore clock counter.
+    UncoreFixed,
+}
+
+impl CounterSlot {
+    /// LIKWID-style name ("PMC0", "FIXC1", "UPMC3", "UPMCFIX").
+    pub fn name(self) -> String {
+        match self {
+            CounterSlot::Pmc(n) => format!("PMC{n}"),
+            CounterSlot::Fixed(n) => format!("FIXC{n}"),
+            CounterSlot::UncorePmc(n) => format!("UPMC{n}"),
+            CounterSlot::UncoreFixed => "UPMCFIX".to_string(),
+        }
+    }
+
+    /// Parse a LIKWID-style counter name.
+    pub fn parse(name: &str) -> Option<Self> {
+        if name == "UPMCFIX" {
+            return Some(CounterSlot::UncoreFixed);
+        }
+        if let Some(rest) = name.strip_prefix("UPMC") {
+            return rest.parse().ok().map(CounterSlot::UncorePmc);
+        }
+        if let Some(rest) = name.strip_prefix("PMC") {
+            return rest.parse().ok().map(CounterSlot::Pmc);
+        }
+        if let Some(rest) = name.strip_prefix("FIXC") {
+            return rest.parse().ok().map(CounterSlot::Fixed);
+        }
+        None
+    }
+
+    /// Whether this slot lives in the uncore.
+    pub fn is_uncore(self) -> bool {
+        matches!(self, CounterSlot::UncorePmc(_) | CounterSlot::UncoreFixed)
+    }
+}
+
+/// Which class of counters an event may be scheduled on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CounterClass {
+    /// Any general-purpose core counter.
+    AnyPmc,
+    /// A specific fixed counter.
+    Fixed(u8),
+    /// Any general-purpose uncore counter.
+    AnyUncorePmc,
+    /// The fixed uncore clock counter.
+    UncoreFixed,
+}
+
+/// One documented hardware event of an architecture.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventDefinition {
+    /// Documented event name (as written on the `-g` command line).
+    pub name: &'static str,
+    /// Event-select code (bits 7:0 of PERFEVTSEL).
+    pub event_code: u16,
+    /// Unit mask (bits 15:8 of PERFEVTSEL).
+    pub umask: u8,
+    /// Which counters can carry the event.
+    pub counters: CounterClass,
+    /// The architectural quantity the event measures in the simulator.
+    pub kind: HwEventKind,
+}
+
+impl EventDefinition {
+    /// The `(event_code, umask)` pair packed as the low 16 bits of a
+    /// PERFEVTSEL value — the key the counting engine uses to recognise a
+    /// programmed event.
+    pub fn selector(&self) -> u16 {
+        ((self.umask as u16) << 8) | (self.event_code & 0xFF)
+    }
+}
+
+/// The complete event table of one microarchitecture.
+#[derive(Debug, Clone)]
+pub struct EventTable {
+    /// Architecture display name (diagnostics only).
+    pub arch_name: &'static str,
+    /// Number of general-purpose core counters.
+    pub num_pmc: usize,
+    /// Number of fixed counters.
+    pub num_fixed: usize,
+    /// Number of general-purpose uncore counters.
+    pub num_uncore_pmc: usize,
+    /// All documented events.
+    pub events: Vec<EventDefinition>,
+}
+
+impl EventTable {
+    /// Look up an event by its documented name.
+    pub fn find(&self, name: &str) -> Option<&EventDefinition> {
+        self.events.iter().find(|e| e.name == name)
+    }
+
+    /// Look up an event by its `(event_code, umask)` selector within a
+    /// counter class (core or uncore), used by the counting engine to map a
+    /// programmed PERFEVTSEL value back to an event.
+    pub fn find_by_selector(&self, selector: u16, uncore: bool) -> Option<&EventDefinition> {
+        self.events.iter().find(|e| {
+            e.selector() == selector
+                && (matches!(e.counters, CounterClass::AnyUncorePmc | CounterClass::UncoreFixed) == uncore)
+        })
+    }
+
+    /// All counter slots that can carry the given event on this architecture.
+    pub fn allowed_slots(&self, event: &EventDefinition) -> Vec<CounterSlot> {
+        match event.counters {
+            CounterClass::AnyPmc => (0..self.num_pmc as u8).map(CounterSlot::Pmc).collect(),
+            CounterClass::Fixed(n) => vec![CounterSlot::Fixed(n)],
+            CounterClass::AnyUncorePmc => {
+                (0..self.num_uncore_pmc as u8).map(CounterSlot::UncorePmc).collect()
+            }
+            CounterClass::UncoreFixed => vec![CounterSlot::UncoreFixed],
+        }
+    }
+
+    /// Whether a named event exists.
+    pub fn has_event(&self, name: &str) -> bool {
+        self.find(name).is_some()
+    }
+
+    /// Event names (sorted) — used by the `-a` listing of the tool.
+    pub fn event_names(&self) -> Vec<&'static str> {
+        let mut names: Vec<&'static str> = self.events.iter().map(|e| e.name).collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(name: &'static str, code: u16, umask: u8, kind: HwEventKind) -> EventDefinition {
+        EventDefinition { name, event_code: code, umask, counters: CounterClass::AnyPmc, kind }
+    }
+
+    fn table() -> EventTable {
+        EventTable {
+            arch_name: "test",
+            num_pmc: 2,
+            num_fixed: 3,
+            num_uncore_pmc: 8,
+            events: vec![
+                event("EVENT_A", 0x10, 0x01, HwEventKind::LoadsRetired),
+                event("EVENT_B", 0x10, 0x02, HwEventKind::StoresRetired),
+                EventDefinition {
+                    name: "FIXED_INSTR",
+                    event_code: 0,
+                    umask: 0,
+                    counters: CounterClass::Fixed(0),
+                    kind: HwEventKind::InstructionsRetired,
+                },
+                EventDefinition {
+                    name: "UNC_EVENT",
+                    event_code: 0x20,
+                    umask: 0x03,
+                    counters: CounterClass::AnyUncorePmc,
+                    kind: HwEventKind::L3LinesIn,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn counter_slot_names_round_trip() {
+        for slot in [
+            CounterSlot::Pmc(0),
+            CounterSlot::Pmc(3),
+            CounterSlot::Fixed(1),
+            CounterSlot::UncorePmc(7),
+            CounterSlot::UncoreFixed,
+        ] {
+            assert_eq!(CounterSlot::parse(&slot.name()), Some(slot));
+        }
+        assert_eq!(CounterSlot::parse("XYZ0"), None);
+        assert_eq!(CounterSlot::parse("PMCx"), None);
+    }
+
+    #[test]
+    fn selector_packs_code_and_umask() {
+        let e = event("E", 0x3C, 0x01, HwEventKind::CoreCycles);
+        assert_eq!(e.selector(), 0x013C);
+    }
+
+    #[test]
+    fn find_by_name_and_selector() {
+        let t = table();
+        assert!(t.has_event("EVENT_A"));
+        assert!(!t.has_event("NO_SUCH_EVENT"));
+        let a = t.find("EVENT_A").unwrap();
+        assert_eq!(t.find_by_selector(a.selector(), false).unwrap().name, "EVENT_A");
+        // Same selector in the uncore space finds nothing.
+        assert!(t.find_by_selector(a.selector(), true).is_none());
+        let u = t.find("UNC_EVENT").unwrap();
+        assert_eq!(t.find_by_selector(u.selector(), true).unwrap().name, "UNC_EVENT");
+    }
+
+    #[test]
+    fn allowed_slots_respect_the_counter_class() {
+        let t = table();
+        assert_eq!(
+            t.allowed_slots(t.find("EVENT_A").unwrap()),
+            vec![CounterSlot::Pmc(0), CounterSlot::Pmc(1)]
+        );
+        assert_eq!(t.allowed_slots(t.find("FIXED_INSTR").unwrap()), vec![CounterSlot::Fixed(0)]);
+        assert_eq!(t.allowed_slots(t.find("UNC_EVENT").unwrap()).len(), 8);
+    }
+
+    #[test]
+    fn event_names_are_sorted() {
+        let names = table().event_names();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+    }
+}

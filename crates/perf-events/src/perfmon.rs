@@ -1,0 +1,362 @@
+//! Counter programming through the MSR interface.
+//!
+//! This is the layer of `likwid-perfCtr` that touches hardware registers: it
+//! encodes `IA32_PERFEVTSELx` values, enables the fixed-counter and global
+//! control registers, and reads counters back — all through an
+//! [`MsrDevice`], i.e. through exactly the `rdmsr`/`wrmsr` traffic the real
+//! tool generates through `/dev/cpu/<N>/msr`.
+
+use likwid_x86_machine::{MachineError, Msr, MsrDevice, SimMachine, MsrPermission, Vendor};
+
+use crate::event::{CounterSlot, EventDefinition};
+
+/// Errors from counter programming.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PerfMonError {
+    /// The underlying MSR access failed.
+    Msr(MachineError),
+    /// The requested counter slot does not exist on this architecture.
+    NoSuchCounter(CounterSlot),
+    /// The event cannot be scheduled on the requested counter slot.
+    IncompatibleCounter {
+        /// Event name.
+        event: String,
+        /// Requested slot.
+        slot: CounterSlot,
+    },
+}
+
+impl std::fmt::Display for PerfMonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PerfMonError::Msr(e) => write!(f, "MSR access failed: {e}"),
+            PerfMonError::NoSuchCounter(slot) => write!(f, "no such counter {}", slot.name()),
+            PerfMonError::IncompatibleCounter { event, slot } => {
+                write!(f, "event {event} cannot be counted on {}", slot.name())
+            }
+        }
+    }
+}
+
+impl std::error::Error for PerfMonError {}
+
+impl From<MachineError> for PerfMonError {
+    fn from(e: MachineError) -> Self {
+        PerfMonError::Msr(e)
+    }
+}
+
+/// Bit positions inside `IA32_PERFEVTSELx`.
+pub mod evtsel {
+    /// User-mode counting enable.
+    pub const USR: u64 = 1 << 16;
+    /// Kernel-mode counting enable.
+    pub const OS: u64 = 1 << 17;
+    /// Edge detection.
+    pub const EDGE: u64 = 1 << 18;
+    /// APIC interrupt on overflow.
+    pub const INT: u64 = 1 << 20;
+    /// Count for both SMT threads (Nehalem+).
+    pub const ANY_THREAD: u64 = 1 << 21;
+    /// Counter enable.
+    pub const ENABLE: u64 = 1 << 22;
+    /// Invert counter mask comparison.
+    pub const INVERT: u64 = 1 << 23;
+}
+
+/// Encode a PERFEVTSEL value for an event: event code, umask, USR+OS and the
+/// enable bit.
+pub fn encode_evtsel(event: &EventDefinition, enabled: bool) -> u64 {
+    let mut value = (event.event_code as u64 & 0xFF) | ((event.umask as u64) << 8) | evtsel::USR | evtsel::OS;
+    if enabled {
+        value |= evtsel::ENABLE;
+    }
+    value
+}
+
+/// Extract the `(event_code, umask)` selector from a PERFEVTSEL value.
+pub fn decode_selector(evtsel_value: u64) -> u16 {
+    (evtsel_value & 0xFFFF) as u16
+}
+
+/// Whether a PERFEVTSEL value has its enable bit set.
+pub fn is_enabled(evtsel_value: u64) -> bool {
+    evtsel_value & evtsel::ENABLE != 0
+}
+
+/// The MSR addresses backing one counter slot on a given vendor.
+///
+/// Returns `(select_register, counter_register)`; fixed counters have no
+/// select register of their own (they are controlled by
+/// `IA32_FIXED_CTR_CTRL`) and report `None`.
+pub fn slot_registers(vendor: Vendor, slot: CounterSlot) -> (Option<u32>, u32) {
+    match (vendor, slot) {
+        (Vendor::Intel, CounterSlot::Pmc(n)) => {
+            (Some(Msr::IA32_PERFEVTSEL0 + n as u32), Msr::IA32_PMC0 + n as u32)
+        }
+        (Vendor::Intel, CounterSlot::Fixed(n)) => (None, Msr::IA32_FIXED_CTR0 + n as u32),
+        (Vendor::Intel, CounterSlot::UncorePmc(n)) => (
+            Some(Msr::MSR_UNCORE_PERFEVTSEL0 + n as u32),
+            Msr::MSR_UNCORE_PMC0 + n as u32,
+        ),
+        (Vendor::Intel, CounterSlot::UncoreFixed) => (None, Msr::MSR_UNCORE_FIXED_CTR0),
+        (Vendor::Amd, CounterSlot::Pmc(n)) => {
+            (Some(Msr::AMD_PERFEVTSEL0 + n as u32), Msr::AMD_PMC0 + n as u32)
+        }
+        // AMD parts in this suite have neither fixed nor uncore counters;
+        // map them to the first PMC pair so that the error surfaces as an
+        // incompatible-counter error at setup time instead of a bogus MSR.
+        (Vendor::Amd, _) => (Some(Msr::AMD_PERFEVTSEL0), Msr::AMD_PMC0),
+    }
+}
+
+/// Counter programming for the hardware threads of one machine.
+///
+/// A `PerfMon` owns one read-write MSR device per hardware thread it
+/// measures, mirroring the real tool which opens one `/dev/cpu/<N>/msr` file
+/// descriptor per measured core.
+pub struct PerfMon {
+    vendor: Vendor,
+    devices: Vec<(usize, MsrDevice)>,
+}
+
+impl PerfMon {
+    /// Open MSR devices for the given hardware threads.
+    pub fn new(machine: &SimMachine, cpus: &[usize]) -> Result<Self, PerfMonError> {
+        let mut devices = Vec::with_capacity(cpus.len());
+        for &cpu in cpus {
+            devices.push((cpu, machine.msr(cpu, MsrPermission::ReadWrite)?));
+        }
+        Ok(PerfMon { vendor: machine.vendor(), devices })
+    }
+
+    /// The hardware threads this monitor controls.
+    pub fn cpus(&self) -> Vec<usize> {
+        self.devices.iter().map(|(cpu, _)| *cpu).collect()
+    }
+
+    fn device(&self, cpu: usize) -> Result<&MsrDevice, PerfMonError> {
+        self.devices
+            .iter()
+            .find(|(c, _)| *c == cpu)
+            .map(|(_, d)| d)
+            .ok_or(PerfMonError::NoSuchCounter(CounterSlot::Pmc(255)))
+    }
+
+    /// Program `event` into `slot` on hardware thread `cpu` (disabled; use
+    /// [`PerfMon::start`] to enable all programmed counters atomically).
+    pub fn setup(&self, cpu: usize, slot: CounterSlot, event: &EventDefinition) -> Result<(), PerfMonError> {
+        let dev = self.device(cpu)?;
+        let (select, counter) = slot_registers(self.vendor, slot);
+        match slot {
+            CounterSlot::Fixed(n) => {
+                // Fixed counters are controlled by IA32_FIXED_CTR_CTRL: 4 bits
+                // per counter, bits 0/1 enable OS/USR counting.
+                let ctrl = dev.read(Msr::IA32_FIXED_CTR_CTRL)?;
+                let shift = 4 * n as u32;
+                dev.write(Msr::IA32_FIXED_CTR_CTRL, ctrl | (0b011 << shift))?;
+                dev.write(counter, 0)?;
+            }
+            CounterSlot::UncoreFixed => {
+                dev.write(Msr::MSR_UNCORE_FIXED_CTR_CTRL, 1)?;
+                dev.write(counter, 0)?;
+            }
+            _ => {
+                let select = select.expect("PMC slots have a select register");
+                dev.write(select, encode_evtsel(event, false))?;
+                dev.write(counter, 0)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Enable counting on all programmed counters of `cpu`.
+    pub fn start(&self, cpu: usize) -> Result<(), PerfMonError> {
+        let dev = self.device(cpu)?;
+        match self.vendor {
+            Vendor::Intel => {
+                // Set the enable bits in each programmed PERFEVTSEL, then the
+                // global enable mask for PMCs and fixed counters.
+                for n in 0..8u32 {
+                    let addr = Msr::IA32_PERFEVTSEL0 + n;
+                    match dev.read(addr) {
+                        Ok(v) if v != 0 => dev.write(addr, v | evtsel::ENABLE)?,
+                        Ok(_) => continue,
+                        Err(_) => break,
+                    }
+                }
+                // The global and uncore control registers do not exist on all
+                // generations (Pentium M has neither); ignore their absence.
+                let global = 0xF | (0x7 << 32);
+                let _ = dev.write(Msr::IA32_PERF_GLOBAL_CTRL, global);
+                let _ = dev.write(Msr::MSR_UNCORE_PERF_GLOBAL_CTRL, (1 << 32) | 0xFF);
+                for n in 0..8u32 {
+                    let addr = Msr::MSR_UNCORE_PERFEVTSEL0 + n;
+                    if let Ok(v) = dev.read(addr) {
+                        if v != 0 {
+                            dev.write(addr, v | evtsel::ENABLE)?;
+                        }
+                    }
+                }
+            }
+            Vendor::Amd => {
+                for n in 0..4u32 {
+                    let addr = Msr::AMD_PERFEVTSEL0 + n;
+                    let v = dev.read(addr)?;
+                    if v != 0 {
+                        dev.write(addr, v | evtsel::ENABLE)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Disable counting on `cpu` (counters retain their values).
+    pub fn stop(&self, cpu: usize) -> Result<(), PerfMonError> {
+        let dev = self.device(cpu)?;
+        match self.vendor {
+            Vendor::Intel => {
+                let _ = dev.write(Msr::IA32_PERF_GLOBAL_CTRL, 0);
+                let _ = dev.write(Msr::MSR_UNCORE_PERF_GLOBAL_CTRL, 0);
+                for n in 0..8u32 {
+                    let addr = Msr::IA32_PERFEVTSEL0 + n;
+                    match dev.read(addr) {
+                        Ok(v) if v != 0 => dev.write(addr, v & !evtsel::ENABLE)?,
+                        Ok(_) => continue,
+                        Err(_) => break,
+                    }
+                }
+                for n in 0..8u32 {
+                    let addr = Msr::MSR_UNCORE_PERFEVTSEL0 + n;
+                    if let Ok(v) = dev.read(addr) {
+                        if v != 0 {
+                            dev.write(addr, v & !evtsel::ENABLE)?;
+                        }
+                    }
+                }
+            }
+            Vendor::Amd => {
+                for n in 0..4u32 {
+                    let addr = Msr::AMD_PERFEVTSEL0 + n;
+                    let v = dev.read(addr)?;
+                    if v != 0 {
+                        dev.write(addr, v & !evtsel::ENABLE)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Read the current value of a counter slot on `cpu`.
+    pub fn read(&self, cpu: usize, slot: CounterSlot) -> Result<u64, PerfMonError> {
+        let dev = self.device(cpu)?;
+        let (_, counter) = slot_registers(self.vendor, slot);
+        Ok(dev.read(counter)?)
+    }
+
+    /// Reset a counter slot to zero on `cpu`.
+    pub fn reset(&self, cpu: usize, slot: CounterSlot) -> Result<(), PerfMonError> {
+        let dev = self.device(cpu)?;
+        let (_, counter) = slot_registers(self.vendor, slot);
+        Ok(dev.write(counter, 0)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tables;
+    use likwid_x86_machine::MachinePreset;
+
+    #[test]
+    fn evtsel_encoding_round_trips() {
+        let t = tables::for_arch(likwid_x86_machine::Microarch::Core2);
+        let e = t.find("SIMD_COMP_INST_RETIRED_PACKED_DOUBLE").unwrap();
+        let v = encode_evtsel(e, true);
+        assert!(is_enabled(v));
+        assert_eq!(decode_selector(v), e.selector());
+        let v_off = encode_evtsel(e, false);
+        assert!(!is_enabled(v_off));
+    }
+
+    #[test]
+    fn setup_writes_the_expected_registers() {
+        let machine = SimMachine::new(MachinePreset::Core2Quad);
+        let table = tables::for_arch(machine.arch());
+        let pm = PerfMon::new(&machine, &[1]).unwrap();
+        let event = table.find("SIMD_COMP_INST_RETIRED_PACKED_DOUBLE").unwrap();
+        pm.setup(1, CounterSlot::Pmc(0), event).unwrap();
+
+        let dev = machine.msr(1, MsrPermission::ReadOnly).unwrap();
+        let sel = dev.read(Msr::IA32_PERFEVTSEL0).unwrap();
+        assert_eq!(decode_selector(sel), event.selector());
+        assert!(!is_enabled(sel), "setup leaves the counter disabled");
+
+        pm.start(1).unwrap();
+        assert!(is_enabled(dev.read(Msr::IA32_PERFEVTSEL0).unwrap()));
+        assert_ne!(dev.read(Msr::IA32_PERF_GLOBAL_CTRL).unwrap(), 0);
+
+        pm.stop(1).unwrap();
+        assert!(!is_enabled(dev.read(Msr::IA32_PERFEVTSEL0).unwrap()));
+        assert_eq!(dev.read(Msr::IA32_PERF_GLOBAL_CTRL).unwrap(), 0);
+    }
+
+    #[test]
+    fn fixed_counter_setup_uses_the_fixed_ctrl_register() {
+        let machine = SimMachine::new(MachinePreset::NehalemEp2S);
+        let table = tables::for_arch(machine.arch());
+        let pm = PerfMon::new(&machine, &[0]).unwrap();
+        let instr = table.find("INSTR_RETIRED_ANY").unwrap();
+        pm.setup(0, CounterSlot::Fixed(0), instr).unwrap();
+        let dev = machine.msr(0, MsrPermission::ReadOnly).unwrap();
+        assert_eq!(dev.read(Msr::IA32_FIXED_CTR_CTRL).unwrap() & 0xF, 0b011);
+    }
+
+    #[test]
+    fn uncore_counter_setup_and_read() {
+        let machine = SimMachine::new(MachinePreset::NehalemEp2S);
+        let table = tables::for_arch(machine.arch());
+        let pm = PerfMon::new(&machine, &[0]).unwrap();
+        let e = table.find("UNC_L3_LINES_IN_ANY").unwrap();
+        pm.setup(0, CounterSlot::UncorePmc(0), e).unwrap();
+        pm.start(0).unwrap();
+        let dev = machine.msr(0, MsrPermission::ReadOnly).unwrap();
+        assert!(is_enabled(dev.read(Msr::MSR_UNCORE_PERFEVTSEL0).unwrap()));
+        assert_eq!(pm.read(0, CounterSlot::UncorePmc(0)).unwrap(), 0);
+    }
+
+    #[test]
+    fn amd_counters_use_the_amd_register_block() {
+        let machine = SimMachine::new(MachinePreset::IstanbulH2S);
+        let table = tables::for_arch(machine.arch());
+        let pm = PerfMon::new(&machine, &[3]).unwrap();
+        let e = table.find("RETIRED_INSTRUCTIONS").unwrap();
+        pm.setup(3, CounterSlot::Pmc(2), e).unwrap();
+        pm.start(3).unwrap();
+        let dev = machine.msr(3, MsrPermission::ReadOnly).unwrap();
+        assert!(is_enabled(dev.read(Msr::AMD_PERFEVTSEL0 + 2).unwrap()));
+        pm.stop(3).unwrap();
+        assert!(!is_enabled(dev.read(Msr::AMD_PERFEVTSEL0 + 2).unwrap()));
+    }
+
+    #[test]
+    fn reset_zeroes_a_counter() {
+        let machine = SimMachine::new(MachinePreset::NehalemEp2S);
+        let pm = PerfMon::new(&machine, &[0]).unwrap();
+        // Put a value into PMC0 directly through the machine side.
+        machine.msr_file().increment(0, Msr::IA32_PMC0, 123).unwrap();
+        assert_eq!(pm.read(0, CounterSlot::Pmc(0)).unwrap(), 123);
+        pm.reset(0, CounterSlot::Pmc(0)).unwrap();
+        assert_eq!(pm.read(0, CounterSlot::Pmc(0)).unwrap(), 0);
+    }
+
+    #[test]
+    fn unknown_cpu_is_an_error() {
+        let machine = SimMachine::new(MachinePreset::Core2Quad);
+        assert!(PerfMon::new(&machine, &[99]).is_err());
+        let pm = PerfMon::new(&machine, &[0]).unwrap();
+        assert!(pm.read(3, CounterSlot::Pmc(0)).is_err(), "cpu 3 was not opened by this monitor");
+    }
+}

@@ -1,0 +1,33 @@
+//! Evaluation workloads of the paper.
+//!
+//! Section IV of the paper demonstrates the tool suite on two codes:
+//!
+//! * the **OpenMP STREAM triad** (Figures 4–10): bandwidth as a function of
+//!   thread count, compiler (icc vs. gcc), machine (Westmere EP vs. AMD
+//!   Istanbul) and — most importantly — of whether and how the threads are
+//!   pinned;
+//! * a **temporally blocked 3D Jacobi smoother** (Figure 11 and Table II):
+//!   a cache-topology-aware wavefront code whose performance collapses with
+//!   the wrong thread placement, measured with `likwid-perfCtr` uncore
+//!   events.
+//!
+//! This crate implements both workloads against the simulated machine:
+//! an OpenMP-runtime model with compiler personalities ([`openmp`]), a
+//! bandwidth/roofline performance model ([`perfmodel`]), the STREAM triad
+//! sampling experiment ([`stream`]), the three Jacobi variants driven
+//! through the cache simulator ([`jacobi`]), and the glue that turns
+//! simulated runs into hardware-event samples for `likwid-perfctr`
+//! ([`exec`]).
+
+pub mod exec;
+pub mod jacobi;
+pub mod openmp;
+pub mod perfmodel;
+pub mod stats;
+pub mod stream;
+
+pub use jacobi::{JacobiConfig, JacobiResult, JacobiVariant};
+pub use openmp::{CompilerPersonality, KmpAffinity, OpenMpRuntime, PlacementPolicy};
+pub use perfmodel::{BandwidthModel, StreamKernelModel};
+pub use stats::BoxStats;
+pub use stream::{StreamExperiment, StreamSample};

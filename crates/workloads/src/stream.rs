@@ -1,0 +1,250 @@
+//! The OpenMP STREAM triad experiment (Figures 4–10).
+//!
+//! One *sample* is one run of the benchmark at a fixed thread count: the
+//! runtime places the threads (randomly if unpinned, deterministically if
+//! pinned), the arrays are first-touched under an initialisation placement,
+//! and the triad bandwidth follows from the bandwidth model. One *series*
+//! is 100 samples per thread count, summarised as a box plot — exactly the
+//! procedure behind the paper's figures.
+
+use likwid_x86_machine::{MachinePreset, SimMachine};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::openmp::{CompilerPersonality, OpenMpRuntime, PlacementPolicy};
+use crate::perfmodel::{BandwidthModel, StreamKernelModel};
+use crate::stats::BoxStats;
+
+/// The result of one benchmark run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamSample {
+    /// Reported triad bandwidth in MB/s.
+    pub bandwidth_mbs: f64,
+    /// Where the application threads ran.
+    pub placement: Vec<usize>,
+    /// Where the arrays were first touched.
+    pub init_placement: Vec<usize>,
+}
+
+/// One point of a figure series: a thread count and its box statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesPoint {
+    /// Number of application threads.
+    pub threads: usize,
+    /// Box statistics over all samples at this thread count.
+    pub stats: BoxStats,
+}
+
+/// The STREAM triad experiment on one machine with one compiler.
+pub struct StreamExperiment {
+    machine: SimMachine,
+    runtime: OpenMpRuntime,
+    /// Number of samples per thread count (100 in the paper).
+    pub samples_per_point: usize,
+}
+
+impl StreamExperiment {
+    /// Set up the experiment.
+    pub fn new(preset: MachinePreset, personality: CompilerPersonality) -> Self {
+        StreamExperiment {
+            machine: SimMachine::new(preset),
+            runtime: OpenMpRuntime::new(personality, preset),
+            samples_per_point: 100,
+        }
+    }
+
+    /// The machine the experiment runs on.
+    pub fn machine(&self) -> &SimMachine {
+        &self.machine
+    }
+
+    /// The compiler personality.
+    pub fn personality(&self) -> CompilerPersonality {
+        self.runtime.personality
+    }
+
+    fn kernel(&self) -> StreamKernelModel {
+        StreamKernelModel::triad(self.runtime.personality, &self.machine.memory_system())
+    }
+
+    /// The pinned placement used in the paper's pinned figures: round robin
+    /// across sockets, physical cores before SMT threads.
+    pub fn paper_pinned_policy(&self, num_threads: usize) -> PlacementPolicy {
+        PlacementPolicy::LikwidPin(
+            self.runtime.paper_scatter_pin_list(self.machine.topology(), num_threads),
+        )
+    }
+
+    /// Run one sample at `num_threads` threads under `policy`.
+    pub fn run_once(
+        &self,
+        num_threads: usize,
+        policy: &PlacementPolicy,
+        rng: &mut StdRng,
+    ) -> StreamSample {
+        let topo = self.machine.topology();
+        let placement = self.runtime.place(topo, num_threads, policy, rng);
+        // Pinned runs first-touch their data exactly where they later run;
+        // unpinned runs may have been scheduled elsewhere during the
+        // initialisation loop (thread migration between program phases).
+        let init_placement = match policy {
+            PlacementPolicy::Unpinned | PlacementPolicy::Kmp(crate::openmp::KmpAffinity::Disabled) => {
+                self.runtime.place(topo, num_threads, policy, rng)
+            }
+            _ => placement.clone(),
+        };
+        let model = BandwidthModel::new(topo, self.machine.memory_system());
+        let bandwidth_mbs =
+            model.reported_stream_bandwidth(&placement, &init_placement, &self.kernel());
+        StreamSample { bandwidth_mbs, placement, init_placement }
+    }
+
+    /// Run the full sampling experiment at one thread count.
+    pub fn run_samples(
+        &self,
+        num_threads: usize,
+        policy: &PlacementPolicy,
+        seed: u64,
+    ) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..self.samples_per_point)
+            .map(|_| self.run_once(num_threads, policy, &mut rng).bandwidth_mbs)
+            .collect()
+    }
+
+    /// Produce a figure series: box statistics for every thread count.
+    pub fn series(
+        &self,
+        thread_counts: impl IntoIterator<Item = usize>,
+        policy_for: impl Fn(usize) -> PlacementPolicy,
+        seed: u64,
+    ) -> Vec<SeriesPoint> {
+        thread_counts
+            .into_iter()
+            .map(|threads| {
+                let samples = self.run_samples(threads, &policy_for(threads), seed ^ threads as u64);
+                SeriesPoint {
+                    threads,
+                    stats: BoxStats::from_samples(&samples).expect("samples_per_point > 0"),
+                }
+            })
+            .collect()
+    }
+
+    /// The thread counts of the paper's Westmere figures (1..=24).
+    pub fn paper_thread_counts(&self) -> Vec<usize> {
+        (1..=self.machine.num_hw_threads()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::openmp::KmpAffinity;
+
+    fn experiment(personality: CompilerPersonality) -> StreamExperiment {
+        let mut e = StreamExperiment::new(MachinePreset::WestmereEp2S, personality);
+        e.samples_per_point = 30; // keep unit tests fast
+        e
+    }
+
+    #[test]
+    fn pinned_runs_are_deterministic_and_fast() {
+        let e = experiment(CompilerPersonality::IntelIcc);
+        let samples = e.run_samples(12, &e.paper_pinned_policy(12), 42);
+        let stats = BoxStats::from_samples(&samples).unwrap();
+        assert!(stats.iqr() < 1.0, "pinned samples are identical, spread {}", stats.iqr());
+        assert!(stats.median > 38_000.0, "pinned 12-thread Westmere ≈ 41 GB/s, got {}", stats.median);
+    }
+
+    #[test]
+    fn figure4_vs_figure5_unpinned_variance_and_pinned_stability() {
+        let e = experiment(CompilerPersonality::IntelIcc);
+        for threads in [2usize, 6, 12] {
+            let unpinned = BoxStats::from_samples(&e.run_samples(threads, &PlacementPolicy::Unpinned, 7)).unwrap();
+            let pinned =
+                BoxStats::from_samples(&e.run_samples(threads, &e.paper_pinned_policy(threads), 7)).unwrap();
+            assert!(
+                unpinned.relative_spread() > pinned.relative_spread(),
+                "{threads} threads: unpinned spread {} must exceed pinned spread {}",
+                unpinned.relative_spread(),
+                pinned.relative_spread()
+            );
+            assert!(
+                pinned.median >= unpinned.median * 0.99,
+                "{threads} threads: pinning must not lose bandwidth ({} vs {})",
+                pinned.median,
+                unpinned.median
+            );
+        }
+    }
+
+    #[test]
+    fn figure6_kmp_scatter_matches_likwid_pin() {
+        let e = experiment(CompilerPersonality::IntelIcc);
+        for threads in [4usize, 8, 12] {
+            let pinned =
+                BoxStats::from_samples(&e.run_samples(threads, &e.paper_pinned_policy(threads), 3)).unwrap();
+            let kmp = BoxStats::from_samples(
+                &e.run_samples(threads, &PlacementPolicy::Kmp(KmpAffinity::Scatter), 3),
+            )
+            .unwrap();
+            let diff = (pinned.median - kmp.median).abs() / pinned.median;
+            assert!(diff < 0.02, "KMP scatter ≈ likwid-pin at {threads} threads ({diff})");
+        }
+    }
+
+    #[test]
+    fn gcc_plateau_is_lower_than_icc_plateau() {
+        let icc = experiment(CompilerPersonality::IntelIcc);
+        let gcc = experiment(CompilerPersonality::Gcc);
+        let icc_peak =
+            BoxStats::from_samples(&icc.run_samples(12, &icc.paper_pinned_policy(12), 1)).unwrap();
+        let gcc_peak =
+            BoxStats::from_samples(&gcc.run_samples(12, &gcc.paper_pinned_policy(12), 1)).unwrap();
+        assert!(
+            gcc_peak.median < 0.85 * icc_peak.median,
+            "gcc ({}) must stay well below icc ({})",
+            gcc_peak.median,
+            icc_peak.median
+        );
+        assert!(gcc_peak.median > 25_000.0, "but still reach ≈ 30 GB/s");
+    }
+
+    #[test]
+    fn bandwidth_saturates_with_increasing_thread_count() {
+        let e = experiment(CompilerPersonality::IntelIcc);
+        let series = e.series([1usize, 2, 4, 6, 12, 24], |t| e.paper_pinned_policy(t), 5);
+        let medians: Vec<f64> = series.iter().map(|p| p.stats.median).collect();
+        assert!(medians[0] < 12_000.0);
+        // Monotone non-decreasing up to the plateau, then flat within 10%.
+        for w in medians.windows(2) {
+            assert!(w[1] > w[0] * 0.9, "no drastic drop along the pinned curve: {medians:?}");
+        }
+        let plateau = medians.last().unwrap();
+        assert!((plateau - medians[4]).abs() / plateau < 0.1, "plateau is flat: {medians:?}");
+    }
+
+    #[test]
+    fn istanbul_figures_9_and_10_shape() {
+        let mut e = StreamExperiment::new(MachinePreset::IstanbulH2S, CompilerPersonality::IntelIcc);
+        e.samples_per_point = 30;
+        let unpinned = BoxStats::from_samples(&e.run_samples(6, &PlacementPolicy::Unpinned, 9)).unwrap();
+        let pinned = BoxStats::from_samples(&e.run_samples(6, &e.paper_pinned_policy(6), 9)).unwrap();
+        assert!(unpinned.relative_spread() > pinned.relative_spread());
+        let full = BoxStats::from_samples(&e.run_samples(12, &e.paper_pinned_policy(12), 9)).unwrap();
+        assert!(
+            full.median > 22_000.0 && full.median < 26_000.0,
+            "Istanbul plateau ≈ 24-25 GB/s, got {}",
+            full.median
+        );
+    }
+
+    #[test]
+    fn paper_thread_counts_cover_the_machine() {
+        let e = experiment(CompilerPersonality::IntelIcc);
+        let counts = e.paper_thread_counts();
+        assert_eq!(counts.first(), Some(&1));
+        assert_eq!(counts.last(), Some(&24));
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type shared by the machine substrate.
+
+use core::fmt;
+
+/// Errors raised by the simulated machine interfaces.
+///
+/// These mirror the failure modes the real tools see: an invalid hardware
+/// thread index (no such `/dev/cpu/N/msr` file), an unknown or unimplemented
+/// MSR address (the real module returns `EIO`), a write to a read-only
+/// register, or insufficient permission on the device file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineError {
+    /// The hardware thread index does not exist on this machine.
+    NoSuchCpu { cpu: usize, available: usize },
+    /// The MSR address is not implemented on this microarchitecture.
+    UnknownMsr { cpu: usize, address: u32 },
+    /// The MSR exists but is read-only (e.g. fixed hardware identification).
+    ReadOnlyMsr { address: u32 },
+    /// The MSR device was opened without write permission.
+    PermissionDenied { address: u32 },
+    /// A reserved bit was set in a register that checks reserved bits.
+    ReservedBits { address: u32, value: u64, reserved_mask: u64 },
+    /// A cpuid leaf outside the supported range was requested.
+    UnsupportedLeaf { leaf: u32, subleaf: u32 },
+    /// Topology construction was given inconsistent parameters.
+    InvalidTopology(String),
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::NoSuchCpu { cpu, available } => {
+                write!(f, "no such hardware thread {cpu} (machine has {available})")
+            }
+            MachineError::UnknownMsr { cpu, address } => {
+                write!(f, "rdmsr/wrmsr on cpu {cpu}: unknown MSR {address:#x}")
+            }
+            MachineError::ReadOnlyMsr { address } => {
+                write!(f, "MSR {address:#x} is read-only")
+            }
+            MachineError::PermissionDenied { address } => {
+                write!(f, "MSR device not opened for writing (MSR {address:#x})")
+            }
+            MachineError::ReservedBits { address, value, reserved_mask } => write!(
+                f,
+                "write of {value:#x} to MSR {address:#x} touches reserved bits {reserved_mask:#x}"
+            ),
+            MachineError::UnsupportedLeaf { leaf, subleaf } => {
+                write!(f, "cpuid leaf {leaf:#x} subleaf {subleaf:#x} not supported")
+            }
+            MachineError::InvalidTopology(msg) => write!(f, "invalid topology: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+/// Convenience alias used throughout the substrate.
+pub type Result<T> = std::result::Result<T, MachineError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_key_fields() {
+        let e = MachineError::NoSuchCpu { cpu: 99, available: 8 };
+        assert!(e.to_string().contains("99"));
+        assert!(e.to_string().contains('8'));
+
+        let e = MachineError::UnknownMsr { cpu: 1, address: 0x186 };
+        assert!(e.to_string().contains("0x186"));
+
+        let e = MachineError::ReservedBits { address: 0x38d, value: 0xff, reserved_mask: 0xf0 };
+        assert!(e.to_string().contains("0x38d"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<MachineError>();
+    }
+}

@@ -1,0 +1,335 @@
+//! Switchable processor features controlled through `IA32_MISC_ENABLE`.
+//!
+//! `likwid-features` reports the state of the feature and prefetcher bits of
+//! the `IA32_MISC_ENABLE` MSR and can toggle the four prefetchers on Core 2
+//! class hardware (hardware/stream prefetcher, adjacent-cache-line
+//! prefetcher, DCU prefetcher, IP prefetcher). The bit positions follow the
+//! Intel SDM; note that for the prefetchers a *set* bit means the unit is
+//! **disabled**.
+
+/// Bit definitions inside `IA32_MISC_ENABLE`.
+pub struct MiscEnable;
+
+impl MiscEnable {
+    /// Fast-strings enable (bit 0, enabled when set).
+    pub const FAST_STRINGS: u64 = 1 << 0;
+    /// Automatic thermal control circuit enable (bit 3).
+    pub const AUTO_THERMAL_CONTROL: u64 = 1 << 3;
+    /// Performance monitoring available (bit 7, read-only informational).
+    pub const PERFMON_AVAILABLE: u64 = 1 << 7;
+    /// Hardware (stream) prefetcher **disable** (bit 9).
+    pub const HW_PREFETCHER_DISABLE: u64 = 1 << 9;
+    /// Branch trace storage unavailable (bit 11; clear means supported).
+    pub const BTS_UNAVAILABLE: u64 = 1 << 11;
+    /// Precise event based sampling unavailable (bit 12; clear means supported).
+    pub const PEBS_UNAVAILABLE: u64 = 1 << 12;
+    /// Enhanced Intel SpeedStep enable (bit 16).
+    pub const ENHANCED_SPEEDSTEP: u64 = 1 << 16;
+    /// MONITOR/MWAIT enable (bit 18).
+    pub const MONITOR_MWAIT: u64 = 1 << 18;
+    /// Adjacent cache line prefetcher **disable** (bit 19).
+    pub const CL_PREFETCHER_DISABLE: u64 = 1 << 19;
+    /// Limit CPUID max value (bit 22).
+    pub const LIMIT_CPUID_MAXVAL: u64 = 1 << 22;
+    /// XD (execute disable) bit **disable** (bit 34).
+    pub const XD_BIT_DISABLE: u64 = 1 << 34;
+    /// DCU (L1 streaming) prefetcher **disable** (bit 37).
+    pub const DCU_PREFETCHER_DISABLE: u64 = 1 << 37;
+    /// Intel Dynamic Acceleration / turbo **disable** (bit 38).
+    pub const IDA_DISABLE: u64 = 1 << 38;
+    /// IP (instruction-pointer strided) prefetcher **disable** (bit 39).
+    pub const IP_PREFETCHER_DISABLE: u64 = 1 << 39;
+
+    /// Power-on value used by the machine presets: fast strings, thermal
+    /// control, perfmon, SpeedStep and MONITOR/MWAIT enabled, all four
+    /// prefetchers enabled (their disable bits clear), BTS/PEBS supported
+    /// (their "unavailable" bits clear), IDA disabled (bit set — matching the
+    /// likwid-features listing in the paper).
+    pub const RESET_VALUE: u64 = Self::FAST_STRINGS
+        | Self::AUTO_THERMAL_CONTROL
+        | Self::PERFMON_AVAILABLE
+        | Self::ENHANCED_SPEEDSTEP
+        | Self::MONITOR_MWAIT
+        | Self::IDA_DISABLE;
+}
+
+/// The four hardware prefetchers likwid-features can toggle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Prefetcher {
+    /// L2 hardware (stream) prefetcher fetching from memory into L2.
+    Hardware,
+    /// Adjacent cache line prefetcher (fetches the buddy line, completing a
+    /// 128-byte aligned pair).
+    AdjacentLine,
+    /// DCU prefetcher: streams successive lines into L1D.
+    Dcu,
+    /// IP-based strided prefetcher in L1D.
+    Ip,
+}
+
+impl Prefetcher {
+    /// The disable bit controlling this prefetcher.
+    pub fn disable_bit(self) -> u64 {
+        match self {
+            Prefetcher::Hardware => MiscEnable::HW_PREFETCHER_DISABLE,
+            Prefetcher::AdjacentLine => MiscEnable::CL_PREFETCHER_DISABLE,
+            Prefetcher::Dcu => MiscEnable::DCU_PREFETCHER_DISABLE,
+            Prefetcher::Ip => MiscEnable::IP_PREFETCHER_DISABLE,
+        }
+    }
+
+    /// Command-line name used by `likwid-features` (`-u CL_PREFETCHER`, …).
+    pub fn cli_name(self) -> &'static str {
+        match self {
+            Prefetcher::Hardware => "HW_PREFETCHER",
+            Prefetcher::AdjacentLine => "CL_PREFETCHER",
+            Prefetcher::Dcu => "DCU_PREFETCHER",
+            Prefetcher::Ip => "IP_PREFETCHER",
+        }
+    }
+
+    /// Parse a command-line name.
+    pub fn from_cli_name(name: &str) -> Option<Self> {
+        match name {
+            "HW_PREFETCHER" => Some(Prefetcher::Hardware),
+            "CL_PREFETCHER" => Some(Prefetcher::AdjacentLine),
+            "DCU_PREFETCHER" => Some(Prefetcher::Dcu),
+            "IP_PREFETCHER" => Some(Prefetcher::Ip),
+            _ => None,
+        }
+    }
+
+    /// Human-readable name as listed by `likwid-features`.
+    pub fn display_name(self) -> &'static str {
+        match self {
+            Prefetcher::Hardware => "Hardware Prefetcher",
+            Prefetcher::AdjacentLine => "Adjacent Cache Line Prefetch",
+            Prefetcher::Dcu => "DCU Prefetcher",
+            Prefetcher::Ip => "IP Prefetcher",
+        }
+    }
+
+    /// All prefetchers.
+    pub fn all() -> &'static [Prefetcher] {
+        &[Prefetcher::Hardware, Prefetcher::AdjacentLine, Prefetcher::Dcu, Prefetcher::Ip]
+    }
+
+    /// Whether this prefetcher is enabled given an `IA32_MISC_ENABLE` value.
+    pub fn is_enabled(self, misc_enable: u64) -> bool {
+        misc_enable & self.disable_bit() == 0
+    }
+}
+
+/// State of a switchable feature as reported by `likwid-features`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum FeatureState {
+    /// Feature is switched on.
+    Enabled,
+    /// Feature is switched off.
+    Disabled,
+    /// Feature is present but not switchable (reported as "supported").
+    Supported,
+    /// Feature is absent.
+    NotSupported,
+}
+
+impl FeatureState {
+    /// Text used in the tool output.
+    pub fn display(self) -> &'static str {
+        match self {
+            FeatureState::Enabled => "enabled",
+            FeatureState::Disabled => "disabled",
+            FeatureState::Supported => "supported",
+            FeatureState::NotSupported => "not supported",
+        }
+    }
+}
+
+/// The full list of features `likwid-features` reports, in output order
+/// (matching the Core 2 listing in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum CpuFeature {
+    /// REP MOVS/STOS fast-string operation.
+    FastStrings,
+    /// Automatic thermal control circuit.
+    AutomaticThermalControl,
+    /// Performance monitoring facilities.
+    PerformanceMonitoring,
+    /// L2 hardware prefetcher.
+    HardwarePrefetcher,
+    /// Branch trace storage.
+    BranchTraceStorage,
+    /// Precise event based sampling.
+    Pebs,
+    /// Enhanced Intel SpeedStep.
+    EnhancedSpeedStep,
+    /// MONITOR/MWAIT instructions.
+    MonitorMwait,
+    /// Adjacent cache line prefetcher.
+    AdjacentCacheLinePrefetch,
+    /// Limit CPUID maximum leaf.
+    LimitCpuidMaxval,
+    /// Execute-disable bit.
+    XdBitDisable,
+    /// DCU prefetcher.
+    DcuPrefetcher,
+    /// Intel Dynamic Acceleration (turbo).
+    IntelDynamicAcceleration,
+    /// IP prefetcher.
+    IpPrefetcher,
+}
+
+impl CpuFeature {
+    /// All reportable features in the output order of `likwid-features`.
+    pub fn all() -> &'static [CpuFeature] {
+        &[
+            CpuFeature::FastStrings,
+            CpuFeature::AutomaticThermalControl,
+            CpuFeature::PerformanceMonitoring,
+            CpuFeature::HardwarePrefetcher,
+            CpuFeature::BranchTraceStorage,
+            CpuFeature::Pebs,
+            CpuFeature::EnhancedSpeedStep,
+            CpuFeature::MonitorMwait,
+            CpuFeature::AdjacentCacheLinePrefetch,
+            CpuFeature::LimitCpuidMaxval,
+            CpuFeature::XdBitDisable,
+            CpuFeature::DcuPrefetcher,
+            CpuFeature::IntelDynamicAcceleration,
+            CpuFeature::IpPrefetcher,
+        ]
+    }
+
+    /// Display name matching the paper's listing.
+    pub fn display_name(self) -> &'static str {
+        match self {
+            CpuFeature::FastStrings => "Fast-Strings",
+            CpuFeature::AutomaticThermalControl => "Automatic Thermal Control",
+            CpuFeature::PerformanceMonitoring => "Performance monitoring",
+            CpuFeature::HardwarePrefetcher => "Hardware Prefetcher",
+            CpuFeature::BranchTraceStorage => "Branch Trace Storage",
+            CpuFeature::Pebs => "PEBS",
+            CpuFeature::EnhancedSpeedStep => "Intel Enhanced SpeedStep",
+            CpuFeature::MonitorMwait => "MONITOR/MWAIT",
+            CpuFeature::AdjacentCacheLinePrefetch => "Adjacent Cache Line Prefetch",
+            CpuFeature::LimitCpuidMaxval => "Limit CPUID Maxval",
+            CpuFeature::XdBitDisable => "XD Bit Disable",
+            CpuFeature::DcuPrefetcher => "DCU Prefetcher",
+            CpuFeature::IntelDynamicAcceleration => "Intel Dynamic Acceleration",
+            CpuFeature::IpPrefetcher => "IP Prefetcher",
+        }
+    }
+
+    /// Derive the reported state from an `IA32_MISC_ENABLE` value.
+    pub fn state_from_misc_enable(self, misc: u64) -> FeatureState {
+        use FeatureState::*;
+        let enabled_if_set = |bit: u64| if misc & bit != 0 { Enabled } else { Disabled };
+        let enabled_if_clear = |bit: u64| if misc & bit == 0 { Enabled } else { Disabled };
+        let supported_if_clear = |bit: u64| if misc & bit == 0 { Supported } else { NotSupported };
+        match self {
+            CpuFeature::FastStrings => enabled_if_set(MiscEnable::FAST_STRINGS),
+            CpuFeature::AutomaticThermalControl => {
+                enabled_if_set(MiscEnable::AUTO_THERMAL_CONTROL)
+            }
+            CpuFeature::PerformanceMonitoring => enabled_if_set(MiscEnable::PERFMON_AVAILABLE),
+            CpuFeature::HardwarePrefetcher => enabled_if_clear(MiscEnable::HW_PREFETCHER_DISABLE),
+            CpuFeature::BranchTraceStorage => supported_if_clear(MiscEnable::BTS_UNAVAILABLE),
+            CpuFeature::Pebs => supported_if_clear(MiscEnable::PEBS_UNAVAILABLE),
+            CpuFeature::EnhancedSpeedStep => enabled_if_set(MiscEnable::ENHANCED_SPEEDSTEP),
+            CpuFeature::MonitorMwait => {
+                if misc & MiscEnable::MONITOR_MWAIT != 0 {
+                    Supported
+                } else {
+                    NotSupported
+                }
+            }
+            CpuFeature::AdjacentCacheLinePrefetch => {
+                enabled_if_clear(MiscEnable::CL_PREFETCHER_DISABLE)
+            }
+            CpuFeature::LimitCpuidMaxval => enabled_if_set(MiscEnable::LIMIT_CPUID_MAXVAL),
+            CpuFeature::XdBitDisable => {
+                if misc & MiscEnable::XD_BIT_DISABLE != 0 {
+                    Enabled
+                } else {
+                    Disabled
+                }
+            }
+            CpuFeature::DcuPrefetcher => enabled_if_clear(MiscEnable::DCU_PREFETCHER_DISABLE),
+            CpuFeature::IntelDynamicAcceleration => enabled_if_clear(MiscEnable::IDA_DISABLE),
+            CpuFeature::IpPrefetcher => enabled_if_clear(MiscEnable::IP_PREFETCHER_DISABLE),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_value_enables_all_prefetchers() {
+        for &p in Prefetcher::all() {
+            assert!(p.is_enabled(MiscEnable::RESET_VALUE), "{p:?} should be enabled after reset");
+        }
+    }
+
+    #[test]
+    fn disabling_a_prefetcher_sets_only_its_bit() {
+        let v = MiscEnable::RESET_VALUE | Prefetcher::AdjacentLine.disable_bit();
+        assert!(!Prefetcher::AdjacentLine.is_enabled(v));
+        assert!(Prefetcher::Hardware.is_enabled(v));
+        assert!(Prefetcher::Dcu.is_enabled(v));
+        assert!(Prefetcher::Ip.is_enabled(v));
+    }
+
+    #[test]
+    fn cli_names_round_trip() {
+        for &p in Prefetcher::all() {
+            assert_eq!(Prefetcher::from_cli_name(p.cli_name()), Some(p));
+        }
+        assert_eq!(Prefetcher::from_cli_name("NOT_A_PREFETCHER"), None);
+    }
+
+    #[test]
+    fn reset_state_matches_the_paper_listing() {
+        // The paper's likwid-features output on Core 2: Fast-Strings enabled,
+        // prefetchers enabled, BTS/PEBS supported, SpeedStep enabled,
+        // Intel Dynamic Acceleration disabled.
+        let misc = MiscEnable::RESET_VALUE;
+        assert_eq!(CpuFeature::FastStrings.state_from_misc_enable(misc), FeatureState::Enabled);
+        assert_eq!(
+            CpuFeature::HardwarePrefetcher.state_from_misc_enable(misc),
+            FeatureState::Enabled
+        );
+        assert_eq!(
+            CpuFeature::BranchTraceStorage.state_from_misc_enable(misc),
+            FeatureState::Supported
+        );
+        assert_eq!(CpuFeature::Pebs.state_from_misc_enable(misc), FeatureState::Supported);
+        assert_eq!(
+            CpuFeature::IntelDynamicAcceleration.state_from_misc_enable(misc),
+            FeatureState::Disabled
+        );
+        assert_eq!(
+            CpuFeature::MonitorMwait.state_from_misc_enable(misc),
+            FeatureState::Supported
+        );
+    }
+
+    #[test]
+    fn feature_list_has_the_paper_order_and_length() {
+        let all = CpuFeature::all();
+        assert_eq!(all.len(), 14);
+        assert_eq!(all[0], CpuFeature::FastStrings);
+        assert_eq!(all[13], CpuFeature::IpPrefetcher);
+    }
+
+    #[test]
+    fn display_strings_are_stable() {
+        assert_eq!(FeatureState::Enabled.display(), "enabled");
+        assert_eq!(FeatureState::NotSupported.display(), "not supported");
+        assert_eq!(Prefetcher::AdjacentLine.display_name(), "Adjacent Cache Line Prefetch");
+    }
+}

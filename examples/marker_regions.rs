@@ -1,0 +1,69 @@
+//! The marker-API listing of Section II-A: two named regions ("Init" and
+//! "Benchmark") measured with the FLOPS_DP group on an Intel Core 2 Quad,
+//! with automatic accumulation over repeated region executions.
+//!
+//! Run with `cargo run --example marker_regions`.
+
+use likwid_suite::likwid::marker::MarkerApi;
+use likwid_suite::likwid::perfctr::{EventGroupKind, MeasurementSpec, PerfCtr, PerfCtrConfig};
+use likwid_suite::perf_events::{EventEngine, EventSample, HwEventKind};
+use likwid_suite::x86_machine::{MachinePreset, SimMachine};
+
+/// Simulate one execution of a code region on the given cores.
+fn run_region(machine: &SimMachine, cores: &[usize], packed_dp: u64, cycles: u64, instructions: u64) {
+    let engine = EventEngine::new(machine);
+    let mut sample = EventSample::new(machine.num_hw_threads(), 1);
+    for &cpu in cores {
+        sample.threads[cpu].add(HwEventKind::SimdPackedDouble, packed_dp);
+        sample.threads[cpu].add(HwEventKind::SimdScalarDouble, 1);
+        sample.threads[cpu].add(HwEventKind::CoreCycles, cycles);
+        sample.threads[cpu].add(HwEventKind::InstructionsRetired, instructions);
+    }
+    engine.apply(machine, &sample);
+}
+
+fn main() {
+    let machine = SimMachine::new(MachinePreset::Core2Quad);
+    let cores = [0usize, 1, 2, 3];
+
+    println!("{}", machine.header());
+    println!("Measuring group FLOPS_DP");
+
+    let mut session = PerfCtr::new(
+        &machine,
+        PerfCtrConfig {
+            cpus: cores.to_vec(),
+            spec: MeasurementSpec::Group(EventGroupKind::FLOPS_DP),
+        },
+    )
+    .expect("counter session");
+    session.start().expect("start");
+
+    // likwid_markerInit(numberOfThreads, numberOfRegions)
+    let mut marker = MarkerApi::init(cores.len(), 2);
+    let init = marker.register_region("Init");
+    let benchmark = marker.register_region("Benchmark");
+
+    // Region "Init": almost no floating point work.
+    for (thread, &core) in cores.iter().enumerate() {
+        marker.start_region(thread, core, &session).expect("start Init");
+    }
+    run_region(&machine, &cores, 0, 450_000, 350_000);
+    for (thread, &core) in cores.iter().enumerate() {
+        marker.stop_region(thread, core, init, &session).expect("stop Init");
+    }
+
+    // Region "Benchmark": executed several times; counts accumulate.
+    for _pass in 0..4 {
+        for (thread, &core) in cores.iter().enumerate() {
+            marker.start_region(thread, core, &session).expect("start Benchmark");
+        }
+        run_region(&machine, &cores, 2_048_000, 7_145_950, 4_700_600);
+        for (thread, &core) in cores.iter().enumerate() {
+            marker.stop_region(thread, core, benchmark, &session).expect("stop Benchmark");
+        }
+    }
+
+    marker.close().expect("markerClose");
+    print!("{}", marker.render(&session).expect("render"));
+}

@@ -1,0 +1,41 @@
+//! The likwid-features listing of Section II-D: report the switchable
+//! features of a Core 2 processor, toggle the adjacent-cache-line
+//! prefetcher, and show the effect on the simulated cache traffic.
+//!
+//! Run with `cargo run --example prefetcher_toggle`.
+
+use likwid_suite::cache_sim::{Access, HierarchyConfig, NodeCacheSystem, NumaPolicy};
+use likwid_suite::likwid::features::FeaturesTool;
+use likwid_suite::x86_machine::{MachinePreset, Prefetcher, SimMachine};
+
+/// Stream a few thousand lines through the hierarchy and report the L2
+/// demand misses — the quantity the prefetchers hide.
+fn l2_demand_misses(machine: &SimMachine) -> u64 {
+    let config = HierarchyConfig::from_machine(machine, NumaPolicy::SingleNode { socket: 0 });
+    let mut sys = NodeCacheSystem::new(config);
+    for i in 0..20_000u64 {
+        sys.access(0, Access::load(i * 64));
+    }
+    sys.stats().level_total(2).misses
+}
+
+fn main() {
+    let machine = SimMachine::new(MachinePreset::Core2Duo);
+    let tool = FeaturesTool::new(&machine);
+
+    println!("{}", tool.render(0).expect("feature report"));
+    let before = l2_demand_misses(&machine);
+    println!("L2 demand misses while streaming 20k lines (all prefetchers on): {before}");
+
+    println!("\n$ likwid-features -u CL_PREFETCHER -u HW_PREFETCHER\n");
+    tool.disable_prefetcher(0, Prefetcher::AdjacentLine).expect("disable CL");
+    tool.disable_prefetcher(0, Prefetcher::Hardware).expect("disable HW");
+    println!("{}", tool.render(0).expect("feature report"));
+
+    let after = l2_demand_misses(&machine);
+    println!("L2 demand misses with the L2 prefetchers disabled:            {after}");
+    println!(
+        "\nDisabling the prefetchers exposes {}x more demand misses on this streaming pattern.",
+        if before == 0 { 0 } else { after / before.max(1) }
+    );
+}

@@ -1,0 +1,48 @@
+//! Quickstart: probe a node's topology and measure a small kernel with the
+//! FLOPS_DP event group — the two things a new LIKWID user does first.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use likwid_suite::likwid::perfctr::{EventGroupKind, MeasurementSpec, PerfCtr, PerfCtrConfig};
+use likwid_suite::likwid::topology::CpuTopology;
+use likwid_suite::perf_events::{EventEngine, EventSample, HwEventKind};
+use likwid_suite::x86_machine::{MachinePreset, SimMachine};
+
+fn main() {
+    // 1. likwid-topology: probe the node through cpuid and print the listing.
+    let machine = SimMachine::new(MachinePreset::WestmereEp2S);
+    let topology = CpuTopology::probe(&machine).expect("topology probe");
+    println!("{}", topology.render_text(true));
+    println!("{}", topology.render_ascii_socket(0));
+
+    // 2. likwid-perfctr in wrapper mode: measure the FLOPS_DP group on four
+    //    cores while a (simulated) kernel runs.
+    let mut session = PerfCtr::new(
+        &machine,
+        PerfCtrConfig {
+            cpus: vec![0, 1, 2, 3],
+            spec: MeasurementSpec::Group(EventGroupKind::FLOPS_DP),
+        },
+    )
+    .expect("counter session");
+
+    let (_, results) = session
+        .measure(|machine| {
+            // The "application": every core retires 8.192 million packed
+            // double-precision SSE operations in about 10 ms of cycles.
+            let engine = EventEngine::new(machine);
+            let mut sample =
+                EventSample::new(machine.num_hw_threads(), machine.topology().sockets as usize);
+            for cpu in 0..4 {
+                sample.threads[cpu].set(HwEventKind::SimdPackedDouble, 8_192_000);
+                sample.threads[cpu].set(HwEventKind::SimdScalarDouble, 1);
+                sample.threads[cpu].set(HwEventKind::InstructionsRetired, 18_802_400);
+                sample.threads[cpu].set(HwEventKind::CoreCycles, 28_583_800);
+            }
+            engine.apply(machine, &sample);
+        })
+        .expect("measurement");
+
+    println!("Measuring group FLOPS_DP");
+    println!("{}", results.render());
+}

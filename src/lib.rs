@@ -1,0 +1,12 @@
+//! Umbrella crate for the LIKWID reproduction.
+//!
+//! Re-exports the substrate and tool crates under one roof so that examples
+//! and downstream users can depend on a single crate.
+
+pub use likwid;
+pub use likwid_affinity as affinity;
+pub use likwid_cache_sim as cache_sim;
+pub use likwid_papi_compat as papi_compat;
+pub use likwid_perf_events as perf_events;
+pub use likwid_workloads as workloads;
+pub use likwid_x86_machine as x86_machine;

@@ -1,0 +1,142 @@
+//! Property-based tests over the substrate crates: invariants that must
+//! hold for arbitrary inputs, not just the machines of the paper.
+
+use proptest::prelude::*;
+
+use likwid_suite::cache_sim::{
+    Access, AccessKind, CacheLevelConfig, HierarchyConfig, NodeCacheSystem, NumaPolicy,
+    PrefetchConfig, ReplacementPolicy, WritePolicy,
+};
+use likwid_suite::likwid::perfctr::Formula;
+use likwid_suite::likwid::topology::CpuTopology;
+use likwid_suite::affinity::{parse_pin_list, SkipMask, PthreadPinner};
+use likwid_suite::x86_machine::{MachinePreset, SimMachine};
+
+/// A small synthetic hierarchy for property runs.
+fn tiny_hierarchy(prefetch_on: bool) -> HierarchyConfig {
+    let level = |level, sets, ways, shared| CacheLevelConfig {
+        level,
+        sets,
+        ways,
+        line_size: 64,
+        inclusive: level == 3,
+        shared_by_threads: shared,
+        write_policy: WritePolicy::WriteBackAllocate,
+        replacement: ReplacementPolicy::Lru,
+    };
+    HierarchyConfig {
+        levels: vec![level(1, 8, 2, 1), level(2, 32, 4, 1), level(3, 128, 8, 2)],
+        num_threads: 4,
+        thread_socket: vec![0, 0, 1, 1],
+        thread_core: vec![0, 1, 2, 3],
+        num_sockets: 2,
+        prefetch: if prefetch_on { PrefetchConfig::all_enabled() } else { PrefetchConfig::all_disabled() },
+        numa_policy: NumaPolicy::interleave(4096),
+        memory_line_size: 64,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// At every cache level, demand hits + misses always equals demand
+    /// accesses and loads + stores equals accesses, whatever the access mix.
+    #[test]
+    fn cache_sim_counters_are_consistent(
+        ops in prop::collection::vec((0usize..4, 0u64..4096, prop::bool::ANY, prop::bool::ANY), 1..400),
+        prefetch_on in prop::bool::ANY,
+    ) {
+        let mut sys = NodeCacheSystem::new(tiny_hierarchy(prefetch_on));
+        for (thread, line, is_store, is_nt) in ops {
+            let kind = match (is_store, is_nt) {
+                (true, true) => AccessKind::NonTemporalStore,
+                (true, false) => AccessKind::Store,
+                _ => AccessKind::Load,
+            };
+            sys.access(thread, Access { address: line * 64, size: 8, kind });
+        }
+        let stats = sys.stats();
+        for level in &stats.levels {
+            for inst in &level.instances {
+                prop_assert!(inst.is_consistent(), "level {} instance inconsistent: {:?}", level.level, inst);
+            }
+        }
+    }
+
+    /// Memory traffic is monotone in the working-set size for a streaming
+    /// load pattern: touching more distinct lines never reads fewer bytes.
+    #[test]
+    fn streaming_traffic_is_monotone(lines_a in 1u64..2000, lines_b in 1u64..2000) {
+        let run = |lines: u64| {
+            let mut sys = NodeCacheSystem::new(tiny_hierarchy(false));
+            for i in 0..lines {
+                sys.access(0, Access::load(i * 64));
+            }
+            sys.stats().total_memory_bytes()
+        };
+        let (small, large) = if lines_a <= lines_b { (lines_a, lines_b) } else { (lines_b, lines_a) };
+        prop_assert!(run(small) <= run(large));
+    }
+
+    /// Pin-list parsing of plain numeric expressions round-trips: every id
+    /// appears, in order, and within the machine's range.
+    #[test]
+    fn numeric_pin_lists_round_trip(ids in prop::collection::vec(0usize..24, 1..24)) {
+        let topo = MachinePreset::WestmereEp2S.topology();
+        let expr = ids.iter().map(|i| i.to_string()).collect::<Vec<_>>().join(",");
+        let parsed = parse_pin_list(&expr, &topo).unwrap();
+        prop_assert_eq!(parsed, ids);
+    }
+
+    /// The wrapper pin logic never pins two worker threads to the same
+    /// pin-list entry and never pins a skipped thread, for arbitrary skip
+    /// masks and list lengths.
+    #[test]
+    fn pinner_assignments_are_unique(skip_mask in 0u64..64, list_len in 1usize..16, creations in 1usize..24) {
+        let pin_list: Vec<usize> = (0..list_len).collect();
+        let mut pinner = PthreadPinner::new(pin_list, SkipMask(skip_mask));
+        let mut assigned = Vec::new();
+        for i in 0..creations {
+            let outcome = pinner.on_thread_create();
+            if SkipMask(skip_mask).skips(i) {
+                prop_assert_eq!(outcome.cpu(), None, "skipped threads are never pinned");
+            }
+            if let Some(cpu) = outcome.cpu() {
+                prop_assert!(!assigned.contains(&cpu), "entry {cpu} assigned twice");
+                assigned.push(cpu);
+            }
+        }
+    }
+
+    /// The metric formula parser never panics and evaluation is exact for
+    /// simple linear combinations.
+    #[test]
+    fn formula_linear_combination(a in -1.0e6..1.0e6f64, b in -1.0e6..1.0e6f64, x in -1.0e3..1.0e3f64) {
+        let f = Formula::parse("A*X+B").unwrap();
+        let vars: std::collections::HashMap<String, f64> =
+            [("A".to_string(), a), ("B".to_string(), b), ("X".to_string(), x)].into_iter().collect();
+        let value = f.evaluate(&vars).unwrap();
+        prop_assert!((value - (a * x + b)).abs() <= 1e-6 * (1.0 + value.abs()));
+    }
+
+    /// Arbitrary garbage never makes the formula parser panic.
+    #[test]
+    fn formula_parser_is_total(src in "[A-Za-z0-9+*/()., -]{0,40}") {
+        let _ = Formula::parse(&src);
+    }
+}
+
+/// The cpuid-decoded topology matches the ground truth for every preset —
+/// run as a plain test here as well so the workspace-level suite covers it.
+#[test]
+fn decoded_topology_matches_ground_truth_everywhere() {
+    for &preset in MachinePreset::all() {
+        let machine = SimMachine::new(preset);
+        let probed = CpuTopology::probe(&machine).unwrap();
+        let truth = machine.topology();
+        assert_eq!(probed.sockets, truth.sockets);
+        assert_eq!(probed.cores_per_socket, truth.cores_per_socket);
+        assert_eq!(probed.threads_per_core, truth.threads_per_core);
+        assert_eq!(probed.hw_threads.len(), truth.num_hw_threads());
+    }
+}
