@@ -51,9 +51,7 @@ impl CpuSet {
 
     /// Whether the set contains a hardware thread.
     pub fn contains(&self, cpu: usize) -> bool {
-        self.bits
-            .get(cpu / 64)
-            .map_or(false, |w| w & (1 << (cpu % 64)) != 0)
+        self.bits.get(cpu / 64).map_or(false, |w| w & (1 << (cpu % 64)) != 0)
     }
 
     /// Number of hardware threads in the set.
@@ -69,13 +67,15 @@ impl CpuSet {
     /// The members in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
         self.bits.iter().enumerate().flat_map(|(word, &w)| {
-            (0..64).filter_map(move |bit| {
-                if w & (1 << bit) != 0 {
-                    Some(word * 64 + bit)
-                } else {
-                    None
-                }
-            })
+            (0..64).filter_map(
+                move |bit| {
+                    if w & (1 << bit) != 0 {
+                        Some(word * 64 + bit)
+                    } else {
+                        None
+                    }
+                },
+            )
         })
     }
 

@@ -38,14 +38,10 @@ fn parse_numeric_list(expr: &str) -> Result<Vec<usize>, PinListError> {
             continue;
         }
         if let Some((lo, hi)) = part.split_once('-') {
-            let lo: usize = lo
-                .trim()
-                .parse()
-                .map_err(|_| PinListError::Syntax(part.to_string()))?;
-            let hi: usize = hi
-                .trim()
-                .parse()
-                .map_err(|_| PinListError::Syntax(part.to_string()))?;
+            let lo: usize =
+                lo.trim().parse().map_err(|_| PinListError::Syntax(part.to_string()))?;
+            let hi: usize =
+                hi.trim().parse().map_err(|_| PinListError::Syntax(part.to_string()))?;
             if hi < lo {
                 return Err(PinListError::Syntax(part.to_string()));
             }
@@ -84,11 +80,15 @@ pub fn parse_pin_list(expr: &str, topo: &TopologySpec) -> Result<Vec<usize>, Pin
             let Some((socket_str, list_str)) = rest.split_once(':') else {
                 return Err(PinListError::Syntax(part.to_string()));
             };
-            let socket: u32 = socket_str
-                .parse()
-                .map_err(|_| PinListError::Syntax(part.to_string()))?;
+            let socket: u32 =
+                socket_str.parse().map_err(|_| PinListError::Syntax(part.to_string()))?;
             if socket >= topo.sockets {
                 return Err(PinListError::OutOfRange(part.to_string()));
+            }
+            let entries = parse_numeric_list(list_str)?;
+            if entries.is_empty() {
+                // "S0:" or "S0:," — a socket domain must select something.
+                return Err(PinListError::Syntax(part.to_string()));
             }
             // "Physical cores first, then SMT threads": the k-th entry of a
             // socket is the k-th physical core's SMT thread 0 for
@@ -96,7 +96,7 @@ pub fn parse_pin_list(expr: &str, topo: &TopologySpec) -> Result<Vec<usize>, Pin
             // core, and so on.
             let cores = topo.socket_cores(socket);
             let cores_per_socket = cores.len();
-            let expanded: Vec<usize> = parse_numeric_list(list_str)?
+            let expanded: Vec<usize> = entries
                 .into_iter()
                 .map(|k| {
                     let smt = k / cores_per_socket;
@@ -247,7 +247,10 @@ mod tests {
         let p = scatter_placement(&topo, 13);
         assert_eq!(p.len(), 13);
         let physical_first_12: Vec<usize> = p[..12].to_vec();
-        assert!(physical_first_12.iter().all(|&id| id < 12), "first 12 threads use physical cores (SMT 0)");
+        assert!(
+            physical_first_12.iter().all(|&id| id < 12),
+            "first 12 threads use physical cores (SMT 0)"
+        );
         assert!(p[12] >= 12, "13th thread lands on an SMT sibling");
     }
 
@@ -258,6 +261,51 @@ mod tests {
         assert_eq!(p, vec![0, 1, 2, 3, 4, 5], "compact stays on socket 0's physical cores");
         let p = compact_placement(&topo, 7);
         assert_eq!(p[6], 12, "the 7th compact thread uses socket 0's first SMT sibling");
+    }
+
+    #[test]
+    fn socket_domain_covers_physical_then_smt_in_logical_order() {
+        let topo = westmere();
+        // S0:0-3 — the paper's "cores first" logical numbering within a
+        // socket domain: entries 0..5 are SMT thread 0 of each physical
+        // core, entries 6..11 their SMT siblings.
+        assert_eq!(parse_pin_list("S0:0-3", &topo).unwrap(), vec![0, 1, 2, 3]);
+        let full = parse_pin_list("S0:0-11", &topo).unwrap();
+        assert_eq!(full.len(), 12);
+        assert!(full[..6].iter().all(|&id| id < 6), "first six entries are physical cores");
+        assert!(full[6..].iter().all(|&id| (12..18).contains(&id)), "last six are SMT siblings");
+        // Logical entry k on socket 1 maps to socket 1's k-th physical core.
+        assert_eq!(parse_pin_list("S1:3", &topo).unwrap(), vec![9]);
+    }
+
+    #[test]
+    fn parsed_ids_round_trip_through_rendering() {
+        let topo = westmere();
+        for expr in ["0-3", "0,2,4,6", "5", "0-1,8-9", "11,3,7"] {
+            let ids = parse_pin_list(expr, &topo).unwrap();
+            let rendered = ids.iter().map(|i| i.to_string()).collect::<Vec<_>>().join(",");
+            assert_eq!(parse_pin_list(&rendered, &topo).unwrap(), ids, "{expr} round-trips");
+        }
+    }
+
+    #[test]
+    fn malformed_expressions_are_rejected() {
+        let topo = westmere();
+        for expr in
+            ["S0:", "S0:,", "S0:,,", "S0", "S:0", "-1", "0--3", "0x2", "1.5", "S0:0-", "@", "S0:0@"]
+        {
+            assert!(parse_pin_list(expr, &topo).is_err(), "'{expr}' must be rejected");
+        }
+        // Tolerated degenerate forms: stray empty segments between commas.
+        assert_eq!(parse_pin_list("1,,2", &topo).unwrap(), vec![1, 2]);
+        assert_eq!(parse_pin_list("0-2,", &topo).unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn whitespace_inside_expressions_is_tolerated() {
+        let topo = westmere();
+        assert_eq!(parse_pin_list(" 0 - 3 ", &topo).unwrap(), vec![0, 1, 2, 3]);
+        assert_eq!(parse_pin_list("0 , 2 , 4", &topo).unwrap(), vec![0, 2, 4]);
     }
 
     #[test]

@@ -124,31 +124,27 @@ mod tests {
     fn gcc_openmp_workers_consume_the_list_in_order() {
         // gcc, 4 OpenMP threads: the master is pinned to entry 0 and the 3
         // created workers to entries 1..3.
-        let mut p = PthreadPinner::new(vec![0, 1, 2, 3], ThreadingModel::GccOpenMp.default_skip_mask());
+        let mut p =
+            PthreadPinner::new(vec![0, 1, 2, 3], ThreadingModel::GccOpenMp.default_skip_mask());
         let outcomes: Vec<PinOutcome> = (0..3).map(|_| p.on_thread_create()).collect();
         assert_eq!(
             outcomes,
             vec![PinOutcome::Pinned(1), PinOutcome::Pinned(2), PinOutcome::Pinned(3)]
         );
-        assert_eq!(
-            p.worker_placement(),
-            vec![Some(0), Some(1), Some(2), Some(3)]
-        );
+        assert_eq!(p.worker_placement(), vec![Some(0), Some(1), Some(2), Some(3)]);
     }
 
     #[test]
     fn intel_openmp_shepherd_is_skipped_and_does_not_consume_an_entry() {
         // Intel, 4 OpenMP threads: 4 threads are created; the first is the
         // shepherd. Workers must still land on cores 1, 2, 3.
-        let mut p = PthreadPinner::new(vec![0, 1, 2, 3], ThreadingModel::IntelOpenMp.default_skip_mask());
+        let mut p =
+            PthreadPinner::new(vec![0, 1, 2, 3], ThreadingModel::IntelOpenMp.default_skip_mask());
         let outcomes: Vec<PinOutcome> = (0..4).map(|_| p.on_thread_create()).collect();
         assert_eq!(outcomes[0], PinOutcome::Skipped);
         assert_eq!(outcomes[1], PinOutcome::Pinned(1));
         assert_eq!(outcomes[3], PinOutcome::Pinned(3));
-        assert_eq!(
-            p.worker_placement(),
-            vec![Some(0), Some(1), Some(2), Some(3)]
-        );
+        assert_eq!(p.worker_placement(), vec![Some(0), Some(1), Some(2), Some(3)]);
     }
 
     #[test]
@@ -165,8 +161,10 @@ mod tests {
 
     #[test]
     fn hybrid_mask_skips_two_threads() {
-        let mut p =
-            PthreadPinner::new(vec![0, 1, 2], ThreadingModel::IntelMpiIntelOpenMp.default_skip_mask());
+        let mut p = PthreadPinner::new(
+            vec![0, 1, 2],
+            ThreadingModel::IntelMpiIntelOpenMp.default_skip_mask(),
+        );
         let outcomes: Vec<PinOutcome> = (0..4).map(|_| p.on_thread_create()).collect();
         assert_eq!(outcomes[0], PinOutcome::Skipped);
         assert_eq!(outcomes[1], PinOutcome::Skipped);

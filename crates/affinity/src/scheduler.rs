@@ -261,7 +261,10 @@ mod tests {
         for _ in 0..50 {
             let p = sched.place(&topo, 12, &mut rng);
             let summary = PlacementSummary::analyse(&topo, &p);
-            assert_eq!(summary.max_per_core, 1, "Istanbul has no SMT: one thread per core at 12 threads");
+            assert_eq!(
+                summary.max_per_core, 1,
+                "Istanbul has no SMT: one thread per core at 12 threads"
+            );
         }
     }
 

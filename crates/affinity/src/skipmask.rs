@@ -175,4 +175,31 @@ mod tests {
         assert!(!SkipMask(u64::MAX).skips(64));
         assert!(!SkipMask(u64::MAX).skips(1000));
     }
+
+    #[test]
+    fn display_and_parse_round_trip() {
+        for mask in [0u64, 1, 3, 0x5, 0xFF, u64::MAX] {
+            let rendered = SkipMask(mask).to_string();
+            assert_eq!(SkipMask::parse(&rendered), Some(SkipMask(mask)), "mask {rendered}");
+        }
+    }
+
+    #[test]
+    fn malformed_masks_are_rejected() {
+        for s in ["0x", "0xZZ", "-1", "1.5", "", "  ", "0b11"] {
+            assert_eq!(SkipMask::parse(s), None, "'{s}' must be rejected");
+        }
+        // Whitespace around a valid mask is tolerated.
+        assert_eq!(SkipMask::parse(" 0x3 "), Some(SkipMask(3)));
+    }
+
+    #[test]
+    fn skipped_among_counts_only_below_the_prefix() {
+        let m = SkipMask(0b1011);
+        assert_eq!(m.skipped_among(0), 0);
+        assert_eq!(m.skipped_among(1), 1);
+        assert_eq!(m.skipped_among(2), 2);
+        assert_eq!(m.skipped_among(4), 3);
+        assert_eq!(m.skipped_among(100), 3, "counting saturates at 64 mask bits");
+    }
 }

@@ -37,9 +37,7 @@ fn stream_samples(c: &mut Criterion) {
         let mut experiment =
             StreamExperiment::new(MachinePreset::WestmereEp2S, CompilerPersonality::IntelIcc);
         experiment.samples_per_point = 5;
-        b.iter(|| {
-            experiment.series([1usize, 6, 12, 24], |t| experiment.paper_pinned_policy(t), 3)
-        })
+        b.iter(|| experiment.series([1usize, 6, 12, 24], |t| experiment.paper_pinned_policy(t), 3))
     });
 
     group.finish();

@@ -4,8 +4,7 @@
 //! Pass problem sizes as arguments to override the default sweep.
 
 fn main() {
-    let args: Vec<usize> =
-        std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
+    let args: Vec<usize> = std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
     let sizes = if args.is_empty() { vec![50, 100, 150, 200, 250] } else { args };
     print!("{}", likwid_bench::figure11_text(&sizes, 4));
 }

@@ -12,7 +12,7 @@
 //! `min / q1 / median / q3 / max` for the box-plot figures — the same
 //! summary statistics the paper plots.
 
-use likwid::perfctr::{supported_groups, EventGroupKind, group_definition};
+use likwid::perfctr::{group_definition, supported_groups, EventGroupKind};
 use likwid::pin::{PinConfig, PinTool};
 use likwid::topology::CpuTopology;
 use likwid_affinity::ThreadingModel;
@@ -62,13 +62,48 @@ pub fn stream_figures() -> Vec<StreamFigure> {
     use CompilerPersonality::{Gcc, IntelIcc};
     use MachinePreset::{IstanbulH2S, WestmereEp2S};
     vec![
-        StreamFigure { number: 4, preset: WestmereEp2S, personality: IntelIcc, scenario: StreamScenario::Unpinned },
-        StreamFigure { number: 5, preset: WestmereEp2S, personality: IntelIcc, scenario: StreamScenario::Pinned },
-        StreamFigure { number: 6, preset: WestmereEp2S, personality: IntelIcc, scenario: StreamScenario::KmpScatter },
-        StreamFigure { number: 7, preset: WestmereEp2S, personality: Gcc, scenario: StreamScenario::Unpinned },
-        StreamFigure { number: 8, preset: WestmereEp2S, personality: Gcc, scenario: StreamScenario::Pinned },
-        StreamFigure { number: 9, preset: IstanbulH2S, personality: IntelIcc, scenario: StreamScenario::Unpinned },
-        StreamFigure { number: 10, preset: IstanbulH2S, personality: IntelIcc, scenario: StreamScenario::Pinned },
+        StreamFigure {
+            number: 4,
+            preset: WestmereEp2S,
+            personality: IntelIcc,
+            scenario: StreamScenario::Unpinned,
+        },
+        StreamFigure {
+            number: 5,
+            preset: WestmereEp2S,
+            personality: IntelIcc,
+            scenario: StreamScenario::Pinned,
+        },
+        StreamFigure {
+            number: 6,
+            preset: WestmereEp2S,
+            personality: IntelIcc,
+            scenario: StreamScenario::KmpScatter,
+        },
+        StreamFigure {
+            number: 7,
+            preset: WestmereEp2S,
+            personality: Gcc,
+            scenario: StreamScenario::Unpinned,
+        },
+        StreamFigure {
+            number: 8,
+            preset: WestmereEp2S,
+            personality: Gcc,
+            scenario: StreamScenario::Pinned,
+        },
+        StreamFigure {
+            number: 9,
+            preset: IstanbulH2S,
+            personality: IntelIcc,
+            scenario: StreamScenario::Unpinned,
+        },
+        StreamFigure {
+            number: 10,
+            preset: IstanbulH2S,
+            personality: IntelIcc,
+            scenario: StreamScenario::Pinned,
+        },
     ]
 }
 
@@ -123,7 +158,9 @@ pub fn figure11_text(sizes: &[usize], time_steps: usize) -> String {
 
     let mut out = String::new();
     out.push_str("Figure 11: 3D Jacobi smoother on Nehalem EP (2.66 GHz), 4 threads [MLUPS]\n");
-    out.push_str("size  wavefront 1x4 (one socket)  wavefront 1x4 (2 per socket)  threaded baseline\n");
+    out.push_str(
+        "size  wavefront 1x4 (one socket)  wavefront 1x4 (2 per socket)  threaded baseline\n",
+    );
     for &size in sizes {
         let wavefront = jacobi.run(&JacobiConfig {
             size,
@@ -213,8 +250,14 @@ pub fn table2_text(size: usize, time_steps: usize) -> String {
         "", "threaded", "threaded (NT)", "blocked (wavefront)", ""
     ));
     let metric_rows = [
-        ("UNC_L3_LINES_IN_ANY", rows.iter().map(|r| format!("{:.3e}", r.1 as f64)).collect::<Vec<_>>()),
-        ("UNC_L3_LINES_OUT_ANY", rows.iter().map(|r| format!("{:.3e}", r.2 as f64)).collect::<Vec<_>>()),
+        (
+            "UNC_L3_LINES_IN_ANY",
+            rows.iter().map(|r| format!("{:.3e}", r.1 as f64)).collect::<Vec<_>>(),
+        ),
+        (
+            "UNC_L3_LINES_OUT_ANY",
+            rows.iter().map(|r| format!("{:.3e}", r.2 as f64)).collect::<Vec<_>>(),
+        ),
         ("Total data volume [GB]", rows.iter().map(|r| format!("{:.2}", r.3)).collect::<Vec<_>>()),
         ("Performance [MLUPS]", rows.iter().map(|r| format!("{:.0}", r.4)).collect::<Vec<_>>()),
     ];
@@ -280,11 +323,9 @@ pub fn figure2_text(preset: MachinePreset) -> String {
 /// an Intel OpenMP binary on the Westmere node.
 pub fn figure3_text() -> String {
     let machine = SimMachine::new(MachinePreset::WestmereEp2S);
-    let tool = PinTool::new(
-        &machine,
-        PinConfig::new("0-3").with_model(ThreadingModel::IntelOpenMp),
-    )
-    .expect("pin configuration");
+    let tool =
+        PinTool::new(&machine, PinConfig::new("0-3").with_model(ThreadingModel::IntelOpenMp))
+            .expect("pin configuration");
     let mut out = String::new();
     out.push_str("Figure 3: likwid-pin wrapper mechanism (Intel OpenMP binary, -c 0-3 -t intel)\n");
     let env = tool.environment();
@@ -292,7 +333,10 @@ pub fn figure3_text() -> String {
         "exported environment: LIKWID_PIN={} LIKWID_SKIP={} KMP_AFFINITY={} LD_PRELOAD={}\n",
         env.likwid_pin, env.likwid_skip, env.kmp_affinity, env.ld_preload
     ));
-    out.push_str(&format!("master thread pinned to hardware thread {:?}\n", tool.pinner().master_cpu()));
+    out.push_str(&format!(
+        "master thread pinned to hardware thread {:?}\n",
+        tool.pinner().master_cpu()
+    ));
     let mut pinner = tool.pinner();
     for i in 0..ThreadingModel::IntelOpenMp.created_threads(4) {
         let outcome = pinner.on_thread_create();
@@ -312,10 +356,8 @@ pub fn api_overhead_ns(iterations: u32) -> (f64, f64) {
 
     let machine = SimMachine::new(MachinePreset::Core2Quad);
 
-    let config = PerfCtrConfig {
-        cpus: vec![0],
-        spec: MeasurementSpec::Group(EventGroupKind::FLOPS_DP),
-    };
+    let config =
+        PerfCtrConfig { cpus: vec![0], spec: MeasurementSpec::Group(EventGroupKind::FLOPS_DP) };
     let mut session = PerfCtr::new(&machine, config).expect("session");
     session.start().expect("start");
     let mut marker = MarkerApi::init(1, 1);
@@ -357,7 +399,10 @@ mod tests {
     fn stream_figure_text_has_one_row_per_thread_count() {
         let fig = stream_figures()[1]; // Figure 5, pinned (deterministic, cheap)
         let text = stream_figure_text(fig, 3, 1);
-        let rows = text.lines().filter(|l| l.starts_with(|c: char| c.is_ascii_digit() || c == ' ')).count();
+        let rows = text
+            .lines()
+            .filter(|l| l.starts_with(|c: char| c.is_ascii_digit() || c == ' '))
+            .count();
         assert!(text.contains("Figure 5"));
         assert!(rows >= 24, "24 thread counts on the Westmere node:\n{text}");
     }

@@ -123,8 +123,7 @@ impl SetAssocCache {
 
         let lines = &self.lines;
         let ways = self.ways;
-        let victim_way = self.replacement[set]
-            .choose_victim(|w| lines[set * ways + w].valid);
+        let victim_way = self.replacement[set].choose_victim(|w| lines[set * ways + w].valid);
         let slot = self.slot(set, victim_way);
         let evicted = self.lines[slot];
         let eviction = if !evicted.valid {

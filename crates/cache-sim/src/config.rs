@@ -81,8 +81,7 @@ impl PrefetchConfig {
 
     /// Read the switches from a machine's `IA32_MISC_ENABLE` (core 0).
     pub fn from_machine(machine: &SimMachine) -> Self {
-        let enabled =
-            |p: Prefetcher| machine.prefetcher_enabled(0, p).unwrap_or(true);
+        let enabled = |p: Prefetcher| machine.prefetcher_enabled(0, p).unwrap_or(true);
         PrefetchConfig {
             hardware_enabled: enabled(Prefetcher::Hardware),
             adjacent_line_enabled: enabled(Prefetcher::AdjacentLine),
@@ -175,7 +174,7 @@ impl HierarchyConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use likwid_x86_machine::{MachinePreset, MsrPermission, Msr};
+    use likwid_x86_machine::{MachinePreset, Msr, MsrPermission};
 
     #[test]
     fn from_machine_picks_up_the_preset_hierarchy() {
@@ -214,19 +213,10 @@ mod tests {
         assert_eq!(cfg.instances_of(&l1), 12);
         assert_eq!(cfg.instances_of(&l3), 2);
         // OS threads 0 and 12 are SMT siblings on the Westmere preset: same L1.
-        assert_eq!(
-            cfg.instance_for_thread(&l1, 0),
-            cfg.instance_for_thread(&l1, 12)
-        );
-        assert_ne!(
-            cfg.instance_for_thread(&l1, 0),
-            cfg.instance_for_thread(&l1, 1)
-        );
+        assert_eq!(cfg.instance_for_thread(&l1, 0), cfg.instance_for_thread(&l1, 12));
+        assert_ne!(cfg.instance_for_thread(&l1, 0), cfg.instance_for_thread(&l1, 1));
         // Threads 0 (socket 0) and 6 (socket 1) use different L3 instances.
-        assert_ne!(
-            cfg.instance_for_thread(&l3, 0),
-            cfg.instance_for_thread(&l3, 6)
-        );
+        assert_ne!(cfg.instance_for_thread(&l3, 0), cfg.instance_for_thread(&l3, 6));
         // All socket-0 threads share one L3 instance.
         let inst0 = cfg.instance_for_thread(&l3, 0);
         for t in [1usize, 2, 3, 4, 5, 12, 13, 17] {

@@ -39,7 +39,12 @@ impl NodeCacheSystem {
             levels.push(
                 (0..n)
                     .map(|_| {
-                        SetAssocCache::new(level.sets, level.ways, level.line_size, level.replacement)
+                        SetAssocCache::new(
+                            level.sets,
+                            level.ways,
+                            level.line_size,
+                            level.replacement,
+                        )
                     })
                     .collect::<Vec<_>>(),
             );
@@ -53,7 +58,15 @@ impl NodeCacheSystem {
         let prefetch = PrefetchEngine::new(config.prefetch, config.num_threads);
         let thread_loads = vec![0; config.num_threads];
         let thread_stores = vec![0; config.num_threads];
-        NodeCacheSystem { config, levels, thread_instance, memory, prefetch, thread_loads, thread_stores }
+        NodeCacheSystem {
+            config,
+            levels,
+            thread_instance,
+            memory,
+            prefetch,
+            thread_loads,
+            thread_stores,
+        }
     }
 
     /// The configuration this hierarchy was built from.
@@ -76,7 +89,8 @@ impl NodeCacheSystem {
 
         if access.kind == AccessKind::NonTemporalStore {
             self.thread_stores[thread] += 1;
-            let domain = self.config.numa_policy.domain_of(access.address) % self.config.num_sockets;
+            let domain =
+                self.config.numa_policy.domain_of(access.address) % self.config.num_sockets;
             self.memory[domain as usize].write(access.size as u64, socket, domain, true);
             return HitLevel::Streaming;
         }
@@ -338,12 +352,7 @@ impl NodeCacheSystem {
             return Default::default();
         };
         // Find a thread on that socket and use its LLC instance.
-        let thread = self
-            .config
-            .thread_socket
-            .iter()
-            .position(|&s| s == socket)
-            .unwrap_or(0);
+        let thread = self.config.thread_socket.iter().position(|&s| s == socket).unwrap_or(0);
         let inst = self.thread_instance[self.levels.len() - 1][thread];
         last[inst].stats
     }
@@ -435,7 +444,10 @@ mod tests {
     #[test]
     fn nt_store_streams_to_memory_without_reading() {
         let mut sys = system(PrefetchConfig::all_disabled());
-        assert_eq!(sys.access(0, Access { address: 0, size: 64, kind: AccessKind::NonTemporalStore }), HitLevel::Streaming);
+        assert_eq!(
+            sys.access(0, Access { address: 0, size: 64, kind: AccessKind::NonTemporalStore }),
+            HitLevel::Streaming
+        );
         let stats = sys.stats();
         assert_eq!(stats.memory.iter().map(|m| m.bytes_read).sum::<u64>(), 0);
         assert_eq!(stats.memory.iter().map(|m| m.bytes_written).sum::<u64>(), 64);

@@ -80,7 +80,13 @@ impl MemoryController {
     }
 
     /// Record a writeback or streaming store of `bytes`.
-    pub fn write(&mut self, bytes: u64, requesting_socket: u32, home_socket: u32, non_temporal: bool) {
+    pub fn write(
+        &mut self,
+        bytes: u64,
+        requesting_socket: u32,
+        home_socket: u32,
+        non_temporal: bool,
+    ) {
         self.stats.bytes_written += bytes;
         if non_temporal {
             self.stats.nt_stores += 1;
@@ -112,7 +118,11 @@ mod tests {
         assert_eq!(p.domain_of(0), 0);
         assert_eq!(p.domain_of(999), 0);
         assert_eq!(p.domain_of(1000), 1);
-        assert_eq!(p.domain_of(5000), 1, "addresses past the last boundary stay on the last socket");
+        assert_eq!(
+            p.domain_of(5000),
+            1,
+            "addresses past the last boundary stay on the last socket"
+        );
     }
 
     #[test]

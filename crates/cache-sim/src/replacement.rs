@@ -108,6 +108,42 @@ mod tests {
     }
 
     #[test]
+    fn lru_eviction_order_is_exact_on_a_tiny_set() {
+        // 3-way set, fills into ways 0, 1, 2, then a precise touch sequence;
+        // the victim must always be the unique least-recently-touched way.
+        let mut st = ReplacementState::new(ReplacementPolicy::Lru, 3);
+        st.on_fill(0);
+        st.on_fill(1);
+        st.on_fill(2);
+        assert_eq!(st.choose_victim(|_| true), 0, "oldest fill is the first victim");
+        st.on_hit(0); // order now: 1, 2, 0
+        assert_eq!(st.choose_victim(|_| true), 1);
+        st.on_hit(1); // order now: 2, 0, 1
+        assert_eq!(st.choose_victim(|_| true), 2);
+        st.on_fill(2); // replacing way 2 refreshes it: order 0, 1, 2
+        assert_eq!(st.choose_victim(|_| true), 0);
+        // A full round of hits in reverse order inverts the ranking.
+        st.on_hit(2);
+        st.on_hit(1);
+        st.on_hit(0); // order now: 2, 1, 0
+        assert_eq!(st.choose_victim(|_| true), 2);
+    }
+
+    #[test]
+    fn lru_and_fifo_diverge_after_a_hit() {
+        // Identical fill sequences; only LRU lets the hit rescue way 0.
+        let mut lru = ReplacementState::new(ReplacementPolicy::Lru, 2);
+        let mut fifo = ReplacementState::new(ReplacementPolicy::Fifo, 2);
+        for st in [&mut lru, &mut fifo] {
+            st.on_fill(0);
+            st.on_fill(1);
+            st.on_hit(0);
+        }
+        assert_eq!(lru.choose_victim(|_| true), 1);
+        assert_eq!(fifo.choose_victim(|_| true), 0);
+    }
+
+    #[test]
     fn repeated_fills_cycle_through_ways_under_fifo() {
         let mut st = ReplacementState::new(ReplacementPolicy::Fifo, 2);
         st.on_fill(0);

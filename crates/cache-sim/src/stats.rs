@@ -142,11 +142,7 @@ impl NodeStats {
 
     /// Aggregate stats of one level over the whole node.
     pub fn level_total(&self, level: u32) -> CacheStats {
-        self.levels
-            .iter()
-            .find(|l| l.level == level)
-            .map(|l| l.total())
-            .unwrap_or_default()
+        self.levels.iter().find(|l| l.level == level).map(|l| l.total()).unwrap_or_default()
     }
 }
 
@@ -162,8 +158,23 @@ mod tests {
 
     #[test]
     fn merge_accumulates_all_fields() {
-        let mut a = CacheStats { accesses: 10, loads: 6, stores: 4, hits: 7, misses: 3, ..Default::default() };
-        let b = CacheStats { accesses: 5, loads: 5, stores: 0, hits: 5, misses: 0, lines_in: 2, ..Default::default() };
+        let mut a = CacheStats {
+            accesses: 10,
+            loads: 6,
+            stores: 4,
+            hits: 7,
+            misses: 3,
+            ..Default::default()
+        };
+        let b = CacheStats {
+            accesses: 5,
+            loads: 5,
+            stores: 0,
+            hits: 5,
+            misses: 0,
+            lines_in: 2,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.accesses, 15);
         assert_eq!(a.hits, 12);
@@ -181,8 +192,22 @@ mod tests {
     fn node_stats_level_lookup() {
         let node = NodeStats {
             levels: vec![
-                LevelStats { level: 1, instances: vec![CacheStats { accesses: 5, loads: 5, hits: 5, ..Default::default() }] },
-                LevelStats { level: 3, instances: vec![CacheStats { lines_in: 7, ..Default::default() }, CacheStats { lines_in: 3, ..Default::default() }] },
+                LevelStats {
+                    level: 1,
+                    instances: vec![CacheStats {
+                        accesses: 5,
+                        loads: 5,
+                        hits: 5,
+                        ..Default::default()
+                    }],
+                },
+                LevelStats {
+                    level: 3,
+                    instances: vec![
+                        CacheStats { lines_in: 7, ..Default::default() },
+                        CacheStats { lines_in: 3, ..Default::default() },
+                    ],
+                },
             ],
             ..Default::default()
         };

@@ -39,10 +39,7 @@ fn parse_machine(args: &[String]) -> Result<MachinePreset> {
 
 /// Fetch the value following a flag.
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
 }
 
 /// Whether a boolean flag is present.
@@ -134,9 +131,7 @@ pub fn run_pin(args: &[String]) -> Result<String> {
     let threads: usize = flag_value(args, "-n")
         .map(|v| v.parse().map_err(|_| LikwidError::Usage(format!("bad thread count '{v}'"))))
         .transpose()?
-        .unwrap_or_else(|| {
-            parse_pin_list_len(&machine, expression)
-        });
+        .unwrap_or_else(|| parse_pin_list_len(&machine, expression));
 
     let tool = PinTool::new(&machine, config)?;
     let env = tool.environment();
@@ -156,9 +151,7 @@ pub fn run_pin(args: &[String]) -> Result<String> {
 }
 
 fn parse_pin_list_len(machine: &SimMachine, expression: &str) -> usize {
-    likwid_affinity::parse_pin_list(expression, machine.topology())
-        .map(|l| l.len())
-        .unwrap_or(1)
+    likwid_affinity::parse_pin_list(expression, machine.topology()).map(|l| l.len()).unwrap_or(1)
 }
 
 /// `likwid-perfctr -c <cpus> -g <group> [-a] [--machine <preset>]`.
@@ -170,7 +163,7 @@ fn parse_pin_list_len(machine: &SimMachine, expression: &str) -> usize {
 pub fn run_perfctr(args: &[String]) -> Result<String> {
     if has_flag(args, "-h") || has_flag(args, "--help") {
         return Ok(
-            "likwid-perfctr -c <cpus> -g <group|EVENT:CTR,…> [-a] [--machine <preset>]\n".into(),
+            "likwid-perfctr -c <cpus> -g <group|EVENT:CTR,…> [-a] [--machine <preset>]\n".into()
         );
     }
     let machine = SimMachine::new(parse_machine(args)?);
@@ -193,7 +186,9 @@ pub fn run_perfctr(args: &[String]) -> Result<String> {
     let spec = if let Some(kind) = EventGroupKind::parse(group_arg) {
         crate::perfctr::MeasurementSpec::Group(kind)
     } else if group_arg.contains(':') {
-        crate::perfctr::MeasurementSpec::Custom(crate::perfctr::parse_event_spec(group_arg, &table)?)
+        crate::perfctr::MeasurementSpec::Custom(crate::perfctr::parse_event_spec(
+            group_arg, &table,
+        )?)
     } else {
         return Err(LikwidError::UnknownGroup(group_arg.to_string()));
     };
@@ -249,17 +244,9 @@ mod tests {
 
     #[test]
     fn pin_cli_reports_the_placement() {
-        let out = run_pin(&args(&[
-            "--machine",
-            "westmere-ep-2s",
-            "-c",
-            "0-3",
-            "-t",
-            "intel",
-            "-n",
-            "4",
-        ]))
-        .unwrap();
+        let out =
+            run_pin(&args(&["--machine", "westmere-ep-2s", "-c", "0-3", "-t", "intel", "-n", "4"]))
+                .unwrap();
         assert!(out.contains("Skip mask: 0x1"));
         assert!(out.contains("thread 3 -> hardware thread 3"));
         assert!(out.contains("KMP_AFFINITY=disabled"));
@@ -272,15 +259,8 @@ mod tests {
         assert!(listing.contains("FLOPS_DP"));
         assert!(listing.contains("Main memory bandwidth"));
 
-        let out = run_perfctr(&args(&[
-            "--machine",
-            "nehalem-ep-2s",
-            "-c",
-            "0-7",
-            "-g",
-            "MEM",
-        ]))
-        .unwrap();
+        let out =
+            run_perfctr(&args(&["--machine", "nehalem-ep-2s", "-c", "0-7", "-g", "MEM"])).unwrap();
         assert!(out.contains("Measuring group MEM"));
         assert!(out.contains("Socket lock owner: hardware thread 0"));
         assert!(out.contains("Socket lock owner: hardware thread 4"));

@@ -104,8 +104,7 @@ mod tests {
 
     #[test]
     fn conversions_from_substrate_errors() {
-        let e: LikwidError =
-            MachineError::NoSuchCpu { cpu: 3, available: 2 }.into();
+        let e: LikwidError = MachineError::NoSuchCpu { cpu: 3, available: 2 }.into();
         assert!(matches!(e, LikwidError::Machine(_)));
     }
 }

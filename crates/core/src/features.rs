@@ -44,10 +44,7 @@ impl<'m> FeaturesTool<'m> {
     /// The state of every reportable feature on a core, in output order.
     pub fn feature_states(&self, cpu: usize) -> Result<Vec<(CpuFeature, FeatureState)>> {
         let misc = self.misc_enable(cpu)?;
-        Ok(CpuFeature::all()
-            .iter()
-            .map(|&f| (f, f.state_from_misc_enable(misc)))
-            .collect())
+        Ok(CpuFeature::all().iter().map(|&f| (f, f.state_from_misc_enable(misc))).collect())
     }
 
     /// The state of one prefetcher on a core.

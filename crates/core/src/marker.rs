@@ -89,7 +89,12 @@ impl MarkerApi {
     ///
     /// Nesting is not allowed: starting a second region on a thread that
     /// already has one open is an error.
-    pub fn start_region(&mut self, thread_id: usize, core_id: usize, session: &PerfCtr<'_>) -> Result<()> {
+    pub fn start_region(
+        &mut self,
+        thread_id: usize,
+        core_id: usize,
+        session: &PerfCtr<'_>,
+    ) -> Result<()> {
         if self.closed {
             return Err(LikwidError::Marker("markerClose was already called".into()));
         }
@@ -121,9 +126,10 @@ impl MarkerApi {
         if self.closed {
             return Err(LikwidError::Marker("markerClose was already called".into()));
         }
-        let (start_core, start_counts) = self.open.remove(&thread_id).ok_or_else(|| {
-            LikwidError::Marker(format!("thread {thread_id} has no open region"))
-        })?;
+        let (start_core, start_counts) = self
+            .open
+            .remove(&thread_id)
+            .ok_or_else(|| LikwidError::Marker(format!("thread {thread_id} has no open region")))?;
         if start_core != core_id {
             return Err(LikwidError::Marker(format!(
                 "region started on core {start_core} but stopped on core {core_id}"
@@ -175,11 +181,7 @@ impl MarkerApi {
     /// How many start/stop pairs were accumulated for a region on one
     /// measured cpu position.
     pub fn region_call_count(&self, id: RegionId, cpu_position: usize) -> u64 {
-        self.regions
-            .get(id)
-            .and_then(|r| r.call_counts.get(cpu_position))
-            .copied()
-            .unwrap_or(0)
+        self.regions.get(id).and_then(|r| r.call_counts.get(cpu_position)).copied().unwrap_or(0)
     }
 
     /// Results (events + derived metrics) of a region, computed with the
@@ -329,10 +331,7 @@ mod tests {
         let mut marker = MarkerApi::init(1, 2);
         marker.register_region("Outer");
         marker.start_region(0, 0, &s).unwrap();
-        assert!(matches!(
-            marker.start_region(0, 0, &s),
-            Err(LikwidError::Marker(_))
-        ));
+        assert!(matches!(marker.start_region(0, 0, &s), Err(LikwidError::Marker(_))));
     }
 
     #[test]

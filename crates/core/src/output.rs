@@ -107,10 +107,7 @@ pub fn format_value(v: f64) -> String {
     } else if (v.fract()).abs() < f64::EPSILON && magnitude < 1e7 {
         format!("{}", v as i64)
     } else {
-        format!("{v:.6}")
-            .trim_end_matches('0')
-            .trim_end_matches('.')
-            .to_string()
+        format!("{v:.6}").trim_end_matches('0').trim_end_matches('.').to_string()
     }
 }
 

@@ -337,4 +337,57 @@ mod tests {
         let src = "FIXC1*inverseClock";
         assert_eq!(Formula::parse(src).unwrap().source(), src);
     }
+
+    #[test]
+    fn table2_memory_bandwidth_from_unc_l3_lines() {
+        // The paper's Table 2 derives Jacobi memory traffic from the Nehalem
+        // uncore events: bandwidth [MB/s] = 1.0E-06*(lines_in+lines_out)*64/time.
+        let f = Formula::parse("1.0E-06*(UPMC0+UPMC1)*64.0/time").unwrap();
+        let v = vars(&[("UPMC0", 5.0e8), ("UPMC1", 2.5e8), ("time", 1.5)]);
+        let mbs = f.evaluate(&v).unwrap();
+        // (5e8 + 2.5e8) * 64 bytes / 1.5 s = 32 GB/s.
+        assert!((mbs - 32_000.0).abs() < 1e-6, "got {mbs}");
+    }
+
+    #[test]
+    fn zero_time_yields_zero_bandwidth_not_infinity() {
+        // A region that never ran reports time = 0; the metric must print 0,
+        // not inf/NaN, matching the real tool's output for idle regions.
+        let f = Formula::parse("1.0E-06*(UPMC0+UPMC1)*64.0/time").unwrap();
+        let v = vars(&[("UPMC0", 1.0e9), ("UPMC1", 1.0e9), ("time", 0.0)]);
+        assert_eq!(f.evaluate(&v).unwrap(), 0.0);
+        // Division by a zero *subexpression* behaves the same.
+        let f = Formula::parse("PMC0/(PMC1-PMC1)").unwrap();
+        let v = vars(&[("PMC0", 42.0), ("PMC1", 9.0)]);
+        assert_eq!(f.evaluate(&v).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn unknown_counter_names_the_missing_variable() {
+        let f = Formula::parse("UPMC0*64.0/time").unwrap();
+        let err = f.evaluate(&vars(&[("time", 1.0)])).unwrap_err();
+        assert!(err.to_string().contains("UPMC0"), "error must name the counter: {err}");
+        // Binding every referenced variable fixes the evaluation.
+        let ok = f.evaluate(&vars(&[("UPMC0", 1.0e6), ("time", 1.0)])).unwrap();
+        assert!((ok - 6.4e7).abs() < 1e-3);
+    }
+
+    #[test]
+    fn variables_cover_negated_and_nested_subexpressions() {
+        let f = Formula::parse("-(A*(B+C))/(D-1.0)").unwrap();
+        let mut vs = f.variables();
+        vs.sort();
+        assert_eq!(vs, vec!["A", "B", "C", "D"]);
+    }
+
+    #[test]
+    fn evaluation_is_repeatable_with_different_bindings() {
+        // One parsed formula re-evaluated against per-thread counter sets,
+        // as the session does when printing per-core metric columns.
+        let f = Formula::parse("FIXC1/FIXC0").unwrap();
+        for (instr, cycles, want) in [(100.0, 200.0, 2.0), (400.0, 100.0, 0.25), (7.0, 7.0, 1.0)] {
+            let v = vars(&[("FIXC0", instr), ("FIXC1", cycles)]);
+            assert_eq!(f.evaluate(&v).unwrap(), want);
+        }
+    }
 }

@@ -194,10 +194,7 @@ fn core2_like(kind: EventGroupKind, atom: bool) -> Option<GroupDefinition> {
         EventGroupKind::CACHE => intel_group(
             kind,
             vec![(l1_all, Pmc(0)), (l1_repl, Pmc(1))],
-            vec![
-                ("Data cache miss rate", "PMC1/FIXC0"),
-                ("Data cache miss ratio", "PMC1/PMC0"),
-            ],
+            vec![("Data cache miss rate", "PMC1/FIXC0"), ("Data cache miss ratio", "PMC1/PMC0")],
         ),
         EventGroupKind::L2CACHE => intel_group(
             kind,
@@ -218,11 +215,9 @@ fn core2_like(kind: EventGroupKind, atom: bool) -> Option<GroupDefinition> {
                 ("Branch misprediction ratio", "PMC1/PMC0"),
             ],
         ),
-        EventGroupKind::TLB => intel_group(
-            kind,
-            vec![(tlb, Pmc(0))],
-            vec![("DTLB miss rate", "PMC0/FIXC0")],
-        ),
+        EventGroupKind::TLB => {
+            intel_group(kind, vec![(tlb, Pmc(0))], vec![("DTLB miss rate", "PMC0/FIXC0")])
+        }
         // Core 2 / Atom have no L3.
         EventGroupKind::L3 | EventGroupKind::L3CACHE => return None,
     })
@@ -277,10 +272,7 @@ fn nehalem_like(kind: EventGroupKind) -> Option<GroupDefinition> {
         EventGroupKind::CACHE => intel_group(
             kind,
             vec![("L1D_ALL_REF_ANY", Pmc(0)), ("L1D_REPL", Pmc(1))],
-            vec![
-                ("Data cache miss rate", "PMC1/FIXC0"),
-                ("Data cache miss ratio", "PMC1/PMC0"),
-            ],
+            vec![("Data cache miss rate", "PMC1/FIXC0"), ("Data cache miss ratio", "PMC1/PMC0")],
         ),
         EventGroupKind::L2CACHE => intel_group(
             kind,
@@ -290,10 +282,7 @@ fn nehalem_like(kind: EventGroupKind) -> Option<GroupDefinition> {
         EventGroupKind::L3CACHE => intel_group(
             kind,
             vec![("UNC_L3_HITS_ANY", UncorePmc(0)), ("UNC_L3_MISS_ANY", UncorePmc(1))],
-            vec![
-                ("L3 miss rate", "UPMC1/FIXC0"),
-                ("L3 miss ratio", "UPMC1/(UPMC0+UPMC1)"),
-            ],
+            vec![("L3 miss rate", "UPMC1/FIXC0"), ("L3 miss ratio", "UPMC1/(UPMC0+UPMC1)")],
         ),
         EventGroupKind::DATA => intel_group(
             kind,
@@ -328,10 +317,7 @@ fn amd_group(
     extra_events: Vec<(&'static str, CounterSlot)>,
     extra_metrics: Vec<(&'static str, &'static str)>,
 ) -> GroupDefinition {
-    let mut events = vec![
-        ("RETIRED_INSTRUCTIONS", Pmc(0)),
-        ("CPU_CLOCKS_UNHALTED", Pmc(1)),
-    ];
+    let mut events = vec![("RETIRED_INSTRUCTIONS", Pmc(0)), ("CPU_CLOCKS_UNHALTED", Pmc(1))];
     events.extend(extra_events);
     let mut metrics = AMD_BASE_METRICS.to_vec();
     metrics.extend(extra_metrics);
@@ -378,10 +364,7 @@ fn k10_like(kind: EventGroupKind, has_l3: bool) -> Option<GroupDefinition> {
             }
             amd_group(
                 kind,
-                vec![
-                    ("L3_FILLS_ALL_ALL_CORES", Pmc(2)),
-                    ("L3_EVICTIONS_ALL_ALL_CORES", Pmc(3)),
-                ],
+                vec![("L3_FILLS_ALL_ALL_CORES", Pmc(2)), ("L3_EVICTIONS_ALL_ALL_CORES", Pmc(3))],
                 vec![
                     ("L3 bandwidth [MBytes/s]", "1.0E-06*(PMC2+PMC3)*64.0/time"),
                     ("L3 data volume [GBytes]", "1.0E-09*(PMC2+PMC3)*64.0"),
@@ -406,10 +389,7 @@ fn k10_like(kind: EventGroupKind, has_l3: bool) -> Option<GroupDefinition> {
         EventGroupKind::CACHE => amd_group(
             kind,
             vec![("DATA_CACHE_ACCESSES", Pmc(2)), (dc_refills, Pmc(3))],
-            vec![
-                ("Data cache miss rate", "PMC3/PMC0"),
-                ("Data cache miss ratio", "PMC3/PMC2"),
-            ],
+            vec![("Data cache miss rate", "PMC3/PMC0"), ("Data cache miss ratio", "PMC3/PMC2")],
         ),
         EventGroupKind::L2CACHE => amd_group(
             kind,
@@ -436,10 +416,7 @@ fn k10_like(kind: EventGroupKind, has_l3: bool) -> Option<GroupDefinition> {
         ),
         EventGroupKind::BRANCH => amd_group(
             kind,
-            vec![
-                ("RETIRED_BRANCH_INSTR", Pmc(2)),
-                ("RETIRED_MISPREDICTED_BRANCH_INSTR", Pmc(3)),
-            ],
+            vec![("RETIRED_BRANCH_INSTR", Pmc(2)), ("RETIRED_MISPREDICTED_BRANCH_INSTR", Pmc(3))],
             vec![
                 ("Branch rate", "PMC2/PMC0"),
                 ("Branch misprediction rate", "PMC3/PMC0"),
@@ -457,16 +434,17 @@ fn k10_like(kind: EventGroupKind, has_l3: bool) -> Option<GroupDefinition> {
 /// Group definitions for Pentium M: only two programmable counters and no
 /// fixed counters, so each group carries the cycle counter plus one event.
 fn pentium_m(kind: EventGroupKind) -> Option<GroupDefinition> {
-    let base = |extra: (&'static str, CounterSlot),
-                metrics: Vec<(&'static str, &'static str)>| GroupDefinition {
-        kind,
-        events: vec![("CPU_CLK_UNHALTED", Pmc(0)), extra],
-        time_formula: "PMC0*inverseClock",
-        metrics: {
-            let mut m = vec![("Runtime [s]", "time")];
-            m.extend(metrics);
-            m
-        },
+    let base = |extra: (&'static str, CounterSlot), metrics: Vec<(&'static str, &'static str)>| {
+        GroupDefinition {
+            kind,
+            events: vec![("CPU_CLK_UNHALTED", Pmc(0)), extra],
+            time_formula: "PMC0*inverseClock",
+            metrics: {
+                let mut m = vec![("Runtime [s]", "time")];
+                m.extend(metrics);
+                m
+            },
+        }
     };
     Some(match kind {
         EventGroupKind::FLOPS_DP => base(
@@ -481,22 +459,15 @@ fn pentium_m(kind: EventGroupKind) -> Option<GroupDefinition> {
             ("L2_LINES_IN", Pmc(1)),
             vec![("L2 bandwidth [MBytes/s]", "1.0E-06*PMC1*64.0/time")],
         ),
-        EventGroupKind::CACHE => base(
-            ("DCU_LINES_IN", Pmc(1)),
-            vec![("L1 misses/s", "PMC1/time")],
-        ),
+        EventGroupKind::CACHE => base(("DCU_LINES_IN", Pmc(1)), vec![("L1 misses/s", "PMC1/time")]),
         EventGroupKind::MEM => base(
             ("BUS_TRAN_MEM", Pmc(1)),
             vec![("Memory bandwidth [MBytes/s]", "1.0E-06*PMC1*64.0/time")],
         ),
-        EventGroupKind::BRANCH => base(
-            ("BR_MISS_PRED_RETIRED", Pmc(1)),
-            vec![("Branch mispredictions/s", "PMC1/time")],
-        ),
-        EventGroupKind::TLB => base(
-            ("DTLB_MISS", Pmc(1)),
-            vec![("DTLB misses/s", "PMC1/time")],
-        ),
+        EventGroupKind::BRANCH => {
+            base(("BR_MISS_PRED_RETIRED", Pmc(1)), vec![("Branch mispredictions/s", "PMC1/time")])
+        }
+        EventGroupKind::TLB => base(("DTLB_MISS", Pmc(1)), vec![("DTLB misses/s", "PMC1/time")]),
         EventGroupKind::L3
         | EventGroupKind::L3CACHE
         | EventGroupKind::L2CACHE
@@ -522,11 +493,7 @@ pub fn group_definition(arch: Microarch, kind: EventGroupKind) -> Result<GroupDe
 
 /// All groups supported on an architecture.
 pub fn supported_groups(arch: Microarch) -> Vec<EventGroupKind> {
-    EventGroupKind::all()
-        .iter()
-        .copied()
-        .filter(|&k| group_definition(arch, k).is_ok())
-        .collect()
+    EventGroupKind::all().iter().copied().filter(|&k| group_definition(arch, k).is_ok()).collect()
 }
 
 #[cfg(test)]
@@ -569,8 +536,7 @@ mod tests {
         for &arch in Microarch::all() {
             for kind in supported_groups(arch) {
                 let def = group_definition(arch, kind).unwrap();
-                let counter_names: Vec<String> =
-                    def.events.iter().map(|(_, s)| s.name()).collect();
+                let counter_names: Vec<String> = def.events.iter().map(|(_, s)| s.name()).collect();
                 let time = Formula::parse(def.time_formula).unwrap();
                 for var in time.variables() {
                     assert!(

@@ -41,14 +41,12 @@ pub fn parse_event_spec(spec: &str, table: &EventTable) -> Result<Vec<(String, C
         if part.is_empty() {
             continue;
         }
-        let (event, counter) = part
-            .split_once(':')
-            .ok_or_else(|| LikwidError::Usage(format!("event spec '{part}' must be EVENT:COUNTER")))?;
+        let (event, counter) = part.split_once(':').ok_or_else(|| {
+            LikwidError::Usage(format!("event spec '{part}' must be EVENT:COUNTER"))
+        })?;
         let slot = CounterSlot::parse(counter)
             .ok_or_else(|| LikwidError::UnknownCounter(counter.to_string()))?;
-        let def = table
-            .find(event)
-            .ok_or_else(|| LikwidError::UnknownEvent(event.to_string()))?;
+        let def = table.find(event).ok_or_else(|| LikwidError::UnknownEvent(event.to_string()))?;
         if !table.allowed_slots(def).contains(&slot) {
             return Err(LikwidError::Usage(format!(
                 "event {event} cannot be counted on {counter}"
@@ -88,11 +86,7 @@ impl ResolvedGroup {
             name: def.kind.name().to_string(),
             events,
             time_formula: def.time_formula.to_string(),
-            metrics: def
-                .metrics
-                .iter()
-                .map(|(n, f)| (n.to_string(), f.to_string()))
-                .collect(),
+            metrics: def.metrics.iter().map(|(n, f)| (n.to_string(), f.to_string())).collect(),
         })
     }
 
@@ -150,7 +144,10 @@ impl<'m> PerfCtr<'m> {
         let table = likwid_perf_events::tables::for_arch(machine.arch());
         let groups: Vec<ResolvedGroup> = match &config.spec {
             MeasurementSpec::Group(kind) => {
-                vec![ResolvedGroup::from_definition(&group_definition(machine.arch(), *kind)?, &table)?]
+                vec![ResolvedGroup::from_definition(
+                    &group_definition(machine.arch(), *kind)?,
+                    &table,
+                )?]
             }
             MeasurementSpec::Groups(kinds) => {
                 if kinds.is_empty() {
@@ -159,7 +156,10 @@ impl<'m> PerfCtr<'m> {
                 kinds
                     .iter()
                     .map(|k| {
-                        ResolvedGroup::from_definition(&group_definition(machine.arch(), *k)?, &table)
+                        ResolvedGroup::from_definition(
+                            &group_definition(machine.arch(), *k)?,
+                            &table,
+                        )
                     })
                     .collect::<Result<Vec<_>>>()?
             }
@@ -168,11 +168,7 @@ impl<'m> PerfCtr<'m> {
 
         // Validate counter capacity per group.
         for g in &groups {
-            let pmcs = g
-                .events
-                .iter()
-                .filter(|(_, s, _)| matches!(s, CounterSlot::Pmc(_)))
-                .count();
+            let pmcs = g.events.iter().filter(|(_, s, _)| matches!(s, CounterSlot::Pmc(_))).count();
             if pmcs > table.num_pmc {
                 return Err(LikwidError::NotEnoughCounters {
                     requested: pmcs,
@@ -191,10 +187,8 @@ impl<'m> PerfCtr<'m> {
 
         let perfmon = PerfMon::new(machine, &config.cpus)?;
         let num_groups = groups.len();
-        let accumulated = groups
-            .iter()
-            .map(|g| vec![vec![0u64; config.cpus.len()]; g.events.len()])
-            .collect();
+        let accumulated =
+            groups.iter().map(|g| vec![vec![0u64; config.cpus.len()]; g.events.len()]).collect();
 
         let mut session = PerfCtr {
             machine,
@@ -329,9 +323,7 @@ impl<'m> PerfCtr<'m> {
     pub fn extrapolated_counts(&self, group: usize) -> GroupCounts {
         self.accumulated[group]
             .iter()
-            .map(|per_cpu| {
-                per_cpu.iter().map(|&v| self.schedule.extrapolate(group, v)).collect()
-            })
+            .map(|per_cpu| per_cpu.iter().map(|&v| self.schedule.extrapolate(group, v)).collect())
             .collect()
     }
 
@@ -387,7 +379,10 @@ impl<'m> PerfCtr<'m> {
     /// Convenience wrapper-mode flow: start, run `body`, stop, and return the
     /// results of the active group. `body` receives the machine so it can
     /// drive workload execution.
-    pub fn measure<T>(&mut self, body: impl FnOnce(&SimMachine) -> T) -> Result<(T, PerfCtrResults)> {
+    pub fn measure<T>(
+        &mut self,
+        body: impl FnOnce(&SimMachine) -> T,
+    ) -> Result<(T, PerfCtrResults)> {
         self.start()?;
         let value = body(self.machine);
         self.stop()?;
@@ -421,10 +416,7 @@ impl PerfCtrResults {
 
     /// The value of a metric on one measured cpu (by position).
     pub fn metric(&self, name: &str, cpu_position: usize) -> Option<f64> {
-        self.metrics
-            .iter()
-            .find(|(n, _)| n == name)
-            .and_then(|(_, v)| v.get(cpu_position).copied())
+        self.metrics.iter().find(|(n, _)| n == name).and_then(|(_, v)| v.get(cpu_position).copied())
     }
 
     /// Render the two tables of the tool output (events, then metrics), in
@@ -464,7 +456,11 @@ mod tests {
 
     /// Drive a synthetic "workload" through the counting engine: every
     /// measured cpu retires the given per-thread counts.
-    fn apply_activity(machine: &SimMachine, activity: &[(usize, HwEventKind, u64)], uncore: &[(usize, HwEventKind, u64)]) {
+    fn apply_activity(
+        machine: &SimMachine,
+        activity: &[(usize, HwEventKind, u64)],
+        uncore: &[(usize, HwEventKind, u64)],
+    ) {
         let engine = EventEngine::new(machine);
         let mut sample =
             EventSample::new(machine.num_hw_threads(), machine.topology().sockets as usize);
@@ -521,10 +517,8 @@ mod tests {
         let machine = SimMachine::new(MachinePreset::NehalemEp2S);
         // Measure all 8 physical-core SMT-0 threads across both sockets.
         let cpus: Vec<usize> = (0..8).collect();
-        let config = PerfCtrConfig {
-            cpus: cpus.clone(),
-            spec: MeasurementSpec::Group(EventGroupKind::MEM),
-        };
+        let config =
+            PerfCtrConfig { cpus: cpus.clone(), spec: MeasurementSpec::Group(EventGroupKind::MEM) };
         let mut session = PerfCtr::new(&machine, config).unwrap();
         // Socket 0's owner is cpu 0, socket 1's owner is cpu 4.
         assert!(session.owns_socket_lock(0));
@@ -582,12 +576,85 @@ mod tests {
     }
 
     #[test]
+    fn event_spec_rejects_counters_that_cannot_carry_the_event() {
+        use likwid_perf_events::CounterSlot as Slot;
+        use likwid_perf_events::{tables, CounterClass};
+        use likwid_x86_machine::Microarch;
+
+        for &arch in Microarch::all() {
+            let table = tables::for_arch(arch);
+
+            // A general-purpose core event accepts any PMC but never a slot
+            // from a different counter class.
+            let pmc_event = table
+                .events
+                .iter()
+                .find(|e| matches!(e.counters, CounterClass::AnyPmc))
+                .unwrap_or_else(|| panic!("{arch:?} has no AnyPmc event"));
+            for n in 0..table.num_pmc as u8 {
+                let spec = format!("{}:PMC{n}", pmc_event.name);
+                assert!(parse_event_spec(&spec, &table).is_ok(), "{arch:?} {spec}");
+            }
+            let beyond = format!("{}:PMC{}", pmc_event.name, table.num_pmc);
+            assert!(parse_event_spec(&beyond, &table).is_err(), "{arch:?} {beyond}");
+            if table.num_fixed > 0 {
+                let spec = format!("{}:FIXC0", pmc_event.name);
+                assert!(parse_event_spec(&spec, &table).is_err(), "{arch:?} {spec}");
+            }
+            if table.num_uncore_pmc > 0 {
+                let spec = format!("{}:UPMC0", pmc_event.name);
+                assert!(parse_event_spec(&spec, &table).is_err(), "{arch:?} {spec}");
+            }
+
+            // Fixed events are pinned to their one fixed counter.
+            if let Some(fixed) =
+                table.events.iter().find(|e| matches!(e.counters, CounterClass::Fixed(_)))
+            {
+                let CounterClass::Fixed(slot) = fixed.counters else { unreachable!() };
+                let ok = format!("{}:FIXC{slot}", fixed.name);
+                assert!(parse_event_spec(&ok, &table).is_ok(), "{arch:?} {ok}");
+                let wrong = format!("{}:PMC0", fixed.name);
+                assert!(parse_event_spec(&wrong, &table).is_err(), "{arch:?} {wrong}");
+                let other_fixed = format!("{}:FIXC{}", fixed.name, (slot + 1) % 3);
+                assert!(parse_event_spec(&other_fixed, &table).is_err(), "{arch:?} {other_fixed}");
+            }
+
+            // Uncore events never schedule on core counters and vice versa.
+            if let Some(uncore) =
+                table.events.iter().find(|e| matches!(e.counters, CounterClass::AnyUncorePmc))
+            {
+                let ok = format!("{}:UPMC0", uncore.name);
+                let spec = parse_event_spec(&ok, &table).unwrap();
+                assert_eq!(spec[0].1, Slot::UncorePmc(0));
+                let wrong = format!("{}:PMC0", uncore.name);
+                assert!(parse_event_spec(&wrong, &table).is_err(), "{arch:?} {wrong}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_documented_event_parses_on_its_first_allowed_slot() {
+        use likwid_perf_events::tables;
+        use likwid_x86_machine::Microarch;
+
+        for &arch in Microarch::all() {
+            let table = tables::for_arch(arch);
+            for event in &table.events {
+                let slots = table.allowed_slots(event);
+                let slot = slots.first().expect("validated non-empty by the tables tests");
+                let spec = format!("{}:{}", event.name, slot.name());
+                let parsed = parse_event_spec(&spec, &table)
+                    .unwrap_or_else(|e| panic!("{arch:?} '{spec}' failed: {e}"));
+                assert_eq!(parsed, vec![(event.name.to_string(), *slot)]);
+            }
+        }
+    }
+
+    #[test]
     fn unsupported_group_is_rejected() {
         let machine = SimMachine::new(MachinePreset::Core2Quad);
-        let config = PerfCtrConfig {
-            cpus: vec![0],
-            spec: MeasurementSpec::Group(EventGroupKind::L3),
-        };
+        let config =
+            PerfCtrConfig { cpus: vec![0], spec: MeasurementSpec::Group(EventGroupKind::L3) };
         assert!(matches!(
             PerfCtr::new(&machine, config),
             Err(LikwidError::GroupUnsupported { .. })
@@ -597,10 +664,8 @@ mod tests {
     #[test]
     fn empty_cpu_list_is_rejected() {
         let machine = SimMachine::new(MachinePreset::Core2Quad);
-        let config = PerfCtrConfig {
-            cpus: vec![],
-            spec: MeasurementSpec::Group(EventGroupKind::FLOPS_DP),
-        };
+        let config =
+            PerfCtrConfig { cpus: vec![], spec: MeasurementSpec::Group(EventGroupKind::FLOPS_DP) };
         assert!(PerfCtr::new(&machine, config).is_err());
     }
 
@@ -650,10 +715,8 @@ mod tests {
     #[test]
     fn measure_wrapper_runs_the_body_between_start_and_stop() {
         let machine = SimMachine::new(MachinePreset::Core2Quad);
-        let config = PerfCtrConfig {
-            cpus: vec![0],
-            spec: MeasurementSpec::Group(EventGroupKind::FLOPS_DP),
-        };
+        let config =
+            PerfCtrConfig { cpus: vec![0], spec: MeasurementSpec::Group(EventGroupKind::FLOPS_DP) };
         let mut session = PerfCtr::new(&machine, config).unwrap();
         let (value, results) = session
             .measure(|m| {

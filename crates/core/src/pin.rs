@@ -168,8 +168,9 @@ mod tests {
     fn paper_example_intel_pinning() {
         // `likwid-pin -c 0-3 -t intel ./a.out` with OMP_NUM_THREADS=4.
         let machine = SimMachine::new(MachinePreset::WestmereEp2S);
-        let tool = PinTool::new(&machine, PinConfig::new("0-3").with_model(ThreadingModel::IntelOpenMp))
-            .unwrap();
+        let tool =
+            PinTool::new(&machine, PinConfig::new("0-3").with_model(ThreadingModel::IntelOpenMp))
+                .unwrap();
         assert_eq!(tool.pin_list(), &[0, 1, 2, 3]);
         assert_eq!(tool.skip_mask(), SkipMask(0x1));
         let placement = tool.worker_placement(4);
@@ -225,7 +226,9 @@ mod tests {
         let machine = SimMachine::new(MachinePreset::WestmereEp2S);
         let tool = PinTool::new(
             &machine,
-            PinConfig::new("0-3").with_model(ThreadingModel::IntelOpenMp).with_skip_mask(SkipMask(0)),
+            PinConfig::new("0-3")
+                .with_model(ThreadingModel::IntelOpenMp)
+                .with_skip_mask(SkipMask(0)),
         )
         .unwrap();
         let placement = tool.worker_placement(4);
@@ -247,11 +250,8 @@ mod tests {
         let placement = tool.worker_placement(6);
         assert!(tool.placement_uses_distinct_cores(&placement));
         let topo = machine.topology();
-        let sockets_used: std::collections::HashSet<u32> = placement
-            .iter()
-            .flatten()
-            .map(|&c| topo.hw_thread(c).unwrap().socket)
-            .collect();
+        let sockets_used: std::collections::HashSet<u32> =
+            placement.iter().flatten().map(|&c| topo.hw_thread(c).unwrap().socket).collect();
         assert_eq!(sockets_used.len(), 2);
     }
 

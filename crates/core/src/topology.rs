@@ -116,11 +116,8 @@ impl CpuTopology {
         socket_ids.dedup();
         let sockets = socket_ids.len() as u32;
 
-        let mut core_ids_socket0: Vec<u32> = hw_threads
-            .iter()
-            .filter(|t| t.socket_id == socket_ids[0])
-            .map(|t| t.core_id)
-            .collect();
+        let mut core_ids_socket0: Vec<u32> =
+            hw_threads.iter().filter(|t| t.socket_id == socket_ids[0]).map(|t| t.core_id).collect();
         core_ids_socket0.sort_unstable();
         core_ids_socket0.dedup();
         let cores_per_socket = core_ids_socket0.len() as u32;
@@ -176,11 +173,8 @@ impl CpuTopology {
                 // Legacy method: logical processors per package from leaf 1,
                 // cores per package from leaf 4.
                 let logical_per_package = ((leaf1.ebx >> 16) & 0xFF).max(1);
-                let cores_per_package = if arch.has_leaf_0x4() {
-                    (machine.cpuid(cpu, 4, 0)?.eax >> 26) + 1
-                } else {
-                    1
-                };
+                let cores_per_package =
+                    if arch.has_leaf_0x4() { (machine.cpuid(cpu, 4, 0)?.eax >> 26) + 1 } else { 1 };
                 let smt_per_core = (logical_per_package / cores_per_package).max(1);
                 let smt_bits = apic::ceil_log2(smt_per_core);
                 let core_bits = apic::ceil_log2(cores_per_package);
@@ -195,8 +189,7 @@ impl CpuTopology {
                 })
             }
             Vendor::Amd => {
-                let cores_per_package =
-                    (machine.cpuid(cpu, 0x8000_0008, 0)?.ecx & 0xFF) + 1;
+                let cores_per_package = (machine.cpuid(cpu, 0x8000_0008, 0)?.ecx & 0xFF) + 1;
                 let core_bits = apic::ceil_log2(cores_per_package);
                 let core_mask = (1u32 << core_bits).wrapping_sub(1);
                 Ok(HwThreadInfo {
@@ -256,10 +249,8 @@ impl CpuTopology {
                 // Pentium M: leaf 2 descriptor table. Decode the descriptors
                 // the machine substrate emits.
                 let r = machine.cpuid(0, 2, 0)?;
-                let bytes: Vec<u8> = [r.eax, r.ebx, r.ecx, r.edx]
-                    .iter()
-                    .flat_map(|v| v.to_le_bytes())
-                    .collect();
+                let bytes: Vec<u8> =
+                    [r.eax, r.ebx, r.ecx, r.edx].iter().flat_map(|v| v.to_le_bytes()).collect();
                 for (i, &b) in bytes.iter().enumerate() {
                     if i == 0 {
                         continue; // AL is the repeat count
@@ -341,8 +332,7 @@ impl CpuTopology {
                 if l3_size > 0 {
                     let assoc = amd_assoc((l23.edx >> 12) & 0xF);
                     // The L3 is shared by all cores of the package.
-                    let cores_per_package =
-                        (machine.cpuid(0, 0x8000_0008, 0)?.ecx & 0xFF) + 1;
+                    let cores_per_package = (machine.cpuid(0, 0x8000_0008, 0)?.ecx & 0xFF) + 1;
                     caches.push(CacheInfo {
                         level: 3,
                         kind: CacheKind::Unified,
@@ -494,11 +484,8 @@ impl CpuTopology {
             } else {
                 format!("{}kB", cache.size_bytes / 1024)
             };
-            let instances_in_socket = cache
-                .groups
-                .iter()
-                .filter(|g| g.iter().any(|&id| members.contains(&id)))
-                .count();
+            let instances_in_socket =
+                cache.groups.iter().filter(|g| g.iter().any(|&id| members.contains(&id))).count();
             cache_rows.push(vec![label; instances_in_socket.max(1)]);
         }
         output::socket_ascii_art(&core_boxes, &cache_rows)

@@ -208,8 +208,7 @@ impl<'m> Papi<'m> {
             .find(|s| !used.contains(s))
             .ok_or(PapiError::CounterConflict)?;
         let pm = self.monitors.get(&event_set.cpu).ok_or(PapiError::BadHandle)?;
-        pm.setup(event_set.cpu, slot, native)
-            .map_err(|e| PapiError::Hardware(e.to_string()))?;
+        pm.setup(event_set.cpu, slot, native).map_err(|e| PapiError::Hardware(e.to_string()))?;
         event_set.events.push((preset, slot));
         Ok(())
     }

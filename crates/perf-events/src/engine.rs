@@ -98,8 +98,7 @@ impl EventEngine {
                         if enable != 0 && global_ok {
                             let delta = self.thread_count(sample, cpu, *kind);
                             if delta > 0 {
-                                let _ =
-                                    msr.increment(cpu, Msr::IA32_FIXED_CTR0 + n as u32, delta);
+                                let _ = msr.increment(cpu, Msr::IA32_FIXED_CTR0 + n as u32, delta);
                             }
                         }
                     }
@@ -112,7 +111,8 @@ impl EventEngine {
         if self.arch.has_uncore() {
             let topo = machine.topology();
             for socket in 0..topo.sockets {
-                let Some(cpu) = topo.hw_threads.iter().find(|t| t.socket == socket).map(|t| t.os_id)
+                let Some(cpu) =
+                    topo.hw_threads.iter().find(|t| t.socket == socket).map(|t| t.os_id)
                 else {
                     continue;
                 };
@@ -125,7 +125,8 @@ impl EventEngine {
                     if !is_enabled(sel) {
                         continue;
                     }
-                    let Some(event) = self.table.find_by_selector(decode_selector(sel), true) else {
+                    let Some(event) = self.table.find_by_selector(decode_selector(sel), true)
+                    else {
                         continue;
                     };
                     let delta = self.socket_count(sample, socket as usize, event.kind);
@@ -178,12 +179,7 @@ mod tests {
     use crate::perfmon::PerfMon;
     use likwid_x86_machine::MachinePreset;
 
-    fn sample_with(
-        machine: &SimMachine,
-        cpu: usize,
-        kind: HwEventKind,
-        value: u64,
-    ) -> EventSample {
+    fn sample_with(machine: &SimMachine, cpu: usize, kind: HwEventKind, value: u64) -> EventSample {
         let mut s = EventSample::new(machine.num_hw_threads(), machine.topology().sockets as usize);
         s.threads[cpu].set(kind, value);
         s

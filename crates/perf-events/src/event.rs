@@ -117,7 +117,8 @@ impl EventTable {
     pub fn find_by_selector(&self, selector: u16, uncore: bool) -> Option<&EventDefinition> {
         self.events.iter().find(|e| {
             e.selector() == selector
-                && (matches!(e.counters, CounterClass::AnyUncorePmc | CounterClass::UncoreFixed) == uncore)
+                && (matches!(e.counters, CounterClass::AnyUncorePmc | CounterClass::UncoreFixed)
+                    == uncore)
         })
     }
 

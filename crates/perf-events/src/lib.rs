@@ -31,7 +31,7 @@ pub mod perfmon;
 pub mod tables;
 
 pub use engine::EventEngine;
-pub use event::{CounterSlot, EventDefinition, EventTable};
+pub use event::{CounterClass, CounterSlot, EventDefinition, EventTable};
 pub use kinds::{EventSample, HwEventKind, SocketEventRecord, ThreadEventRecord};
 pub use multiplex::MultiplexSchedule;
 pub use perfmon::{PerfMon, PerfMonError};

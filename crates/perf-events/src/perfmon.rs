@@ -6,7 +6,7 @@
 //! [`MsrDevice`], i.e. through exactly the `rdmsr`/`wrmsr` traffic the real
 //! tool generates through `/dev/cpu/<N>/msr`.
 
-use likwid_x86_machine::{MachineError, Msr, MsrDevice, SimMachine, MsrPermission, Vendor};
+use likwid_x86_machine::{MachineError, Msr, MsrDevice, MsrPermission, SimMachine, Vendor};
 
 use crate::event::{CounterSlot, EventDefinition};
 
@@ -67,7 +67,8 @@ pub mod evtsel {
 /// Encode a PERFEVTSEL value for an event: event code, umask, USR+OS and the
 /// enable bit.
 pub fn encode_evtsel(event: &EventDefinition, enabled: bool) -> u64 {
-    let mut value = (event.event_code as u64 & 0xFF) | ((event.umask as u64) << 8) | evtsel::USR | evtsel::OS;
+    let mut value =
+        (event.event_code as u64 & 0xFF) | ((event.umask as u64) << 8) | evtsel::USR | evtsel::OS;
     if enabled {
         value |= evtsel::ENABLE;
     }
@@ -95,10 +96,9 @@ pub fn slot_registers(vendor: Vendor, slot: CounterSlot) -> (Option<u32>, u32) {
             (Some(Msr::IA32_PERFEVTSEL0 + n as u32), Msr::IA32_PMC0 + n as u32)
         }
         (Vendor::Intel, CounterSlot::Fixed(n)) => (None, Msr::IA32_FIXED_CTR0 + n as u32),
-        (Vendor::Intel, CounterSlot::UncorePmc(n)) => (
-            Some(Msr::MSR_UNCORE_PERFEVTSEL0 + n as u32),
-            Msr::MSR_UNCORE_PMC0 + n as u32,
-        ),
+        (Vendor::Intel, CounterSlot::UncorePmc(n)) => {
+            (Some(Msr::MSR_UNCORE_PERFEVTSEL0 + n as u32), Msr::MSR_UNCORE_PMC0 + n as u32)
+        }
         (Vendor::Intel, CounterSlot::UncoreFixed) => (None, Msr::MSR_UNCORE_FIXED_CTR0),
         (Vendor::Amd, CounterSlot::Pmc(n)) => {
             (Some(Msr::AMD_PERFEVTSEL0 + n as u32), Msr::AMD_PMC0 + n as u32)
@@ -145,7 +145,12 @@ impl PerfMon {
 
     /// Program `event` into `slot` on hardware thread `cpu` (disabled; use
     /// [`PerfMon::start`] to enable all programmed counters atomically).
-    pub fn setup(&self, cpu: usize, slot: CounterSlot, event: &EventDefinition) -> Result<(), PerfMonError> {
+    pub fn setup(
+        &self,
+        cpu: usize,
+        slot: CounterSlot,
+        event: &EventDefinition,
+    ) -> Result<(), PerfMonError> {
         let dev = self.device(cpu)?;
         let (select, counter) = slot_registers(self.vendor, slot);
         match slot {

@@ -14,10 +14,34 @@ pub fn table() -> EventTable {
     let mut events = intel_fixed_events();
     events.extend([
         // Floating point (the FLOPS_DP / FLOPS_SP groups).
-        ev("SIMD_COMP_INST_RETIRED_PACKED_DOUBLE", 0xCA, 0x04, CounterClass::AnyPmc, HwEventKind::SimdPackedDouble),
-        ev("SIMD_COMP_INST_RETIRED_SCALAR_DOUBLE", 0xCA, 0x08, CounterClass::AnyPmc, HwEventKind::SimdScalarDouble),
-        ev("SIMD_COMP_INST_RETIRED_PACKED_SINGLE", 0xCA, 0x01, CounterClass::AnyPmc, HwEventKind::SimdPackedSingle),
-        ev("SIMD_COMP_INST_RETIRED_SCALAR_SINGLE", 0xCA, 0x02, CounterClass::AnyPmc, HwEventKind::SimdScalarSingle),
+        ev(
+            "SIMD_COMP_INST_RETIRED_PACKED_DOUBLE",
+            0xCA,
+            0x04,
+            CounterClass::AnyPmc,
+            HwEventKind::SimdPackedDouble,
+        ),
+        ev(
+            "SIMD_COMP_INST_RETIRED_SCALAR_DOUBLE",
+            0xCA,
+            0x08,
+            CounterClass::AnyPmc,
+            HwEventKind::SimdScalarDouble,
+        ),
+        ev(
+            "SIMD_COMP_INST_RETIRED_PACKED_SINGLE",
+            0xCA,
+            0x01,
+            CounterClass::AnyPmc,
+            HwEventKind::SimdPackedSingle,
+        ),
+        ev(
+            "SIMD_COMP_INST_RETIRED_SCALAR_SINGLE",
+            0xCA,
+            0x02,
+            CounterClass::AnyPmc,
+            HwEventKind::SimdScalarSingle,
+        ),
         // L1 data cache (CACHE group, L2 bandwidth group).
         ev("L1D_ALL_REF", 0x43, 0x01, CounterClass::AnyPmc, HwEventKind::L1Accesses),
         ev("L1D_REPL", 0x45, 0x0F, CounterClass::AnyPmc, HwEventKind::L1Misses),
@@ -28,14 +52,32 @@ pub fn table() -> EventTable {
         ev("L2_RQSTS_REFERENCES", 0x2E, 0x41, CounterClass::AnyPmc, HwEventKind::L2Accesses),
         ev("L2_RQSTS_MISS", 0x2E, 0x4F, CounterClass::AnyPmc, HwEventKind::L2Misses),
         // Memory (front-side bus transactions; MEM group on Core 2).
-        ev("BUS_TRANS_MEM_THIS_CORE_THIS_A", 0x6F, 0x40, CounterClass::AnyPmc, HwEventKind::MemoryReads),
-        ev("BUS_TRANS_WB_THIS_CORE_THIS_A", 0x67, 0x40, CounterClass::AnyPmc, HwEventKind::MemoryWrites),
+        ev(
+            "BUS_TRANS_MEM_THIS_CORE_THIS_A",
+            0x6F,
+            0x40,
+            CounterClass::AnyPmc,
+            HwEventKind::MemoryReads,
+        ),
+        ev(
+            "BUS_TRANS_WB_THIS_CORE_THIS_A",
+            0x67,
+            0x40,
+            CounterClass::AnyPmc,
+            HwEventKind::MemoryWrites,
+        ),
         // Loads and stores (DATA group).
         ev("INST_RETIRED_LOADS", 0xC0, 0x01, CounterClass::AnyPmc, HwEventKind::LoadsRetired),
         ev("INST_RETIRED_STORES", 0xC0, 0x02, CounterClass::AnyPmc, HwEventKind::StoresRetired),
         // Branches (BRANCH group).
         ev("BR_INST_RETIRED_ANY", 0xC4, 0x00, CounterClass::AnyPmc, HwEventKind::BranchesRetired),
-        ev("BR_INST_RETIRED_MISPRED", 0xC5, 0x00, CounterClass::AnyPmc, HwEventKind::BranchMispredictions),
+        ev(
+            "BR_INST_RETIRED_MISPRED",
+            0xC5,
+            0x00,
+            CounterClass::AnyPmc,
+            HwEventKind::BranchMispredictions,
+        ),
         // TLB (TLB group).
         ev("DTLB_MISSES_ANY", 0x08, 0x01, CounterClass::AnyPmc, HwEventKind::DtlbMisses),
     ]);

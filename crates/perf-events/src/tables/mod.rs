@@ -63,13 +63,7 @@ pub(crate) fn intel_fixed_events() -> Vec<EventDefinition> {
             CounterClass::Fixed(0),
             HwEventKind::InstructionsRetired,
         ),
-        ev(
-            "CPU_CLK_UNHALTED_CORE",
-            0x3C,
-            0x00,
-            CounterClass::Fixed(1),
-            HwEventKind::CoreCycles,
-        ),
+        ev("CPU_CLK_UNHALTED_CORE", 0x3C, 0x00, CounterClass::Fixed(1), HwEventKind::CoreCycles),
         ev(
             "CPU_CLK_UNHALTED_REF",
             0x3C,
@@ -102,17 +96,19 @@ mod tests {
                     .events
                     .iter()
                     .filter(|e| {
-                        matches!(
-                            e.counters,
-                            CounterClass::AnyUncorePmc | CounterClass::UncoreFixed
-                        ) == uncore
+                        matches!(e.counters, CounterClass::AnyUncorePmc | CounterClass::UncoreFixed)
+                            == uncore
                     })
                     .map(|e| e.selector())
                     .collect();
                 sels.sort_unstable();
                 let before = sels.len();
                 sels.dedup();
-                assert_eq!(before, sels.len(), "{arch:?} has duplicate selectors (uncore={uncore})");
+                assert_eq!(
+                    before,
+                    sels.len(),
+                    "{arch:?} has duplicate selectors (uncore={uncore})"
+                );
             }
         }
     }
@@ -154,15 +150,74 @@ mod tests {
     fn fixed_events_only_exist_on_architectures_with_fixed_counters() {
         for &arch in Microarch::all() {
             let t = for_arch(arch);
-            let has_fixed_event = t
-                .events
-                .iter()
-                .any(|e| matches!(e.counters, CounterClass::Fixed(_)));
+            let has_fixed_event =
+                t.events.iter().any(|e| matches!(e.counters, CounterClass::Fixed(_)));
             assert_eq!(
                 has_fixed_event,
                 arch.num_fixed_counters() > 0,
                 "{arch:?} fixed-event presence mismatch"
             );
+        }
+    }
+
+    #[test]
+    fn every_documented_event_resolves_to_a_valid_counter_assignment() {
+        use crate::event::CounterSlot;
+        for &arch in Microarch::all() {
+            let table = for_arch(arch);
+            for event in &table.events {
+                let slots = table.allowed_slots(event);
+                assert!(
+                    !slots.is_empty(),
+                    "{arch:?} event {} has no counter it can be scheduled on",
+                    event.name
+                );
+                for slot in slots {
+                    // Every advertised slot must exist on the machine.
+                    match slot {
+                        CounterSlot::Pmc(n) => assert!(
+                            (n as usize) < table.num_pmc,
+                            "{arch:?} {}: PMC{n} beyond num_pmc={}",
+                            event.name,
+                            table.num_pmc
+                        ),
+                        CounterSlot::Fixed(n) => assert!(
+                            (n as usize) < table.num_fixed,
+                            "{arch:?} {}: FIXC{n} beyond num_fixed={}",
+                            event.name,
+                            table.num_fixed
+                        ),
+                        CounterSlot::UncorePmc(n) => assert!(
+                            (n as usize) < table.num_uncore_pmc,
+                            "{arch:?} {}: UPMC{n} beyond num_uncore_pmc={}",
+                            event.name,
+                            table.num_uncore_pmc
+                        ),
+                        CounterSlot::UncoreFixed => assert!(
+                            arch.has_uncore(),
+                            "{arch:?} {}: UPMCFIX on a machine without an uncore",
+                            event.name
+                        ),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn selector_lookup_round_trips_for_every_event() {
+        for &arch in Microarch::all() {
+            let table = for_arch(arch);
+            for event in &table.events {
+                let uncore = matches!(
+                    event.counters,
+                    CounterClass::AnyUncorePmc | CounterClass::UncoreFixed
+                );
+                let found = table
+                    .find_by_selector(event.selector(), uncore)
+                    .unwrap_or_else(|| panic!("{arch:?} {} lost by selector lookup", event.name));
+                assert_eq!(found.name, event.name, "{arch:?} selector collision");
+            }
         }
     }
 

@@ -15,17 +15,47 @@ pub fn table() -> EventTable {
     let mut events = intel_fixed_events();
     events.extend(core_events());
     events.extend(uncore_events());
-    EventTable { arch_name: "Intel Nehalem EP", num_pmc: 4, num_fixed: 3, num_uncore_pmc: 8, events }
+    EventTable {
+        arch_name: "Intel Nehalem EP",
+        num_pmc: 4,
+        num_fixed: 3,
+        num_uncore_pmc: 8,
+        events,
+    }
 }
 
 /// Core (per hardware thread) events shared by Nehalem and Westmere.
 pub(crate) fn core_events() -> Vec<crate::event::EventDefinition> {
     vec![
         // Floating point.
-        ev("FP_COMP_OPS_EXE_SSE_FP_PACKED", 0x10, 0x10, CounterClass::AnyPmc, HwEventKind::SimdPackedDouble),
-        ev("FP_COMP_OPS_EXE_SSE_FP_SCALAR", 0x10, 0x20, CounterClass::AnyPmc, HwEventKind::SimdScalarDouble),
-        ev("FP_COMP_OPS_EXE_SSE_SINGLE_PRECISION", 0x10, 0x40, CounterClass::AnyPmc, HwEventKind::SimdPackedSingle),
-        ev("FP_COMP_OPS_EXE_SSE_DOUBLE_PRECISION", 0x10, 0x80, CounterClass::AnyPmc, HwEventKind::SimdScalarSingle),
+        ev(
+            "FP_COMP_OPS_EXE_SSE_FP_PACKED",
+            0x10,
+            0x10,
+            CounterClass::AnyPmc,
+            HwEventKind::SimdPackedDouble,
+        ),
+        ev(
+            "FP_COMP_OPS_EXE_SSE_FP_SCALAR",
+            0x10,
+            0x20,
+            CounterClass::AnyPmc,
+            HwEventKind::SimdScalarDouble,
+        ),
+        ev(
+            "FP_COMP_OPS_EXE_SSE_SINGLE_PRECISION",
+            0x10,
+            0x40,
+            CounterClass::AnyPmc,
+            HwEventKind::SimdPackedSingle,
+        ),
+        ev(
+            "FP_COMP_OPS_EXE_SSE_DOUBLE_PRECISION",
+            0x10,
+            0x80,
+            CounterClass::AnyPmc,
+            HwEventKind::SimdScalarSingle,
+        ),
         // L1 / L2 traffic.
         ev("L1D_ALL_REF_ANY", 0x43, 0x01, CounterClass::AnyPmc, HwEventKind::L1Accesses),
         ev("L1D_REPL", 0x51, 0x01, CounterClass::AnyPmc, HwEventKind::L1Misses),
@@ -38,8 +68,20 @@ pub(crate) fn core_events() -> Vec<crate::event::EventDefinition> {
         ev("MEM_INST_RETIRED_LOADS", 0x0B, 0x01, CounterClass::AnyPmc, HwEventKind::LoadsRetired),
         ev("MEM_INST_RETIRED_STORES", 0x0B, 0x02, CounterClass::AnyPmc, HwEventKind::StoresRetired),
         // Branches.
-        ev("BR_INST_RETIRED_ALL_BRANCHES", 0xC4, 0x04, CounterClass::AnyPmc, HwEventKind::BranchesRetired),
-        ev("BR_MISP_RETIRED_ALL_BRANCHES", 0xC5, 0x04, CounterClass::AnyPmc, HwEventKind::BranchMispredictions),
+        ev(
+            "BR_INST_RETIRED_ALL_BRANCHES",
+            0xC4,
+            0x04,
+            CounterClass::AnyPmc,
+            HwEventKind::BranchesRetired,
+        ),
+        ev(
+            "BR_MISP_RETIRED_ALL_BRANCHES",
+            0xC5,
+            0x04,
+            CounterClass::AnyPmc,
+            HwEventKind::BranchMispredictions,
+        ),
         // TLB.
         ev("DTLB_MISSES_ANY", 0x49, 0x01, CounterClass::AnyPmc, HwEventKind::DtlbMisses),
     ]
@@ -52,8 +94,20 @@ pub(crate) fn uncore_events() -> Vec<crate::event::EventDefinition> {
         ev("UNC_L3_MISS_ANY", 0x09, 0x03, CounterClass::AnyUncorePmc, HwEventKind::L3Misses),
         ev("UNC_L3_LINES_IN_ANY", 0x0A, 0x0F, CounterClass::AnyUncorePmc, HwEventKind::L3LinesIn),
         ev("UNC_L3_LINES_OUT_ANY", 0x0B, 0x0F, CounterClass::AnyUncorePmc, HwEventKind::L3LinesOut),
-        ev("UNC_QMC_NORMAL_READS_ANY", 0x2C, 0x07, CounterClass::AnyUncorePmc, HwEventKind::MemoryReads),
-        ev("UNC_QMC_WRITES_FULL_ANY", 0x2D, 0x07, CounterClass::AnyUncorePmc, HwEventKind::MemoryWrites),
+        ev(
+            "UNC_QMC_NORMAL_READS_ANY",
+            0x2C,
+            0x07,
+            CounterClass::AnyUncorePmc,
+            HwEventKind::MemoryReads,
+        ),
+        ev(
+            "UNC_QMC_WRITES_FULL_ANY",
+            0x2D,
+            0x07,
+            CounterClass::AnyUncorePmc,
+            HwEventKind::MemoryWrites,
+        ),
         ev("UNC_CLK_UNHALTED", 0x00, 0x01, CounterClass::UncoreFixed, HwEventKind::UncoreCycles),
     ]
 }

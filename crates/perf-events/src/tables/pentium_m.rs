@@ -13,10 +13,34 @@ pub fn table() -> EventTable {
     let events = vec![
         ev("INSTR_RETIRED_ANY", 0xC0, 0x00, CounterClass::AnyPmc, HwEventKind::InstructionsRetired),
         ev("CPU_CLK_UNHALTED", 0x79, 0x00, CounterClass::AnyPmc, HwEventKind::CoreCycles),
-        ev("EMON_SSE_SSE2_COMP_INST_RETIRED_PACKED_DP", 0xD8, 0x04, CounterClass::AnyPmc, HwEventKind::SimdPackedDouble),
-        ev("EMON_SSE_SSE2_COMP_INST_RETIRED_SCALAR_DP", 0xD8, 0x08, CounterClass::AnyPmc, HwEventKind::SimdScalarDouble),
-        ev("EMON_SSE_SSE2_COMP_INST_RETIRED_PACKED_SP", 0xD8, 0x01, CounterClass::AnyPmc, HwEventKind::SimdPackedSingle),
-        ev("EMON_SSE_SSE2_COMP_INST_RETIRED_SCALAR_SP", 0xD8, 0x02, CounterClass::AnyPmc, HwEventKind::SimdScalarSingle),
+        ev(
+            "EMON_SSE_SSE2_COMP_INST_RETIRED_PACKED_DP",
+            0xD8,
+            0x04,
+            CounterClass::AnyPmc,
+            HwEventKind::SimdPackedDouble,
+        ),
+        ev(
+            "EMON_SSE_SSE2_COMP_INST_RETIRED_SCALAR_DP",
+            0xD8,
+            0x08,
+            CounterClass::AnyPmc,
+            HwEventKind::SimdScalarDouble,
+        ),
+        ev(
+            "EMON_SSE_SSE2_COMP_INST_RETIRED_PACKED_SP",
+            0xD8,
+            0x01,
+            CounterClass::AnyPmc,
+            HwEventKind::SimdPackedSingle,
+        ),
+        ev(
+            "EMON_SSE_SSE2_COMP_INST_RETIRED_SCALAR_SP",
+            0xD8,
+            0x02,
+            CounterClass::AnyPmc,
+            HwEventKind::SimdScalarSingle,
+        ),
         ev("DATA_MEM_REFS", 0x43, 0x00, CounterClass::AnyPmc, HwEventKind::L1Accesses),
         ev("DCU_LINES_IN", 0x45, 0x00, CounterClass::AnyPmc, HwEventKind::L1Misses),
         ev("L2_LINES_IN", 0x24, 0x00, CounterClass::AnyPmc, HwEventKind::L2LinesIn),
@@ -25,7 +49,13 @@ pub fn table() -> EventTable {
         ev("L2_RQSTS_MISS", 0x2E, 0x4F, CounterClass::AnyPmc, HwEventKind::L2Misses),
         ev("BUS_TRAN_MEM", 0x6F, 0x00, CounterClass::AnyPmc, HwEventKind::MemoryReads),
         ev("BR_INST_RETIRED", 0xC4, 0x00, CounterClass::AnyPmc, HwEventKind::BranchesRetired),
-        ev("BR_MISS_PRED_RETIRED", 0xC5, 0x00, CounterClass::AnyPmc, HwEventKind::BranchMispredictions),
+        ev(
+            "BR_MISS_PRED_RETIRED",
+            0xC5,
+            0x00,
+            CounterClass::AnyPmc,
+            HwEventKind::BranchMispredictions,
+        ),
         ev("DTLB_MISS", 0x49, 0x00, CounterClass::AnyPmc, HwEventKind::DtlbMisses),
     ];
     EventTable { arch_name: "Intel Pentium M", num_pmc: 2, num_fixed: 0, num_uncore_pmc: 0, events }

@@ -67,7 +67,10 @@ pub fn sample_from_simulation(
 
     for cpu in 0..num_threads {
         let t = &mut sample.threads[cpu];
-        t.set(HwEventKind::InstructionsRetired, profile.instructions.get(cpu).copied().unwrap_or(0));
+        t.set(
+            HwEventKind::InstructionsRetired,
+            profile.instructions.get(cpu).copied().unwrap_or(0),
+        );
         t.set(HwEventKind::CoreCycles, profile.cycles.get(cpu).copied().unwrap_or(0));
         t.set(
             HwEventKind::SimdPackedDouble,
@@ -78,7 +81,10 @@ pub fn sample_from_simulation(
             profile.simd_scalar_double.get(cpu).copied().unwrap_or(0),
         );
         t.set(HwEventKind::BranchesRetired, profile.branches.get(cpu).copied().unwrap_or(0));
-        t.set(HwEventKind::BranchMispredictions, profile.branch_misses.get(cpu).copied().unwrap_or(0));
+        t.set(
+            HwEventKind::BranchMispredictions,
+            profile.branch_misses.get(cpu).copied().unwrap_or(0),
+        );
         t.set(HwEventKind::LoadsRetired, stats.thread_loads.get(cpu).copied().unwrap_or(0));
         t.set(HwEventKind::StoresRetired, stats.thread_stores.get(cpu).copied().unwrap_or(0));
         t.set(
@@ -112,11 +118,10 @@ pub fn sample_from_simulation(
                 let h = &topo.hw_threads[t];
                 (h.socket, h.core_index, h.smt_id)
             });
-            let members: Vec<usize> = order
-                [inst_idx * threads_per_instance..((inst_idx + 1) * threads_per_instance).min(num_threads)]
+            let members: Vec<usize> = order[inst_idx * threads_per_instance
+                ..((inst_idx + 1) * threads_per_instance).min(num_threads)]
                 .to_vec();
-            let active: Vec<usize> =
-                members.iter().copied().filter(|&m| weights[m] > 0).collect();
+            let active: Vec<usize> = members.iter().copied().filter(|&m| weights[m] > 0).collect();
             let share_over = if active.is_empty() { members.clone() } else { active };
             if share_over.is_empty() {
                 continue;
@@ -195,7 +200,10 @@ mod tests {
         let sample = sample_from_simulation(&machine, &stats, &profile);
         assert!(sample.sockets[0].get(HwEventKind::L3LinesIn) >= 1000);
         assert!(sample.sockets[1].get(HwEventKind::L3LinesIn) >= 10);
-        assert!(sample.sockets[0].get(HwEventKind::L3LinesIn) > sample.sockets[1].get(HwEventKind::L3LinesIn));
+        assert!(
+            sample.sockets[0].get(HwEventKind::L3LinesIn)
+                > sample.sockets[1].get(HwEventKind::L3LinesIn)
+        );
         // Memory reads counted in cache lines: at least the 1010 demanded
         // lines, plus a handful of prefetches running past the stream ends.
         let total_reads: u64 =

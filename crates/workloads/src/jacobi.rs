@@ -137,12 +137,8 @@ impl<'m> Jacobi<'m> {
         // First-touch placement: the grid is initialised by the worker
         // threads themselves, so its pages are local to the socket the first
         // worker runs on (all workers, for the correctly pinned runs).
-        let home_socket = self
-            .machine
-            .topology()
-            .hw_thread(config.placement[0])
-            .map(|t| t.socket)
-            .unwrap_or(0);
+        let home_socket =
+            self.machine.topology().hw_thread(config.placement[0]).map(|t| t.socket).unwrap_or(0);
         let hierarchy = HierarchyConfig::from_machine(
             self.machine,
             NumaPolicy::SingleNode { socket: home_socket },
@@ -190,11 +186,46 @@ impl<'m> Jacobi<'m> {
                 for k in k_begin..k_end {
                     for j in 1..n - 1 {
                         for l in 0..lines_per_row {
-                            sys.access(hw, Access { address: Self::line_addr(src, n, lines_per_row, k, j, l), size: 64, kind: likwid_cache_sim::AccessKind::Load });
-                            sys.access(hw, Access { address: Self::line_addr(src, n, lines_per_row, k, j - 1, l), size: 64, kind: likwid_cache_sim::AccessKind::Load });
-                            sys.access(hw, Access { address: Self::line_addr(src, n, lines_per_row, k, j + 1, l), size: 64, kind: likwid_cache_sim::AccessKind::Load });
-                            sys.access(hw, Access { address: Self::line_addr(src, n, lines_per_row, k - 1, j, l), size: 64, kind: likwid_cache_sim::AccessKind::Load });
-                            sys.access(hw, Access { address: Self::line_addr(src, n, lines_per_row, k + 1, j, l), size: 64, kind: likwid_cache_sim::AccessKind::Load });
+                            sys.access(
+                                hw,
+                                Access {
+                                    address: Self::line_addr(src, n, lines_per_row, k, j, l),
+                                    size: 64,
+                                    kind: likwid_cache_sim::AccessKind::Load,
+                                },
+                            );
+                            sys.access(
+                                hw,
+                                Access {
+                                    address: Self::line_addr(src, n, lines_per_row, k, j - 1, l),
+                                    size: 64,
+                                    kind: likwid_cache_sim::AccessKind::Load,
+                                },
+                            );
+                            sys.access(
+                                hw,
+                                Access {
+                                    address: Self::line_addr(src, n, lines_per_row, k, j + 1, l),
+                                    size: 64,
+                                    kind: likwid_cache_sim::AccessKind::Load,
+                                },
+                            );
+                            sys.access(
+                                hw,
+                                Access {
+                                    address: Self::line_addr(src, n, lines_per_row, k - 1, j, l),
+                                    size: 64,
+                                    kind: likwid_cache_sim::AccessKind::Load,
+                                },
+                            );
+                            sys.access(
+                                hw,
+                                Access {
+                                    address: Self::line_addr(src, n, lines_per_row, k + 1, j, l),
+                                    size: 64,
+                                    kind: likwid_cache_sim::AccessKind::Load,
+                                },
+                            );
                             let store_addr = Self::line_addr(dst, n, lines_per_row, k, j, l);
                             let kind = if nt {
                                 likwid_cache_sim::AccessKind::NonTemporalStore
@@ -232,15 +263,9 @@ impl<'m> Jacobi<'m> {
         // Ring buffers: one per pipeline stage boundary, holding 4 planes of
         // a j-tile. The tile width is chosen so that all buffers together
         // use at most about half of one LLC instance.
-        let llc_bytes = self
-            .machine
-            .caches()
-            .last()
-            .map(|c| c.size_bytes)
-            .unwrap_or(8 << 20);
+        let llc_bytes = self.machine.caches().last().map(|c| c.size_bytes).unwrap_or(8 << 20);
         let bytes_per_row = lines_per_row * 64;
-        let max_tile_rows =
-            ((llc_bytes / 2) / ((depth as u64).max(1) * 4 * bytes_per_row)).max(4);
+        let max_tile_rows = ((llc_bytes / 2) / ((depth as u64).max(1) * 4 * bytes_per_row)).max(4);
         let tile_rows = max_tile_rows.min(n);
         let ring_bytes = 4 * tile_rows * bytes_per_row;
         let ring_base = |stage: u64| dst_base + (1 << 28) + stage * (ring_bytes + (1 << 20));
@@ -270,35 +295,61 @@ impl<'m> Jacobi<'m> {
                                 // neighbouring planes of it).
                                 if stage == 0 {
                                     for kk in [plane - 1, plane, plane + 1] {
-                                        sys.access(hw, Access {
-                                            address: Self::line_addr(src_base, n, lines_per_row, kk, j, l),
-                                            size: 64,
-                                            kind: likwid_cache_sim::AccessKind::Load,
-                                        });
+                                        sys.access(
+                                            hw,
+                                            Access {
+                                                address: Self::line_addr(
+                                                    src_base,
+                                                    n,
+                                                    lines_per_row,
+                                                    kk,
+                                                    j,
+                                                    l,
+                                                ),
+                                                size: 64,
+                                                kind: likwid_cache_sim::AccessKind::Load,
+                                            },
+                                        );
                                     }
                                 } else {
                                     for kk in [plane.saturating_sub(1), plane, plane + 1] {
-                                        sys.access(hw, Access {
-                                            address: ring_addr(stage - 1, kk, j_off, l),
-                                            size: 64,
-                                            kind: likwid_cache_sim::AccessKind::Load,
-                                        });
+                                        sys.access(
+                                            hw,
+                                            Access {
+                                                address: ring_addr(stage - 1, kk, j_off, l),
+                                                size: 64,
+                                                kind: likwid_cache_sim::AccessKind::Load,
+                                            },
+                                        );
                                     }
                                 }
                                 // Output: the own ring buffer, or the result
                                 // array (streaming stores) for the last stage.
                                 if stage == depth as u64 - 1 {
-                                    sys.access(hw, Access {
-                                        address: Self::line_addr(dst_base, n, lines_per_row, plane, j, l),
-                                        size: 64,
-                                        kind: likwid_cache_sim::AccessKind::NonTemporalStore,
-                                    });
+                                    sys.access(
+                                        hw,
+                                        Access {
+                                            address: Self::line_addr(
+                                                dst_base,
+                                                n,
+                                                lines_per_row,
+                                                plane,
+                                                j,
+                                                l,
+                                            ),
+                                            size: 64,
+                                            kind: likwid_cache_sim::AccessKind::NonTemporalStore,
+                                        },
+                                    );
                                 } else {
-                                    sys.access(hw, Access {
-                                        address: ring_addr(stage, plane, j_off, l),
-                                        size: 64,
-                                        kind: likwid_cache_sim::AccessKind::Store,
-                                    });
+                                    sys.access(
+                                        hw,
+                                        Access {
+                                            address: ring_addr(stage, plane, j_off, l),
+                                            size: 64,
+                                            kind: likwid_cache_sim::AccessKind::Store,
+                                        },
+                                    );
                                 }
                             }
                         }
@@ -337,9 +388,8 @@ impl<'m> Jacobi<'m> {
         let total_bytes = stats.total_memory_bytes();
         let remote_bytes = total_bytes - local_bytes;
 
-        let llc_total = stats.level_total(
-            self.machine.caches().last().map(|c| c.level).unwrap_or(3),
-        );
+        let llc_total =
+            stats.level_total(self.machine.caches().last().map(|c| c.level).unwrap_or(3));
         let l3_bytes = (llc_total.lines_in + llc_total.lines_out) * 64;
 
         // Effective bandwidths for this placement.
@@ -399,9 +449,7 @@ impl<'m> Jacobi<'m> {
         // kernel's per-plane pipeline synchronisation is already folded into
         // its higher cycles-per-update cost.
         let sync_time = match config.variant {
-            JacobiVariant::Threaded | JacobiVariant::ThreadedNt => {
-                config.time_steps as f64 * 60e-6
-            }
+            JacobiVariant::Threaded | JacobiVariant::ThreadedNt => config.time_steps as f64 * 60e-6,
             JacobiVariant::Wavefront => 0.0,
         };
 

@@ -180,7 +180,9 @@ mod tests {
             CompilerPersonality::Gcc.per_core_traffic_fraction()
                 < CompilerPersonality::IntelIcc.per_core_traffic_fraction()
         );
-        assert!(CompilerPersonality::Gcc.smt_benefit() > CompilerPersonality::IntelIcc.smt_benefit());
+        assert!(
+            CompilerPersonality::Gcc.smt_benefit() > CompilerPersonality::IntelIcc.smt_benefit()
+        );
     }
 
     #[test]
@@ -203,12 +205,14 @@ mod tests {
         let p2 = runtime.place(&topo, 4, &PlacementPolicy::LikwidPin(list), &mut rng);
         assert_eq!(p1, p2, "pinned placements do not vary between samples");
 
-        let scatter = runtime.place(&topo, 4, &PlacementPolicy::Kmp(KmpAffinity::Scatter), &mut rng);
+        let scatter =
+            runtime.place(&topo, 4, &PlacementPolicy::Kmp(KmpAffinity::Scatter), &mut rng);
         let sockets: std::collections::HashSet<u32> =
             scatter.iter().map(|&c| topo.hw_thread(c).unwrap().socket).collect();
         assert_eq!(sockets.len(), 2, "KMP scatter uses both sockets");
 
-        let compact = runtime.place(&topo, 4, &PlacementPolicy::Kmp(KmpAffinity::Compact), &mut rng);
+        let compact =
+            runtime.place(&topo, 4, &PlacementPolicy::Kmp(KmpAffinity::Compact), &mut rng);
         let sockets: std::collections::HashSet<u32> =
             compact.iter().map(|&c| topo.hw_thread(c).unwrap().socket).collect();
         assert_eq!(sockets.len(), 1, "KMP compact fills one socket first");

@@ -174,7 +174,8 @@ impl<'a> BandwidthModel<'a> {
                 }
             })
             .collect();
-        let remote_scale = if remote_load <= self.memory.remote_bandwidth_bps || remote_load == 0.0 {
+        let remote_scale = if remote_load <= self.memory.remote_bandwidth_bps || remote_load == 0.0
+        {
             1.0
         } else {
             self.memory.remote_bandwidth_bps / remote_load
@@ -353,9 +354,17 @@ mod tests {
     fn home_sockets_follow_the_first_touch_placement() {
         let topo = MachinePreset::WestmereEp2S.topology();
         let model = westmere_model(&topo);
-        assert_eq!(model.home_sockets(3, &[]), vec![0, 0, 0], "serial init puts all data on socket 0");
+        assert_eq!(
+            model.home_sockets(3, &[]),
+            vec![0, 0, 0],
+            "serial init puts all data on socket 0"
+        );
         assert_eq!(model.home_sockets(2, &[0, 6]), vec![0, 1]);
-        assert_eq!(model.home_sockets(4, &[0, 6]), vec![0, 1, 0, 1], "wraps around the init placement");
+        assert_eq!(
+            model.home_sockets(4, &[0, 6]),
+            vec![0, 1, 0, 1],
+            "wraps around the init placement"
+        );
     }
 
     #[test]

@@ -88,7 +88,8 @@ impl StreamExperiment {
         // unpinned runs may have been scheduled elsewhere during the
         // initialisation loop (thread migration between program phases).
         let init_placement = match policy {
-            PlacementPolicy::Unpinned | PlacementPolicy::Kmp(crate::openmp::KmpAffinity::Disabled) => {
+            PlacementPolicy::Unpinned
+            | PlacementPolicy::Kmp(crate::openmp::KmpAffinity::Disabled) => {
                 self.runtime.place(topo, num_threads, policy, rng)
             }
             _ => placement.clone(),
@@ -100,12 +101,7 @@ impl StreamExperiment {
     }
 
     /// Run the full sampling experiment at one thread count.
-    pub fn run_samples(
-        &self,
-        num_threads: usize,
-        policy: &PlacementPolicy,
-        seed: u64,
-    ) -> Vec<f64> {
+    pub fn run_samples(&self, num_threads: usize, policy: &PlacementPolicy, seed: u64) -> Vec<f64> {
         let mut rng = StdRng::seed_from_u64(seed);
         (0..self.samples_per_point)
             .map(|_| self.run_once(num_threads, policy, &mut rng).bandwidth_mbs)
@@ -122,7 +118,8 @@ impl StreamExperiment {
         thread_counts
             .into_iter()
             .map(|threads| {
-                let samples = self.run_samples(threads, &policy_for(threads), seed ^ threads as u64);
+                let samples =
+                    self.run_samples(threads, &policy_for(threads), seed ^ threads as u64);
                 SeriesPoint {
                     threads,
                     stats: BoxStats::from_samples(&samples).expect("samples_per_point > 0"),
@@ -154,16 +151,23 @@ mod tests {
         let samples = e.run_samples(12, &e.paper_pinned_policy(12), 42);
         let stats = BoxStats::from_samples(&samples).unwrap();
         assert!(stats.iqr() < 1.0, "pinned samples are identical, spread {}", stats.iqr());
-        assert!(stats.median > 38_000.0, "pinned 12-thread Westmere ≈ 41 GB/s, got {}", stats.median);
+        assert!(
+            stats.median > 38_000.0,
+            "pinned 12-thread Westmere ≈ 41 GB/s, got {}",
+            stats.median
+        );
     }
 
     #[test]
     fn figure4_vs_figure5_unpinned_variance_and_pinned_stability() {
         let e = experiment(CompilerPersonality::IntelIcc);
         for threads in [2usize, 6, 12] {
-            let unpinned = BoxStats::from_samples(&e.run_samples(threads, &PlacementPolicy::Unpinned, 7)).unwrap();
+            let unpinned =
+                BoxStats::from_samples(&e.run_samples(threads, &PlacementPolicy::Unpinned, 7))
+                    .unwrap();
             let pinned =
-                BoxStats::from_samples(&e.run_samples(threads, &e.paper_pinned_policy(threads), 7)).unwrap();
+                BoxStats::from_samples(&e.run_samples(threads, &e.paper_pinned_policy(threads), 7))
+                    .unwrap();
             assert!(
                 unpinned.relative_spread() > pinned.relative_spread(),
                 "{threads} threads: unpinned spread {} must exceed pinned spread {}",
@@ -184,10 +188,13 @@ mod tests {
         let e = experiment(CompilerPersonality::IntelIcc);
         for threads in [4usize, 8, 12] {
             let pinned =
-                BoxStats::from_samples(&e.run_samples(threads, &e.paper_pinned_policy(threads), 3)).unwrap();
-            let kmp = BoxStats::from_samples(
-                &e.run_samples(threads, &PlacementPolicy::Kmp(KmpAffinity::Scatter), 3),
-            )
+                BoxStats::from_samples(&e.run_samples(threads, &e.paper_pinned_policy(threads), 3))
+                    .unwrap();
+            let kmp = BoxStats::from_samples(&e.run_samples(
+                threads,
+                &PlacementPolicy::Kmp(KmpAffinity::Scatter),
+                3,
+            ))
             .unwrap();
             let diff = (pinned.median - kmp.median).abs() / pinned.median;
             assert!(diff < 0.02, "KMP scatter ≈ likwid-pin at {threads} threads ({diff})");
@@ -227,12 +234,16 @@ mod tests {
 
     #[test]
     fn istanbul_figures_9_and_10_shape() {
-        let mut e = StreamExperiment::new(MachinePreset::IstanbulH2S, CompilerPersonality::IntelIcc);
+        let mut e =
+            StreamExperiment::new(MachinePreset::IstanbulH2S, CompilerPersonality::IntelIcc);
         e.samples_per_point = 30;
-        let unpinned = BoxStats::from_samples(&e.run_samples(6, &PlacementPolicy::Unpinned, 9)).unwrap();
-        let pinned = BoxStats::from_samples(&e.run_samples(6, &e.paper_pinned_policy(6), 9)).unwrap();
+        let unpinned =
+            BoxStats::from_samples(&e.run_samples(6, &PlacementPolicy::Unpinned, 9)).unwrap();
+        let pinned =
+            BoxStats::from_samples(&e.run_samples(6, &e.paper_pinned_policy(6), 9)).unwrap();
         assert!(unpinned.relative_spread() > pinned.relative_spread());
-        let full = BoxStats::from_samples(&e.run_samples(12, &e.paper_pinned_policy(12), 9)).unwrap();
+        let full =
+            BoxStats::from_samples(&e.run_samples(12, &e.paper_pinned_policy(12), 9)).unwrap();
         assert!(
             full.median > 22_000.0 && full.median < 26_000.0,
             "Istanbul plateau ≈ 24-25 GB/s, got {}",

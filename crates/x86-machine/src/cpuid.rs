@@ -91,10 +91,7 @@ impl<'a> CpuidSource<'a> {
             0x2 => Ok(self.leaf_2()),
             0x4 if self.arch.has_leaf_0x4() => Ok(self.leaf_4(subleaf)),
             0xB if self.arch.has_leaf_0xb() => Ok(self.leaf_b(subleaf, apic_id)),
-            0x8000_0000 => Ok(CpuidResult {
-                eax: self.max_extended_leaf(),
-                ..Default::default()
-            }),
+            0x8000_0000 => Ok(CpuidResult { eax: self.max_extended_leaf(), ..Default::default() }),
             0x8000_0002 | 0x8000_0003 | 0x8000_0004 => {
                 Ok(self.brand_string_leaf(leaf - 0x8000_0002))
             }
@@ -108,44 +105,52 @@ impl<'a> CpuidSource<'a> {
     /// Leaf 0x0: maximum leaf and vendor identification string.
     fn leaf_0(&self) -> CpuidResult {
         let id = self.arch.vendor().id_string().as_bytes();
-        let word = |i: usize| {
-            u32::from_le_bytes([id[i], id[i + 1], id[i + 2], id[i + 3]])
-        };
-        CpuidResult {
-            eax: self.max_standard_leaf(),
-            ebx: word(0),
-            edx: word(4),
-            ecx: word(8),
-        }
+        let word = |i: usize| u32::from_le_bytes([id[i], id[i + 1], id[i + 2], id[i + 3]]);
+        CpuidResult { eax: self.max_standard_leaf(), ebx: word(0), edx: word(4), ecx: word(8) }
     }
 
     /// Leaf 0x1: family/model/stepping, logical processor count, APIC ID and
     /// feature flags.
     fn leaf_1(&self, apic_id: u32) -> CpuidResult {
         let (family, model) = self.arch.family_model();
-        let (base_family, ext_family) = if family > 0xF { (0xF, family - 0xF) } else { (family, 0) };
+        let (base_family, ext_family) =
+            if family > 0xF { (0xF, family - 0xF) } else { (family, 0) };
         let (base_model, ext_model) = (model & 0xF, (model >> 4) & 0xF);
         let stepping = 2u32;
-        let eax = (ext_family << 20) | (ext_model << 16) | (base_family << 8) | (base_model << 4) | stepping;
+        let eax = (ext_family << 20)
+            | (ext_model << 16)
+            | (base_family << 8)
+            | (base_model << 4)
+            | stepping;
 
-        let logical_per_package =
-            self.topology.cores_per_socket * self.topology.threads_per_core;
+        let logical_per_package = self.topology.cores_per_socket * self.topology.threads_per_core;
         // EBX 23:16 must be a power of two >= the logical count (the legacy
         // enumeration algorithm rounds it up).
         let logical_rounded = logical_per_package.next_power_of_two();
-        let ebx = (apic_id << 24) | (logical_rounded << 16) | (8 << 8 /* CLFLUSH line size in qwords */);
+        let ebx =
+            (apic_id << 24) | (logical_rounded << 16) | (8 << 8/* CLFLUSH line size in qwords */);
 
         // EDX feature flags: TSC (4), MSR (5), APIC (9), CMOV (15), CLFSH (19),
         // MMX (23), FXSR (24), SSE (25), SSE2 (26), HTT (28).
-        let mut edx = (1 << 4) | (1 << 5) | (1 << 9) | (1 << 15) | (1 << 19) | (1 << 23)
-            | (1 << 24) | (1 << 25) | (1 << 26);
+        let mut edx = (1 << 4)
+            | (1 << 5)
+            | (1 << 9)
+            | (1 << 15)
+            | (1 << 19)
+            | (1 << 23)
+            | (1 << 24)
+            | (1 << 25)
+            | (1 << 26);
         if logical_per_package > 1 {
             edx |= 1 << 28;
         }
         // ECX feature flags: SSE3 (0), SSSE3 (9), SSE4.1 (19), SSE4.2 (20) on
         // Nehalem/Westmere.
         let mut ecx = 1 << 0;
-        if matches!(self.arch, Microarch::Core2 | Microarch::Atom | Microarch::NehalemEp | Microarch::WestmereEp) {
+        if matches!(
+            self.arch,
+            Microarch::Core2 | Microarch::Atom | Microarch::NehalemEp | Microarch::WestmereEp
+        ) {
             ecx |= 1 << 9;
         }
         if matches!(self.arch, Microarch::NehalemEp | Microarch::WestmereEp) {
@@ -178,9 +183,8 @@ impl<'a> CpuidSource<'a> {
         while bytes.len() < 16 {
             bytes.push(0);
         }
-        let reg = |i: usize| {
-            u32::from_le_bytes([bytes[i], bytes[i + 1], bytes[i + 2], bytes[i + 3]])
-        };
+        let reg =
+            |i: usize| u32::from_le_bytes([bytes[i], bytes[i + 1], bytes[i + 2], bytes[i + 3]]);
         CpuidResult { eax: reg(0), ebx: reg(4), ecx: reg(8), edx: reg(12) }
     }
 
@@ -253,7 +257,12 @@ impl<'a> CpuidSource<'a> {
         bytes.resize(48, 0);
         let base = (index * 16) as usize;
         let reg = |i: usize| {
-            u32::from_le_bytes([bytes[base + i], bytes[base + i + 1], bytes[base + i + 2], bytes[base + i + 3]])
+            u32::from_le_bytes([
+                bytes[base + i],
+                bytes[base + i + 1],
+                bytes[base + i + 2],
+                bytes[base + i + 3],
+            ])
         };
         CpuidResult { eax: reg(0), ebx: reg(4), ecx: reg(8), edx: reg(12) }
     }
@@ -485,15 +494,9 @@ mod tests {
 
     #[test]
     fn amd_leaves_encode_cache_sizes() {
-        let topo = TopologySpec::new(
-            2,
-            6,
-            1,
-            None,
-            EnumerationOrder::SocketsFirstSmtAdjacent,
-            16 << 30,
-        )
-        .unwrap();
+        let topo =
+            TopologySpec::new(2, 6, 1, None, EnumerationOrder::SocketsFirstSmtAdjacent, 16 << 30)
+                .unwrap();
         let caches = vec![
             cache(1, CacheKind::Data, 64 * 1024, 2, 64, false, 1),
             cache(2, CacheKind::Unified, 512 * 1024, 16, 64, false, 1),

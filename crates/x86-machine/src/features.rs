@@ -231,9 +231,7 @@ impl CpuFeature {
         let supported_if_clear = |bit: u64| if misc & bit == 0 { Supported } else { NotSupported };
         match self {
             CpuFeature::FastStrings => enabled_if_set(MiscEnable::FAST_STRINGS),
-            CpuFeature::AutomaticThermalControl => {
-                enabled_if_set(MiscEnable::AUTO_THERMAL_CONTROL)
-            }
+            CpuFeature::AutomaticThermalControl => enabled_if_set(MiscEnable::AUTO_THERMAL_CONTROL),
             CpuFeature::PerformanceMonitoring => enabled_if_set(MiscEnable::PERFMON_AVAILABLE),
             CpuFeature::HardwarePrefetcher => enabled_if_clear(MiscEnable::HW_PREFETCHER_DISABLE),
             CpuFeature::BranchTraceStorage => supported_if_clear(MiscEnable::BTS_UNAVAILABLE),
@@ -312,10 +310,7 @@ mod tests {
             CpuFeature::IntelDynamicAcceleration.state_from_misc_enable(misc),
             FeatureState::Disabled
         );
-        assert_eq!(
-            CpuFeature::MonitorMwait.state_from_misc_enable(misc),
-            FeatureState::Supported
-        );
+        assert_eq!(CpuFeature::MonitorMwait.state_from_misc_enable(misc), FeatureState::Supported);
     }
 
     #[test]

@@ -62,10 +62,8 @@ impl SimMachine {
             let ratio = self.clock.platform_info_ratio();
             // The register is read-only through the device interface, so use
             // the internal (hardware-side) increment path to set it.
-            let _ = self
-                .msr_space
-                .write()
-                .hardware_increment(0, Msr::MSR_PLATFORM_INFO, ratio << 8);
+            let _ =
+                self.msr_space.write().hardware_increment(0, Msr::MSR_PLATFORM_INFO, ratio << 8);
             // Mirror to the second package if present.
             if self.topology.sockets > 1 {
                 let other_socket_cpu = self

@@ -183,10 +183,8 @@ impl MsrSpace {
         if cpu >= self.num_threads {
             return Err(MachineError::NoSuchCpu { cpu, available: self.num_threads });
         }
-        let desc = self
-            .descriptors
-            .get(&address)
-            .ok_or(MachineError::UnknownMsr { cpu, address })?;
+        let desc =
+            self.descriptors.get(&address).ok_or(MachineError::UnknownMsr { cpu, address })?;
         let idx = self.instance(desc, cpu);
         Ok(self.values[&address][idx] & desc.value_mask())
     }
@@ -196,10 +194,8 @@ impl MsrSpace {
         if cpu >= self.num_threads {
             return Err(MachineError::NoSuchCpu { cpu, available: self.num_threads });
         }
-        let desc = self
-            .descriptors
-            .get(&address)
-            .ok_or(MachineError::UnknownMsr { cpu, address })?;
+        let desc =
+            self.descriptors.get(&address).ok_or(MachineError::UnknownMsr { cpu, address })?;
         if !desc.writable {
             return Err(MachineError::ReadOnlyMsr { address });
         }
@@ -236,10 +232,8 @@ impl MsrSpace {
         if cpu >= self.num_threads {
             return Err(MachineError::NoSuchCpu { cpu, available: self.num_threads });
         }
-        let desc = self
-            .descriptors
-            .get(&address)
-            .ok_or(MachineError::UnknownMsr { cpu, address })?;
+        let desc =
+            self.descriptors.get(&address).ok_or(MachineError::UnknownMsr { cpu, address })?;
         let mask = desc.value_mask();
         let idx = self.instance(desc, cpu);
         if let Some(slot) = self.values.get_mut(&address).and_then(|v| v.get_mut(idx)) {
@@ -572,10 +566,7 @@ mod tests {
     #[test]
     fn read_only_device_rejects_writes() {
         let dev = device(westmere_space(), 0, MsrPermission::ReadOnly);
-        assert!(matches!(
-            dev.write(Msr::IA32_PMC0, 1),
-            Err(MachineError::PermissionDenied { .. })
-        ));
+        assert!(matches!(dev.write(Msr::IA32_PMC0, 1), Err(MachineError::PermissionDenied { .. })));
         assert!(dev.read(Msr::IA32_PMC0).is_ok());
     }
 

@@ -132,42 +132,25 @@ impl MachinePreset {
                 EnumerationOrder::SmtLast,
                 mem,
             ),
-            MachinePreset::NehalemEp2S => TopologySpec::new(
-                2,
-                4,
-                2,
-                Some(vec![0, 1, 2, 3]),
-                EnumerationOrder::SmtLast,
-                mem,
-            ),
-            MachinePreset::IstanbulH2S => TopologySpec::new(
-                2,
-                6,
-                1,
-                None,
-                EnumerationOrder::SocketsFirstSmtAdjacent,
-                mem,
-            ),
+            MachinePreset::NehalemEp2S => {
+                TopologySpec::new(2, 4, 2, Some(vec![0, 1, 2, 3]), EnumerationOrder::SmtLast, mem)
+            }
+            MachinePreset::IstanbulH2S => {
+                TopologySpec::new(2, 6, 1, None, EnumerationOrder::SocketsFirstSmtAdjacent, mem)
+            }
             MachinePreset::Core2Quad => {
                 TopologySpec::new(1, 4, 1, None, EnumerationOrder::SocketsFirstSmtAdjacent, mem)
             }
             MachinePreset::Core2Duo => {
                 TopologySpec::new(1, 2, 1, None, EnumerationOrder::SocketsFirstSmtAdjacent, mem)
             }
-            MachinePreset::Atom => {
-                TopologySpec::new(1, 1, 2, None, EnumerationOrder::SmtLast, mem)
-            }
+            MachinePreset::Atom => TopologySpec::new(1, 1, 2, None, EnumerationOrder::SmtLast, mem),
             MachinePreset::PentiumM => {
                 TopologySpec::new(1, 1, 1, None, EnumerationOrder::SocketsFirstSmtAdjacent, mem)
             }
-            MachinePreset::K8Opteron2S => TopologySpec::new(
-                2,
-                2,
-                1,
-                None,
-                EnumerationOrder::SocketsFirstSmtAdjacent,
-                mem,
-            ),
+            MachinePreset::K8Opteron2S => {
+                TopologySpec::new(2, 2, 1, None, EnumerationOrder::SocketsFirstSmtAdjacent, mem)
+            }
         }
         .expect("preset topologies are valid by construction")
     }

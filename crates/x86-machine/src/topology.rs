@@ -211,10 +211,9 @@ impl TopologySpec {
 
     /// Look up a hardware thread by OS processor ID.
     pub fn hw_thread(&self, os_id: HwThreadId) -> Result<&HwThread> {
-        self.hw_threads.get(os_id).ok_or(MachineError::NoSuchCpu {
-            cpu: os_id,
-            available: self.hw_threads.len(),
-        })
+        self.hw_threads
+            .get(os_id)
+            .ok_or(MachineError::NoSuchCpu { cpu: os_id, available: self.hw_threads.len() })
     }
 
     /// Look up a hardware thread by APIC ID.
@@ -336,15 +335,9 @@ mod tests {
 
     #[test]
     fn sockets_first_enumeration() {
-        let topo = TopologySpec::new(
-            2,
-            4,
-            1,
-            None,
-            EnumerationOrder::SocketsFirstSmtAdjacent,
-            8 << 30,
-        )
-        .unwrap();
+        let topo =
+            TopologySpec::new(2, 4, 1, None, EnumerationOrder::SocketsFirstSmtAdjacent, 8 << 30)
+                .unwrap();
         // Nehalem EP quad-core without SMT in this order: 0-3 socket 0, 4-7 socket 1.
         assert_eq!(topo.hw_thread(0).unwrap().socket, 0);
         assert_eq!(topo.hw_thread(3).unwrap().socket, 0);

@@ -10,7 +10,13 @@ use likwid_suite::perf_events::{EventEngine, EventSample, HwEventKind};
 use likwid_suite::x86_machine::{MachinePreset, SimMachine};
 
 /// Simulate one execution of a code region on the given cores.
-fn run_region(machine: &SimMachine, cores: &[usize], packed_dp: u64, cycles: u64, instructions: u64) {
+fn run_region(
+    machine: &SimMachine,
+    cores: &[usize],
+    packed_dp: u64,
+    cycles: u64,
+    instructions: u64,
+) {
     let engine = EventEngine::new(machine);
     let mut sample = EventSample::new(machine.num_hw_threads(), 1);
     for &cpu in cores {

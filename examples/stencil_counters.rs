@@ -18,12 +18,8 @@ fn main() {
         "variant", "L3 lines in", "L3 lines out", "volume [GB]", "MLUPS"
     );
     for variant in [JacobiVariant::Threaded, JacobiVariant::ThreadedNt, JacobiVariant::Wavefront] {
-        let r = jacobi.run(&JacobiConfig {
-            size,
-            time_steps: 4,
-            placement: vec![0, 1, 2, 3],
-            variant,
-        });
+        let r =
+            jacobi.run(&JacobiConfig { size, time_steps: 4, placement: vec![0, 1, 2, 3], variant });
         println!(
             "{:<28} {:>14} {:>14} {:>12.2} {:>10.0}",
             variant.name(),

@@ -15,11 +15,17 @@ fn main() {
     experiment.samples_per_point = 50;
 
     println!("STREAM triad on {}, Intel icc personality", experiment.machine().preset().id());
-    println!("{:>7} | {:>28} | {:>28}", "threads", "unpinned median [q1..q3]", "likwid-pin median [q1..q3]");
+    println!(
+        "{:>7} | {:>28} | {:>28}",
+        "threads", "unpinned median [q1..q3]", "likwid-pin median [q1..q3]"
+    );
     for threads in [1usize, 2, 4, 6, 8, 12, 16, 24] {
-        let unpinned =
-            BoxStats::from_samples(&experiment.run_samples(threads, &PlacementPolicy::Unpinned, 42))
-                .unwrap();
+        let unpinned = BoxStats::from_samples(&experiment.run_samples(
+            threads,
+            &PlacementPolicy::Unpinned,
+            42,
+        ))
+        .unwrap();
         let pinned = BoxStats::from_samples(&experiment.run_samples(
             threads,
             &experiment.paper_pinned_policy(threads),
@@ -32,6 +38,10 @@ fn main() {
         );
     }
     println!();
-    println!("Pinning removes the placement lottery: the pinned quartiles collapse onto the median,");
-    println!("while unpinned runs spread widely — the effect shown in Figures 4 and 5 of the paper.");
+    println!(
+        "Pinning removes the placement lottery: the pinned quartiles collapse onto the median,"
+    );
+    println!(
+        "while unpinned runs spread widely — the effect shown in Figures 4 and 5 of the paper."
+    );
 }

@@ -3,13 +3,13 @@
 
 use proptest::prelude::*;
 
+use likwid_suite::affinity::{parse_pin_list, PthreadPinner, SkipMask};
 use likwid_suite::cache_sim::{
     Access, AccessKind, CacheLevelConfig, HierarchyConfig, NodeCacheSystem, NumaPolicy,
     PrefetchConfig, ReplacementPolicy, WritePolicy,
 };
 use likwid_suite::likwid::perfctr::Formula;
 use likwid_suite::likwid::topology::CpuTopology;
-use likwid_suite::affinity::{parse_pin_list, SkipMask, PthreadPinner};
 use likwid_suite::x86_machine::{MachinePreset, SimMachine};
 
 /// A small synthetic hierarchy for property runs.
@@ -30,7 +30,11 @@ fn tiny_hierarchy(prefetch_on: bool) -> HierarchyConfig {
         thread_socket: vec![0, 0, 1, 1],
         thread_core: vec![0, 1, 2, 3],
         num_sockets: 2,
-        prefetch: if prefetch_on { PrefetchConfig::all_enabled() } else { PrefetchConfig::all_disabled() },
+        prefetch: if prefetch_on {
+            PrefetchConfig::all_enabled()
+        } else {
+            PrefetchConfig::all_disabled()
+        },
         numa_policy: NumaPolicy::interleave(4096),
         memory_line_size: 64,
     }

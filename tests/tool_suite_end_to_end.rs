@@ -2,13 +2,13 @@
 //! machine through the tools to the workloads, exercising the paths the
 //! paper's case studies use.
 
+use likwid_suite::affinity::ThreadingModel;
 use likwid_suite::likwid::marker::MarkerApi;
 use likwid_suite::likwid::perfctr::{
     parse_event_spec, EventGroupKind, MeasurementSpec, PerfCtr, PerfCtrConfig,
 };
 use likwid_suite::likwid::pin::{PinConfig, PinTool};
 use likwid_suite::likwid::topology::CpuTopology;
-use likwid_suite::affinity::ThreadingModel;
 use likwid_suite::perf_events::EventEngine;
 use likwid_suite::workloads::exec::sample_from_simulation;
 use likwid_suite::workloads::jacobi::{Jacobi, JacobiConfig, JacobiVariant};
@@ -54,7 +54,7 @@ fn topology_aware_pinning_measured_through_the_tool() {
     let spec =
         parse_event_spec("UNC_L3_LINES_IN_ANY:UPMC0,UNC_L3_LINES_OUT_ANY:UPMC1", &table).unwrap();
 
-    let mut measure = |placement: Vec<usize>| {
+    let measure = |placement: Vec<usize>| {
         let mut session = PerfCtr::new(
             &machine,
             PerfCtrConfig { cpus: placement.clone(), spec: MeasurementSpec::Custom(spec.clone()) },
@@ -102,11 +102,8 @@ fn likwid_pin_placements_feed_the_stream_model() {
         PinConfig::new("S0:0-2@S1:0-2").with_model(ThreadingModel::IntelOpenMp),
     )
     .unwrap();
-    let placement: Vec<usize> = tool
-        .worker_placement(6)
-        .into_iter()
-        .collect::<Option<Vec<_>>>()
-        .expect("fully pinned");
+    let placement: Vec<usize> =
+        tool.worker_placement(6).into_iter().collect::<Option<Vec<_>>>().expect("fully pinned");
 
     let mut experiment =
         StreamExperiment::new(MachinePreset::WestmereEp2S, CompilerPersonality::IntelIcc);

@@ -1,0 +1,210 @@
+//! Offline stand-in for the `criterion` benchmarking crate.
+//!
+//! The build environment has no network access, so this vendored stub
+//! implements the subset of the criterion API the workspace's benches use:
+//! `Criterion`, `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Throughput`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros. Instead of criterion's statistical machinery it
+//! runs each closure for a short, fixed wall-clock budget and reports the
+//! mean time per iteration — enough to make `cargo bench` runnable and keep
+//! relative comparisons meaningful.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export point for `criterion::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { label: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Throughput annotation; recorded so per-element rates can be reported.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    iterations: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    fn run_budget() -> Duration {
+        // Keep stub bench runs quick; raise via env when more samples wanted.
+        std::env::var("CRITERION_STUB_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .map(Duration::from_millis)
+            .unwrap_or(Duration::from_millis(200))
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let budget = Self::run_budget();
+        let start = Instant::now();
+        loop {
+            black_box(routine());
+            self.iterations += 1;
+            let elapsed = start.elapsed();
+            if elapsed >= budget {
+                self.total = elapsed;
+                break;
+            }
+        }
+    }
+}
+
+fn report(name: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    if bencher.iterations == 0 {
+        println!("{name:<50} (no iterations)");
+        return;
+    }
+    let per_iter = bencher.total.as_nanos() as f64 / bencher.iterations as f64;
+    let mut line = format!("{name:<50} {per_iter:>14.1} ns/iter ({} iters)", bencher.iterations);
+    match throughput {
+        Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+            let rate = n as f64 / (per_iter / 1e9);
+            line.push_str(&format!(", {rate:.3e} elem/s"));
+        }
+        Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+            let rate = n as f64 / (per_iter / 1e9) / 1e6;
+            line.push_str(&format!(", {rate:.1} MB/s"));
+        }
+        _ => {}
+    }
+    println!("{line}");
+}
+
+/// Group of related benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { iterations: 0, total: Duration::ZERO };
+        routine(&mut bencher);
+        report(&format!("{}/{}", self.name, id), &bencher, self.throughput);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher { iterations: 0, total: Duration::ZERO };
+        routine(&mut bencher, input);
+        report(&format!("{}/{}", self.name, id), &bencher, self.throughput);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup { name, throughput: None, _criterion: self }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { iterations: 0, total: Duration::ZERO };
+        routine(&mut bencher);
+        report(&id.to_string(), &bencher, None);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut bencher = Bencher { iterations: 0, total: Duration::ZERO };
+        std::env::set_var("CRITERION_STUB_BUDGET_MS", "1");
+        bencher.iter(|| black_box(1 + 1));
+        assert!(bencher.iterations > 0);
+        assert!(bencher.total > Duration::ZERO);
+    }
+
+    #[test]
+    fn benchmark_id_formats_like_criterion() {
+        let id = BenchmarkId::new("probe", "nehalem");
+        assert_eq!(id.to_string(), "probe/nehalem");
+        assert_eq!(BenchmarkId::from_parameter(32).to_string(), "32");
+    }
+}

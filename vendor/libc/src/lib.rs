@@ -1,0 +1,92 @@
+//! Offline stand-in for the `libc` crate.
+//!
+//! The build environment has no network access, so this vendored stub
+//! declares only the pieces the workspace uses: `sysconf`, the
+//! `sched_{set,get}affinity` syscall wrappers and the `cpu_set_t`
+//! bit-set helpers. The symbols come from the C library the binary links
+//! anyway; the constants match glibc on Linux, where alone they are used
+//! (the callers are `#[cfg(target_os = "linux")]`-gated).
+
+#![allow(non_camel_case_types)]
+
+pub type c_int = i32;
+pub type c_long = i64;
+pub type size_t = usize;
+pub type pid_t = i32;
+
+/// glibc value of `_SC_NPROCESSORS_ONLN`.
+pub const _SC_NPROCESSORS_ONLN: c_int = 84;
+
+/// Bits in a `cpu_set_t` (glibc's `CPU_SETSIZE`).
+pub const CPU_SETSIZE: c_int = 1024;
+
+const ULONG_BITS: usize = usize::BITS as usize;
+
+/// glibc's fixed 1024-bit CPU mask.
+#[repr(C)]
+#[derive(Debug, Copy, Clone, PartialEq, Eq)]
+pub struct cpu_set_t {
+    bits: [usize; CPU_SETSIZE as usize / ULONG_BITS],
+}
+
+#[allow(non_snake_case)]
+pub unsafe fn CPU_ZERO(set: &mut cpu_set_t) {
+    set.bits = [0; CPU_SETSIZE as usize / ULONG_BITS];
+}
+
+#[allow(non_snake_case)]
+pub unsafe fn CPU_SET(cpu: usize, set: &mut cpu_set_t) {
+    if cpu < CPU_SETSIZE as usize {
+        set.bits[cpu / ULONG_BITS] |= 1 << (cpu % ULONG_BITS);
+    }
+}
+
+#[allow(non_snake_case)]
+pub unsafe fn CPU_ISSET(cpu: usize, set: &cpu_set_t) -> bool {
+    cpu < CPU_SETSIZE as usize && set.bits[cpu / ULONG_BITS] & (1 << (cpu % ULONG_BITS)) != 0
+}
+
+extern "C" {
+    pub fn sysconf(name: c_int) -> c_long;
+    pub fn sched_setaffinity(pid: pid_t, cpusetsize: size_t, cpuset: *const cpu_set_t) -> c_int;
+    pub fn sched_getaffinity(pid: pid_t, cpusetsize: size_t, cpuset: *mut cpu_set_t) -> c_int;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_set_helpers_round_trip() {
+        let mut set: cpu_set_t = unsafe { std::mem::zeroed() };
+        unsafe {
+            CPU_ZERO(&mut set);
+            assert!(!CPU_ISSET(0, &set));
+            CPU_SET(0, &mut set);
+            CPU_SET(513, &mut set);
+            assert!(CPU_ISSET(0, &set));
+            assert!(CPU_ISSET(513, &set));
+            assert!(!CPU_ISSET(1, &set));
+            // Out-of-range bits are ignored, as with glibc's macros.
+            CPU_SET(4096, &mut set);
+            assert!(!CPU_ISSET(4096, &set));
+        }
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn sysconf_reports_online_cpus() {
+        let n = unsafe { sysconf(_SC_NPROCESSORS_ONLN) };
+        assert!(n >= 1);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn sched_getaffinity_fills_a_mask() {
+        let mut set: cpu_set_t = unsafe { std::mem::zeroed() };
+        let rc = unsafe { sched_getaffinity(0, std::mem::size_of::<cpu_set_t>(), &mut set) };
+        assert_eq!(rc, 0);
+        let any = (0..CPU_SETSIZE as usize).any(|cpu| unsafe { CPU_ISSET(cpu, &set) });
+        assert!(any, "current thread must be allowed on at least one CPU");
+    }
+}

@@ -1,0 +1,179 @@
+//! Offline stand-in for the `proptest` property-testing crate.
+//!
+//! The build environment has no network access, so this vendored stub
+//! implements the subset of proptest this workspace uses: the `proptest!`
+//! macro with a `#![proptest_config(..)]` header, `prop_assert!` /
+//! `prop_assert_eq!`, range and tuple strategies, `prop::collection::vec`,
+//! `prop::bool::ANY`, and string-literal strategies for simple
+//! `[class]{m,n}`-style regexes. Shrinking is not implemented: a failing
+//! case panics with the case index so it can be replayed (generation is
+//! deterministic per case index).
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    //! `prop::collection` — sized collections of an element strategy.
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s whose length is drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.below_range(self.size.start as u64, self.size.end as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    //! `prop::bool` — boolean strategies.
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Uniformly random boolean.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next() & 1 == 1
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a `proptest!` test module needs, mirroring
+    //! `proptest::prelude`.
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+    }
+}
+
+/// Runs one property function as `cases` deterministic cases.
+///
+/// Used by the expansion of [`proptest!`]; not part of the public mirror API.
+pub fn run_cases(
+    name: &str,
+    config: &test_runner::Config,
+    mut case: impl FnMut(&mut test_runner::TestRng) -> Result<(), test_runner::TestCaseError>,
+) {
+    for index in 0..config.cases {
+        let mut rng = test_runner::TestRng::for_case(index);
+        if let Err(err) = case(&mut rng) {
+            panic!("property {name} failed at case {index}/{}: {err}", config.cases);
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (@impl ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                $crate::run_cases(stringify!($name), &config, |proptest_case_rng| {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(
+                            &($strategy),
+                            proptest_case_rng,
+                        );
+                    )+
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@impl ($config) $($rest)*);
+    };
+
+    ( $($rest:tt)* ) => {
+        $crate::proptest!(@impl ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {:?} == {:?}", left, right),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{} ({:?} != {:?})", format!($($fmt)+), left, right),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if left == right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {:?} != {:?}",
+                left, right
+            )));
+        }
+    }};
+}

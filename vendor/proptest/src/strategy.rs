@@ -1,0 +1,224 @@
+//! The `Strategy` trait and the primitive strategies the workspace uses:
+//! numeric ranges, tuples, and string-literal regexes of the
+//! `[class]{m,n}` form.
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// Value generator; the stub equivalent of `proptest::strategy::Strategy`.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_strategy_for_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = (rng.next() as u128) % span;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty strategy range");
+        // 24-bit construction: exactly representable in f32, so the unit
+        // draw stays strictly below 1.0 and the bound stays exclusive.
+        let unit = (rng.next() >> 40) as f32 / (1u64 << 24) as f32;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_strategy_for_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_strategy_for_tuple!(A: 0);
+impl_strategy_for_tuple!(A: 0, B: 1);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+/// One piece of a simple regex: a set of candidate chars plus a repetition
+/// count range (`min..=max`).
+#[derive(Debug, Clone)]
+struct RegexAtom {
+    chars: Vec<char>,
+    min: u32,
+    max: u32,
+}
+
+/// Parses the regex subset this stub supports: literal characters and
+/// `[...]` classes (with `a-z` ranges), each optionally followed by `{m}`,
+/// `{m,n}`, `?`, `*` or `+` (the unbounded quantifiers cap at 8 repeats).
+fn parse_simple_regex(pattern: &str) -> Vec<RegexAtom> {
+    let mut atoms = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let candidate_chars = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut class = Vec::new();
+                for c in chars.by_ref() {
+                    if c == ']' {
+                        break;
+                    }
+                    class.push(c);
+                }
+                let mut i = 0;
+                while i < class.len() {
+                    if i + 2 < class.len() && class[i + 1] == '-' {
+                        let (lo, hi) = (class[i] as u32, class[i + 2] as u32);
+                        assert!(lo <= hi, "inverted class range in regex {pattern:?}");
+                        set.extend((lo..=hi).filter_map(char::from_u32));
+                        i += 3;
+                    } else {
+                        set.push(class[i]);
+                        i += 1;
+                    }
+                }
+                assert!(!set.is_empty(), "empty character class in regex {pattern:?}");
+                set
+            }
+            '\\' => vec![chars.next().expect("dangling escape in regex")],
+            '.' => (' '..='~').collect(),
+            other => vec![other],
+        };
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad {m,n} lower bound"),
+                        hi.trim().parse().expect("bad {m,n} upper bound"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("bad {m} count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        atoms.push(RegexAtom { chars: candidate_chars, min, max });
+    }
+    atoms
+}
+
+/// String literals act as regex strategies, as in real proptest.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_simple_regex(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let count = atom.min + (rng.next() % (atom.max - atom.min + 1) as u64) as u32;
+            for _ in 0..count {
+                let pick = (rng.next() % atom.chars.len() as u64) as usize;
+                out.push(atom.chars[pick]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn int_range_strategy_stays_in_bounds() {
+        let mut rng = TestRng::for_case(0);
+        for _ in 0..1000 {
+            let v = (3usize..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn f64_range_strategy_stays_in_bounds() {
+        let mut rng = TestRng::for_case(1);
+        for _ in 0..1000 {
+            let v = (-2.5..4.0f64).generate(&mut rng);
+            assert!((-2.5..4.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn tuple_strategy_generates_componentwise() {
+        let mut rng = TestRng::for_case(2);
+        let (a, b) = (0u64..10, 100usize..200).generate(&mut rng);
+        assert!(a < 10);
+        assert!((100..200).contains(&b));
+    }
+
+    #[test]
+    fn regex_class_with_counted_repeat() {
+        let mut rng = TestRng::for_case(3);
+        for _ in 0..200 {
+            let s = "[A-Za-z0-9+*/()., -]{0,40}".generate(&mut rng);
+            assert!(s.len() <= 40);
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || "+*/()., -".contains(c)));
+        }
+    }
+
+    #[test]
+    fn regex_literals_and_quantifiers() {
+        let mut rng = TestRng::for_case(4);
+        let s = "ab[0-9]{3}c?".generate(&mut rng);
+        assert!(s.starts_with("ab"));
+        let digits: String = s[2..5].to_string();
+        assert!(digits.chars().all(|c| c.is_ascii_digit()));
+    }
+}

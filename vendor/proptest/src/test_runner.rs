@@ -1,0 +1,101 @@
+//! Test configuration, case RNG and failure type for the proptest stub.
+
+use std::fmt;
+
+/// Mirror of `proptest::test_runner::Config` (the fields this workspace
+/// touches).
+#[derive(Debug, Clone)]
+pub struct Config {
+    pub cases: u32,
+}
+
+impl Config {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Failure raised by `prop_assert!` and friends inside a property body.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Deterministic per-case generator (splitmix64). Case `i` of a property
+/// always sees the same stream, so failures report a replayable case index.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn for_case(case_index: u32) -> Self {
+        Self {
+            // Fixed base seed; spread case indices far apart in the sequence.
+            state: 0xB5AD_4ECE_DA1C_E2A9 ^ ((case_index as u64) << 32 | case_index as u64),
+        }
+    }
+
+    pub fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[lo, hi)`.
+    pub fn below_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.next() % (hi - lo)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_rng_is_deterministic_per_index() {
+        let mut a = TestRng::for_case(3);
+        let mut b = TestRng::for_case(3);
+        let mut c = TestRng::for_case(4);
+        let (xa, xb, xc) = (a.next(), b.next(), c.next());
+        assert_eq!(xa, xb);
+        assert_ne!(xa, xc);
+    }
+
+    #[test]
+    fn below_range_respects_bounds() {
+        let mut rng = TestRng::for_case(0);
+        for _ in 0..10_000 {
+            let v = rng.below_range(5, 9);
+            assert!((5..9).contains(&v));
+        }
+    }
+}
