@@ -2,10 +2,14 @@
 //! for streaming and cache-resident patterns, with and without prefetchers.
 //!
 //! This is the ablation bench for the simulator design choices called out in
-//! DESIGN.md (prefetcher modelling, inclusive back-invalidation).
+//! the README (prefetcher modelling, inclusive back-invalidation, presence
+//! directory). `BENCH_cache_sim.json` at the workspace root records the
+//! measured baseline trajectory for the scenarios below.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use likwid_cache_sim::{Access, HierarchyConfig, NodeCacheSystem, NumaPolicy, PrefetchConfig};
+use likwid_cache_sim::{
+    Access, AccessKind, HierarchyConfig, NodeCacheSystem, NumaPolicy, PrefetchConfig,
+};
 use likwid_x86_machine::{MachinePreset, SimMachine};
 
 fn cache_sim(c: &mut Criterion) {
@@ -24,32 +28,93 @@ fn cache_sim(c: &mut Criterion) {
             let mut sys = NodeCacheSystem::new(cfg);
             let mut next = 0u64;
             b.iter(|| {
-                for _ in 0..accesses_per_iter {
-                    sys.access(0, Access::load(next * 64));
-                    next += 1;
-                }
+                sys.access_run(0, next * 64, 64, accesses_per_iter, 8, AccessKind::Load);
+                next += accesses_per_iter;
             })
         });
     }
 
+    // 39 passes over a 256-line L1-resident window: 9984 accesses.
+    group.throughput(Throughput::Elements(256 * (accesses_per_iter / 256)));
     group.bench_function("resident_working_set", |b| {
         let cfg = HierarchyConfig::from_machine(&machine, NumaPolicy::interleave(4096));
         let mut sys = NodeCacheSystem::new(cfg);
         b.iter(|| {
-            for i in 0..accesses_per_iter {
-                sys.access(0, Access::load((i % 256) * 64));
+            for _ in 0..(accesses_per_iter / 256) {
+                sys.access_run(0, 0, 64, 256, 8, AccessKind::Load);
             }
         })
     });
 
+    group.throughput(Throughput::Elements(accesses_per_iter));
     group.bench_function("write_allocate_stream", |b| {
         let cfg = HierarchyConfig::from_machine(&machine, NumaPolicy::interleave(4096));
         let mut sys = NodeCacheSystem::new(cfg);
         let mut next = 0u64;
         b.iter(|| {
-            for _ in 0..accesses_per_iter {
-                sys.access(0, Access::store(next * 64));
-                next += 1;
+            sys.access_run(0, next * 64, 64, accesses_per_iter, 8, AccessKind::Store);
+            next += accesses_per_iter;
+        })
+    });
+
+    // Store-heavy multi-thread coherence traffic shaped like the paper's
+    // wavefront hand-off (Figure 11): two producer/consumer pairs pass a
+    // plane ring through the cache (producer stores invalidate the
+    // consumer's copies, the consumer re-reads them), while all four
+    // threads also stream stores through private working sets. The private
+    // stores are where a broadcast coherence walk burns its time probing 18
+    // instances that cannot hold the line; the presence directory answers
+    // them with one mask lookup.
+    group.bench_function("multi_thread_store_coherence", |b| {
+        let cfg = HierarchyConfig::from_machine(&machine, NumaPolicy::interleave(4096));
+        let mut sys = NodeCacheSystem::new(cfg);
+        let threads = [0usize, 1, 4, 5];
+        let rounds = accesses_per_iter / 5;
+        b.iter(|| {
+            for i in 0..rounds {
+                let ring = (i % 128) * 64;
+                // Producer 0 → consumer 1 (socket 0), producer 4 →
+                // consumer 5 (socket 1), interleaved round-robin.
+                match i % 4 {
+                    0 => sys.access(0, Access::store((1 << 26) + ring)),
+                    1 => sys.access(1, Access::load((1 << 26) + ring)),
+                    2 => sys.access(4, Access::store((1 << 27) + ring)),
+                    _ => sys.access(5, Access::load((1 << 27) + ring)),
+                };
+                // Every thread advances its private store stream.
+                for (idx, &thread) in threads.iter().enumerate() {
+                    let private = ((idx as u64 + 2) << 28) + (i % 4096) * 64;
+                    sys.access(thread, Access::store(private));
+                }
+            }
+        })
+    });
+
+    // Jacobi-shaped strided sweep: per destination row, five source-row
+    // streams (j, j±1, k±1) and one store stream, row by row — the access
+    // shape of the Table II stencil drivers, expressed as batched runs.
+    // 26 destination rows of 6 streams × 64 lines: 9984 accesses.
+    group.throughput(Throughput::Elements(6 * 64 * (accesses_per_iter / (6 * 64))));
+    group.bench_function("jacobi_strided_sweep", |b| {
+        let cfg = HierarchyConfig::from_machine(&machine, NumaPolicy::interleave(4096));
+        let mut sys = NodeCacheSystem::new(cfg);
+        let lines_per_row = 64u64; // 4 KiB rows
+        let rows_per_plane = 16u64;
+        let row_bytes = lines_per_row * 64;
+        let plane_bytes = rows_per_plane * row_bytes;
+        let src = 0u64;
+        let dst = 1 << 30;
+        let rows = accesses_per_iter / (6 * lines_per_row);
+        b.iter(|| {
+            for r in 0..rows {
+                let row = src + (r + rows_per_plane) * row_bytes;
+                for base in
+                    [row, row - row_bytes, row + row_bytes, row - plane_bytes, row + plane_bytes]
+                {
+                    sys.access_run(0, base, 64, lines_per_row, 64, AccessKind::Load);
+                }
+                let store_row = dst + (r + rows_per_plane) * row_bytes;
+                sys.access_run(0, store_row, 64, lines_per_row, 64, AccessKind::Store);
             }
         })
     });

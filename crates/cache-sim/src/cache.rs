@@ -1,19 +1,7 @@
 //! A single set-associative cache instance.
 
-use crate::replacement::{ReplacementPolicy, ReplacementState};
+use crate::replacement::{FlatReplacement, ReplacementPolicy};
 use crate::stats::CacheStats;
-
-/// State of one cache line.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Line {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
-}
-
-impl Line {
-    const INVALID: Line = Line { tag: 0, valid: false, dirty: false };
-}
 
 /// Result of a fill: what had to leave the cache to make room.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,13 +19,29 @@ pub enum Eviction {
 /// Addresses are handled at line granularity: all methods take *line
 /// addresses* (byte address divided by the line size); the caller performs
 /// the division so that one convention holds across all levels.
+///
+/// All per-set bookkeeping lives in flat contiguous arrays: tags in one
+/// dense `u64` slab (scanned without chasing line structs), valid and dirty
+/// flags as one bitmask word per set (so "first invalid way" is a single
+/// `trailing_zeros`), replacement stamps in one slab. When the set count is
+/// a power of two — true for every machine preset — the set index is a bit
+/// mask instead of a division.
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
     sets: usize,
     ways: usize,
     line_size: u64,
-    lines: Vec<Line>,
-    replacement: Vec<ReplacementState>,
+    /// `sets - 1` when `sets` is a power of two, else `None` (modulo path).
+    set_mask: Option<u64>,
+    /// `tags[set * ways + way]` — line address stored in one way.
+    tags: Vec<u64>,
+    /// `valid[set]` — bit `way` set when the way holds a line.
+    valid: Vec<u64>,
+    /// `dirty[set]` — bit `way` set when the way's line is dirty.
+    dirty: Vec<u64>,
+    /// All-ways-valid value for one set (`ways` low bits).
+    full_mask: u64,
+    replacement: FlatReplacement,
     /// Public counters; the hierarchy updates demand hit/miss fields, the
     /// cache itself updates fill/eviction fields.
     pub stats: CacheStats,
@@ -47,12 +51,17 @@ impl SetAssocCache {
     /// Create a cache with `sets` sets of `ways` ways and `line_size`-byte lines.
     pub fn new(sets: usize, ways: usize, line_size: u64, policy: ReplacementPolicy) -> Self {
         assert!(sets > 0 && ways > 0, "cache must have at least one set and way");
+        assert!(ways <= 64, "per-set bitmask flags support at most 64 ways");
         SetAssocCache {
             sets,
             ways,
             line_size,
-            lines: vec![Line::INVALID; sets * ways],
-            replacement: vec![ReplacementState::new(policy, ways); sets],
+            set_mask: sets.is_power_of_two().then(|| sets as u64 - 1),
+            tags: vec![0; sets * ways],
+            valid: vec![0; sets],
+            dirty: vec![0; sets],
+            full_mask: if ways == 64 { u64::MAX } else { (1u64 << ways) - 1 },
+            replacement: FlatReplacement::new(policy, sets, ways),
             stats: CacheStats::default(),
         }
     }
@@ -72,38 +81,61 @@ impl SetAssocCache {
         self.sets
     }
 
+    #[inline]
     fn set_index(&self, line_addr: u64) -> usize {
-        (line_addr % self.sets as u64) as usize
+        match self.set_mask {
+            Some(mask) => (line_addr & mask) as usize,
+            None => (line_addr % self.sets as u64) as usize,
+        }
     }
 
-    fn slot(&self, set: usize, way: usize) -> usize {
-        set * self.ways + way
+    /// Find the way of `set` holding `line_addr`, if present: scan only the
+    /// valid ways, one `trailing_zeros` per candidate.
+    #[inline]
+    fn find(&self, set: usize, line_addr: u64) -> Option<usize> {
+        let base = set * self.ways;
+        let mut candidates = self.valid[set];
+        while candidates != 0 {
+            let way = candidates.trailing_zeros() as usize;
+            candidates &= candidates - 1;
+            if self.tags[base + way] == line_addr {
+                return Some(way);
+            }
+        }
+        None
     }
 
     /// Whether the line is present (does not touch replacement state or stats).
     pub fn contains(&self, line_addr: u64) -> bool {
+        self.find(self.set_index(line_addr), line_addr).is_some()
+    }
+
+    /// Whether a repeated demand hit on this line could be collapsed into a
+    /// pure counter update: the line is present and its replacement touch
+    /// would not change the set's eviction order (it is already the
+    /// most-recently-touched way, or the policy ignores hits entirely).
+    pub fn repeat_hit_is_collapsible(&self, line_addr: u64) -> bool {
         let set = self.set_index(line_addr);
-        (0..self.ways).any(|w| {
-            let l = self.lines[self.slot(set, w)];
-            l.valid && l.tag == line_addr
-        })
+        match self.find(set, line_addr) {
+            Some(way) => self.replacement.hit_is_order_neutral(set, way),
+            None => false,
+        }
     }
 
     /// Look up a line as a demand access. Returns `true` on hit and updates
     /// the replacement state; on a store hit the line is marked dirty.
     pub fn lookup(&mut self, line_addr: u64, is_write: bool) -> bool {
         let set = self.set_index(line_addr);
-        for way in 0..self.ways {
-            let slot = self.slot(set, way);
-            if self.lines[slot].valid && self.lines[slot].tag == line_addr {
+        match self.find(set, line_addr) {
+            Some(way) => {
                 if is_write {
-                    self.lines[slot].dirty = true;
+                    self.dirty[set] |= 1 << way;
                 }
-                self.replacement[set].on_hit(way);
-                return true;
+                self.replacement.on_hit(set, way);
+                true
             }
+            None => false,
         }
-        false
     }
 
     /// Allocate a line (after a miss or for a prefetch). Returns what was
@@ -112,30 +144,46 @@ impl SetAssocCache {
     pub fn fill(&mut self, line_addr: u64, dirty: bool) -> Eviction {
         let set = self.set_index(line_addr);
         // If the line is already present (e.g. racing prefetch), just update flags.
-        for way in 0..self.ways {
-            let slot = self.slot(set, way);
-            if self.lines[slot].valid && self.lines[slot].tag == line_addr {
-                self.lines[slot].dirty |= dirty;
-                self.replacement[set].on_hit(way);
-                return Eviction::None;
+        if let Some(way) = self.find(set, line_addr) {
+            if dirty {
+                self.dirty[set] |= 1 << way;
             }
+            self.replacement.on_hit(set, way);
+            return Eviction::None;
         }
+        self.fill_absent(line_addr, dirty)
+    }
 
-        let lines = &self.lines;
-        let ways = self.ways;
-        let victim_way = self.replacement[set].choose_victim(|w| lines[set * ways + w].valid);
-        let slot = self.slot(set, victim_way);
-        let evicted = self.lines[slot];
-        let eviction = if !evicted.valid {
-            Eviction::None
-        } else if evicted.dirty {
-            Eviction::Dirty(evicted.tag)
+    /// [`SetAssocCache::fill`] for callers that already know the line is
+    /// absent (a demand fill right after the lookup missed, a prefetch fill
+    /// after a `contains` probe): skips the duplicate-line scan.
+    pub fn fill_absent(&mut self, line_addr: u64, dirty: bool) -> Eviction {
+        debug_assert!(!self.contains(line_addr), "fill_absent of a present line");
+        let set = self.set_index(line_addr);
+        // Victim selection: the first invalid way if any, else the oldest
+        // stamp among the (all-valid) ways.
+        let invalid = !self.valid[set] & self.full_mask;
+        let (victim_way, eviction) = if invalid != 0 {
+            ((invalid.trailing_zeros()) as usize, Eviction::None)
         } else {
-            Eviction::Clean(evicted.tag)
+            let way = self.replacement.oldest_way(set);
+            let tag = self.tags[set * self.ways + way];
+            if self.dirty[set] & (1 << way) != 0 {
+                (way, Eviction::Dirty(tag))
+            } else {
+                (way, Eviction::Clean(tag))
+            }
         };
 
-        self.lines[slot] = Line { tag: line_addr, valid: true, dirty };
-        self.replacement[set].on_fill(victim_way);
+        let way_bit = 1u64 << victim_way;
+        self.tags[set * self.ways + victim_way] = line_addr;
+        self.valid[set] |= way_bit;
+        if dirty {
+            self.dirty[set] |= way_bit;
+        } else {
+            self.dirty[set] &= !way_bit;
+        }
+        self.replacement.on_fill(set, victim_way);
 
         self.stats.lines_in += 1;
         if !matches!(eviction, Eviction::None) {
@@ -151,38 +199,44 @@ impl SetAssocCache {
     /// `Some(dirty)` if the line was present.
     pub fn invalidate(&mut self, line_addr: u64) -> Option<bool> {
         let set = self.set_index(line_addr);
-        for way in 0..self.ways {
-            let slot = self.slot(set, way);
-            if self.lines[slot].valid && self.lines[slot].tag == line_addr {
-                let dirty = self.lines[slot].dirty;
-                self.lines[slot] = Line::INVALID;
-                self.stats.lines_out += 1;
-                if dirty {
-                    self.stats.writebacks += 1;
-                }
-                return Some(dirty);
-            }
+        let way = self.find(set, line_addr)?;
+        let way_bit = 1u64 << way;
+        let dirty = self.dirty[set] & way_bit != 0;
+        self.valid[set] &= !way_bit;
+        self.dirty[set] &= !way_bit;
+        self.stats.lines_out += 1;
+        if dirty {
+            self.stats.writebacks += 1;
         }
-        None
+        Some(dirty)
     }
 
     /// Mark a present line dirty (used when a dirty line is written back from
     /// an inner level).
     pub fn mark_dirty(&mut self, line_addr: u64) -> bool {
         let set = self.set_index(line_addr);
-        for way in 0..self.ways {
-            let slot = self.slot(set, way);
-            if self.lines[slot].valid && self.lines[slot].tag == line_addr {
-                self.lines[slot].dirty = true;
-                return true;
+        match self.find(set, line_addr) {
+            Some(way) => {
+                self.dirty[set] |= 1 << way;
+                true
             }
+            None => false,
         }
-        false
     }
 
     /// Number of currently valid lines (diagnostic).
     pub fn resident_lines(&self) -> usize {
-        self.lines.iter().filter(|l| l.valid).count()
+        self.valid.iter().map(|v| v.count_ones() as usize).sum()
+    }
+
+    /// Line addresses of all currently valid lines (diagnostic).
+    pub fn resident_line_addresses(&self) -> impl Iterator<Item = u64> + '_ {
+        self.valid.iter().enumerate().flat_map(move |(set, &valid)| {
+            let base = set * self.ways;
+            (0..self.ways)
+                .filter(move |way| valid & (1 << way) != 0)
+                .map(move |way| self.tags[base + way])
+        })
     }
 }
 
@@ -308,5 +362,17 @@ mod tests {
         }
         assert_eq!(evictions, 8);
         assert_eq!(c.resident_lines(), 8);
+    }
+
+    #[test]
+    fn non_power_of_two_set_count_uses_the_modulo_path() {
+        // 3 sets x 2 ways: lines 0, 3, 6 all map to set 0.
+        let mut c = SetAssocCache::new(3, 2, 64, ReplacementPolicy::Lru);
+        c.fill(0, false);
+        c.fill(3, false);
+        assert_eq!(c.fill(6, false), Eviction::Clean(0));
+        assert!(c.contains(3));
+        assert!(c.contains(6));
+        assert!(!c.contains(1), "line 1 lives in set 1");
     }
 }

@@ -169,6 +169,45 @@ impl HierarchyConfig {
         let rank = order.iter().position(|&t| t == thread).expect("thread in range");
         rank / level.shared_by_threads as usize
     }
+
+    /// Precomputed back-invalidation targets for inclusive evictions.
+    ///
+    /// `map[l][inst]` lists the `(inner_level, inner_instance)` pairs that an
+    /// eviction from instance `inst` of level `l` must probe: every inner
+    /// instance used by at least one hardware thread that maps to `inst`,
+    /// deduplicated, in (inner level ascending, first-sharing-thread) order —
+    /// the exact order an on-the-fly sharer walk would visit them in. Levels
+    /// that are not inclusive (or L1, which has nothing inside it) get empty
+    /// lists. Computed once here so the eviction path never allocates.
+    pub fn back_invalidation_map(&self) -> Vec<Vec<Vec<(usize, usize)>>> {
+        self.levels
+            .iter()
+            .enumerate()
+            .map(|(l, level)| {
+                let instances = self.instances_of(level);
+                (0..instances)
+                    .map(|inst| {
+                        let mut targets = Vec::new();
+                        if !level.inclusive || l == 0 {
+                            return targets;
+                        }
+                        let sharers: Vec<usize> = (0..self.num_threads)
+                            .filter(|&t| self.instance_for_thread(level, t) == inst)
+                            .collect();
+                        for (inner, inner_level) in self.levels.iter().enumerate().take(l) {
+                            for &t in &sharers {
+                                let inner_inst = self.instance_for_thread(inner_level, t);
+                                if !targets.contains(&(inner, inner_inst)) {
+                                    targets.push((inner, inner_inst));
+                                }
+                            }
+                        }
+                        targets
+                    })
+                    .collect()
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -31,6 +31,8 @@ pub mod config;
 pub mod hierarchy;
 pub mod memory;
 pub mod prefetch;
+#[cfg(any(test, feature = "reference"))]
+pub mod reference;
 pub mod replacement;
 pub mod stats;
 
@@ -40,5 +42,5 @@ pub use config::{CacheLevelConfig, HierarchyConfig, PrefetchConfig, WritePolicy}
 pub use hierarchy::NodeCacheSystem;
 pub use memory::{MemoryController, NumaPolicy};
 pub use prefetch::PrefetchEngine;
-pub use replacement::ReplacementPolicy;
+pub use replacement::{FlatReplacement, ReplacementPolicy};
 pub use stats::{CacheStats, LevelStats, MemoryStats, NodeStats};

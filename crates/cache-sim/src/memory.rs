@@ -45,7 +45,14 @@ impl NumaPolicy {
     pub fn domain_of(&self, address: u64) -> u32 {
         match self {
             NumaPolicy::Interleave { granularity, sockets } => {
-                ((address / granularity) % (*sockets as u64)) as u32
+                // Page size and socket count are powers of two on every
+                // preset; the simulator hot path calls this per memory
+                // transaction, so prefer shifts over two 64-bit divisions.
+                if granularity.is_power_of_two() && sockets.is_power_of_two() {
+                    ((address >> granularity.trailing_zeros()) & (*sockets as u64 - 1)) as u32
+                } else {
+                    ((address / granularity) % (*sockets as u64)) as u32
+                }
             }
             NumaPolicy::Partitioned { boundaries } => {
                 for (i, &b) in boundaries.iter().enumerate() {

@@ -12,18 +12,65 @@
 use crate::config::PrefetchConfig;
 
 /// Prefetch requests generated in response to one demand access.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// At most two L1 targets (IP stride + DCU streamer) and three L2 targets
+/// (hardware streamer ×2 + adjacent line) can fire per access, so the
+/// targets live in fixed inline arrays — the decision is built on the
+/// simulator's per-access hot path and must not touch the heap.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PrefetchDecision {
-    /// Line addresses to bring into L1.
-    pub l1_lines: Vec<u64>,
-    /// Line addresses to bring into L2.
-    pub l2_lines: Vec<u64>,
+    l1: [u64; 2],
+    l1_len: u8,
+    l2: [u64; 3],
+    l2_len: u8,
 }
 
 impl PrefetchDecision {
+    /// Line addresses to bring into L1, ascending and deduplicated.
+    pub fn l1_lines(&self) -> &[u64] {
+        &self.l1[..self.l1_len as usize]
+    }
+
+    /// Line addresses to bring into L2, ascending and deduplicated.
+    pub fn l2_lines(&self) -> &[u64] {
+        &self.l2[..self.l2_len as usize]
+    }
+
     /// Whether no prefetch was issued.
     pub fn is_empty(&self) -> bool {
-        self.l1_lines.is_empty() && self.l2_lines.is_empty()
+        self.l1_len == 0 && self.l2_len == 0
+    }
+
+    fn push_l1(&mut self, line: u64) {
+        self.l1[self.l1_len as usize] = line;
+        self.l1_len += 1;
+    }
+
+    fn push_l2(&mut self, line: u64) {
+        self.l2[self.l2_len as usize] = line;
+        self.l2_len += 1;
+    }
+
+    /// Sort ascending, drop duplicates and the demand line itself —
+    /// in-place equivalent of the old sort/dedup/retain on `Vec`s.
+    fn normalize(&mut self, demand_line: u64) {
+        Self::normalize_slot(&mut self.l1, &mut self.l1_len, demand_line);
+        Self::normalize_slot(&mut self.l2, &mut self.l2_len, demand_line);
+    }
+
+    fn normalize_slot<const N: usize>(lines: &mut [u64; N], len: &mut u8, demand_line: u64) {
+        let slice = &mut lines[..*len as usize];
+        slice.sort_unstable();
+        let mut kept = 0usize;
+        for i in 0..slice.len() {
+            let line = slice[i];
+            if line == demand_line || (kept > 0 && slice[kept - 1] == line) {
+                continue;
+            }
+            slice[kept] = line;
+            kept += 1;
+        }
+        *len = kept as u8;
     }
 }
 
@@ -89,7 +136,7 @@ impl PrefetchEngine {
                 if st.stride_confidence >= 2 {
                     let next = line as i64 + st.stride;
                     if next >= 0 {
-                        decision.l1_lines.push(next as u64);
+                        decision.push_l1(next as u64);
                     }
                 }
             }
@@ -100,7 +147,7 @@ impl PrefetchEngine {
         // next-line prefetch into L1.
         if self.config.dcu_enabled && l1_miss {
             if st.last_l1_miss_line == Some(line.wrapping_sub(1)) {
-                decision.l1_lines.push(line + 1);
+                decision.push_l1(line + 1);
             }
             st.last_l1_miss_line = Some(line);
         }
@@ -109,8 +156,8 @@ impl PrefetchEngine {
         // next-line prefetch into L2 (streaming ahead of the demand stream).
         if self.config.hardware_enabled && l2_miss {
             if st.last_l2_miss_line == Some(line.wrapping_sub(1)) {
-                decision.l2_lines.push(line + 1);
-                decision.l2_lines.push(line + 2);
+                decision.push_l2(line + 1);
+                decision.push_l2(line + 2);
             }
             st.last_l2_miss_line = Some(line);
         }
@@ -118,18 +165,31 @@ impl PrefetchEngine {
         // Adjacent cache line prefetcher: every L2 fill also fetches the
         // buddy line completing the naturally aligned 128-byte pair.
         if self.config.adjacent_line_enabled && l2_miss {
-            decision.l2_lines.push(line ^ 1);
+            decision.push_l2(line ^ 1);
         }
 
-        // Deduplicate: a line should not appear twice in one decision.
-        decision.l1_lines.sort_unstable();
-        decision.l1_lines.dedup();
-        decision.l2_lines.sort_unstable();
-        decision.l2_lines.dedup();
-        // The demand line itself is never a prefetch target.
-        decision.l1_lines.retain(|&l| l != line);
-        decision.l2_lines.retain(|&l| l != line);
+        // Deduplicate, sort, and drop the demand line itself (it is never a
+        // prefetch target).
+        decision.normalize(line);
         decision
+    }
+
+    /// Fold any number (≥ 1) of repeated demand accesses to `line` — each an
+    /// L1 hit immediately following an access to the same line — into one
+    /// state update.
+    ///
+    /// This is the batched-path equivalent of calling
+    /// `observe(thread, line, false, false)` repeatedly: the zero stride
+    /// resets the IP detector (once is the fixed point), the hit-path
+    /// detectors (DCU, hardware streamer, adjacent line) see no miss and
+    /// stay untouched, and no prefetch is ever issued for the line itself.
+    pub fn observe_repeats(&mut self, thread: usize, line: u64) {
+        let st = &mut self.threads[thread];
+        if self.config.ip_enabled {
+            st.stride = 0;
+            st.stride_confidence = 0;
+        }
+        st.last_line = Some(line);
     }
 }
 
@@ -150,9 +210,9 @@ mod tests {
         let cfg = PrefetchConfig { adjacent_line_enabled: true, ..PrefetchConfig::all_disabled() };
         let mut e = PrefetchEngine::new(cfg, 1);
         let d = e.observe(0, 10, true, true);
-        assert_eq!(d.l2_lines, vec![11], "line 10's buddy in the 128-byte pair is line 11");
+        assert_eq!(d.l2_lines(), &[11], "line 10's buddy in the 128-byte pair is line 11");
         let d = e.observe(0, 11, true, true);
-        assert_eq!(d.l2_lines, vec![10], "line 11's buddy is line 10");
+        assert_eq!(d.l2_lines(), &[10], "line 11's buddy is line 10");
     }
 
     #[test]
@@ -160,7 +220,7 @@ mod tests {
         let cfg = PrefetchConfig { adjacent_line_enabled: true, ..PrefetchConfig::all_disabled() };
         let mut e = PrefetchEngine::new(cfg, 1);
         let d = e.observe(0, 7, false, true);
-        assert_eq!(d.l2_lines, vec![6]);
+        assert_eq!(d.l2_lines(), &[6]);
     }
 
     #[test]
@@ -169,7 +229,7 @@ mod tests {
         let mut e = PrefetchEngine::new(cfg, 1);
         assert!(e.observe(0, 100, true, false).is_empty());
         let d = e.observe(0, 101, true, false);
-        assert_eq!(d.l1_lines, vec![102]);
+        assert_eq!(d.l1_lines(), &[102]);
     }
 
     #[test]
@@ -178,7 +238,7 @@ mod tests {
         let mut e = PrefetchEngine::new(cfg, 1);
         e.observe(0, 200, true, true);
         let d = e.observe(0, 201, true, true);
-        assert_eq!(d.l2_lines, vec![202, 203]);
+        assert_eq!(d.l2_lines(), &[202, 203]);
     }
 
     #[test]
@@ -190,7 +250,7 @@ mod tests {
         assert!(e.observe(0, 3, false, false).is_empty());
         assert!(e.observe(0, 6, false, false).is_empty());
         let d = e.observe(0, 9, false, false);
-        assert_eq!(d.l1_lines, vec![12]);
+        assert_eq!(d.l1_lines(), &[12]);
     }
 
     #[test]
@@ -279,8 +339,8 @@ mod tests {
         let lines = [5u64, 900, 77, 12345, 3, 40000];
         for &l in &lines {
             let d = e.observe(0, l, true, true);
-            assert!(d.l1_lines.is_empty());
-            assert!(d.l2_lines.iter().all(|&pl| pl == l ^ 1));
+            assert!(d.l1_lines().is_empty());
+            assert!(d.l2_lines().iter().all(|&pl| pl == l ^ 1));
         }
     }
 }

@@ -15,59 +15,85 @@ pub enum ReplacementPolicy {
     Fifo,
 }
 
-/// Per-set replacement state.
+/// Replacement state for *all* sets of one cache, stored contiguously.
 ///
-/// Stores an age value per way; the semantics of the value depend on the
-/// policy (LRU: last-touch stamp, FIFO: fill stamp).
+/// Stores an age value per way (`stamps[set * ways + way]`); the semantics
+/// of the value depend on the policy (LRU: last-touch stamp, FIFO: fill
+/// stamp). Each set advances its own tick counter, so the behaviour per set
+/// is identical to an independent per-set state — but the storage is two
+/// flat arrays instead of one heap allocation per set, which keeps the
+/// simulator's per-lookup work inside a single cache-friendly slab.
 #[derive(Debug, Clone)]
-pub struct ReplacementState {
+pub struct FlatReplacement {
     policy: ReplacementPolicy,
+    ways: usize,
+    /// `stamps[set * ways + way]` — age stamp of one way.
     stamps: Vec<u64>,
-    tick: u64,
+    /// `ticks[set]` — per-set monotone clock.
+    ticks: Vec<u64>,
 }
 
-impl ReplacementState {
-    /// State for one set with `ways` ways.
-    pub fn new(policy: ReplacementPolicy, ways: usize) -> Self {
-        ReplacementState { policy, stamps: vec![0; ways], tick: 0 }
+impl FlatReplacement {
+    /// State for `sets` sets of `ways` ways each.
+    pub fn new(policy: ReplacementPolicy, sets: usize, ways: usize) -> Self {
+        assert!(sets > 0 && ways > 0, "replacement state needs at least one set and way");
+        FlatReplacement { policy, ways, stamps: vec![0; sets * ways], ticks: vec![0; sets] }
     }
 
-    /// Record a fill into `way`.
-    pub fn on_fill(&mut self, way: usize) {
-        self.tick += 1;
-        self.stamps[way] = self.tick;
+    /// Record a fill into `way` of `set`.
+    pub fn on_fill(&mut self, set: usize, way: usize) {
+        self.ticks[set] += 1;
+        self.stamps[set * self.ways + way] = self.ticks[set];
     }
 
-    /// Record a hit on `way`.
-    pub fn on_hit(&mut self, way: usize) {
+    /// Record a hit on `way` of `set`.
+    pub fn on_hit(&mut self, set: usize, way: usize) {
         if self.policy == ReplacementPolicy::Lru {
-            self.tick += 1;
-            self.stamps[way] = self.tick;
+            self.ticks[set] += 1;
+            self.stamps[set * self.ways + way] = self.ticks[set];
         }
         // FIFO ignores hits: age is fill order only.
     }
 
-    /// Choose a victim among the ways for which `valid` returns true being
-    /// preferred *not* to be chosen, i.e. invalid ways are used first.
-    pub fn choose_victim(&self, valid: impl Fn(usize) -> bool) -> usize {
+    /// Choose a victim among the ways of `set`; ways for which `valid`
+    /// returns false (invalid ways) are used first.
+    pub fn choose_victim(&self, set: usize, valid: impl Fn(usize) -> bool) -> usize {
         // Prefer an invalid way.
-        for way in 0..self.stamps.len() {
+        for way in 0..self.ways {
             if !valid(way) {
                 return way;
             }
         }
-        // Otherwise evict the oldest stamp.
-        self.stamps
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, &stamp)| stamp)
-            .map(|(way, _)| way)
-            .expect("cache sets have at least one way")
+        self.oldest_way(set)
     }
 
-    /// Number of ways tracked.
+    /// The way of `set` with the oldest stamp (ties broken toward way 0),
+    /// for callers that already know every way is valid.
+    pub fn oldest_way(&self, set: usize) -> usize {
+        let base = set * self.ways;
+        let mut victim = 0;
+        let mut oldest = u64::MAX;
+        for way in 0..self.ways {
+            let stamp = self.stamps[base + way];
+            if stamp < oldest {
+                oldest = stamp;
+                victim = way;
+            }
+        }
+        victim
+    }
+
+    /// Whether a hit on `way` of `set` would leave the eviction order
+    /// unchanged: FIFO ignores hits, and under LRU a touch of the way that
+    /// already carries the set's newest stamp only inflates the tick.
+    pub fn hit_is_order_neutral(&self, set: usize, way: usize) -> bool {
+        self.policy == ReplacementPolicy::Fifo
+            || self.stamps[set * self.ways + way] == self.ticks[set]
+    }
+
+    /// Number of ways tracked per set.
     pub fn ways(&self) -> usize {
-        self.stamps.len()
+        self.ways
     }
 }
 
@@ -75,81 +101,102 @@ impl ReplacementState {
 mod tests {
     use super::*;
 
+    /// Single-set state mirroring the old per-set API, for eviction-order
+    /// tests.
+    fn one_set(policy: ReplacementPolicy, ways: usize) -> FlatReplacement {
+        FlatReplacement::new(policy, 1, ways)
+    }
+
     #[test]
     fn invalid_ways_are_used_before_eviction() {
-        let mut st = ReplacementState::new(ReplacementPolicy::Lru, 4);
-        st.on_fill(0);
-        st.on_fill(1);
+        let mut st = one_set(ReplacementPolicy::Lru, 4);
+        st.on_fill(0, 0);
+        st.on_fill(0, 1);
         // Ways 2 and 3 still invalid.
-        let victim = st.choose_victim(|w| w < 2);
+        let victim = st.choose_victim(0, |w| w < 2);
         assert!(victim == 2 || victim == 3);
     }
 
     #[test]
     fn lru_evicts_the_least_recently_touched_way() {
-        let mut st = ReplacementState::new(ReplacementPolicy::Lru, 4);
+        let mut st = one_set(ReplacementPolicy::Lru, 4);
         for w in 0..4 {
-            st.on_fill(w);
+            st.on_fill(0, w);
         }
         // Touch 0 again; way 1 becomes the LRU victim.
-        st.on_hit(0);
-        assert_eq!(st.choose_victim(|_| true), 1);
+        st.on_hit(0, 0);
+        assert_eq!(st.choose_victim(0, |_| true), 1);
     }
 
     #[test]
     fn fifo_ignores_hits() {
-        let mut st = ReplacementState::new(ReplacementPolicy::Fifo, 4);
+        let mut st = one_set(ReplacementPolicy::Fifo, 4);
         for w in 0..4 {
-            st.on_fill(w);
+            st.on_fill(0, w);
         }
-        st.on_hit(0);
-        st.on_hit(0);
-        assert_eq!(st.choose_victim(|_| true), 0, "FIFO still evicts the oldest fill");
+        st.on_hit(0, 0);
+        st.on_hit(0, 0);
+        assert_eq!(st.choose_victim(0, |_| true), 0, "FIFO still evicts the oldest fill");
     }
 
     #[test]
     fn lru_eviction_order_is_exact_on_a_tiny_set() {
         // 3-way set, fills into ways 0, 1, 2, then a precise touch sequence;
         // the victim must always be the unique least-recently-touched way.
-        let mut st = ReplacementState::new(ReplacementPolicy::Lru, 3);
-        st.on_fill(0);
-        st.on_fill(1);
-        st.on_fill(2);
-        assert_eq!(st.choose_victim(|_| true), 0, "oldest fill is the first victim");
-        st.on_hit(0); // order now: 1, 2, 0
-        assert_eq!(st.choose_victim(|_| true), 1);
-        st.on_hit(1); // order now: 2, 0, 1
-        assert_eq!(st.choose_victim(|_| true), 2);
-        st.on_fill(2); // replacing way 2 refreshes it: order 0, 1, 2
-        assert_eq!(st.choose_victim(|_| true), 0);
+        let mut st = one_set(ReplacementPolicy::Lru, 3);
+        st.on_fill(0, 0);
+        st.on_fill(0, 1);
+        st.on_fill(0, 2);
+        assert_eq!(st.choose_victim(0, |_| true), 0, "oldest fill is the first victim");
+        st.on_hit(0, 0); // order now: 1, 2, 0
+        assert_eq!(st.choose_victim(0, |_| true), 1);
+        st.on_hit(0, 1); // order now: 2, 0, 1
+        assert_eq!(st.choose_victim(0, |_| true), 2);
+        st.on_fill(0, 2); // replacing way 2 refreshes it: order 0, 1, 2
+        assert_eq!(st.choose_victim(0, |_| true), 0);
         // A full round of hits in reverse order inverts the ranking.
-        st.on_hit(2);
-        st.on_hit(1);
-        st.on_hit(0); // order now: 2, 1, 0
-        assert_eq!(st.choose_victim(|_| true), 2);
+        st.on_hit(0, 2);
+        st.on_hit(0, 1);
+        st.on_hit(0, 0); // order now: 2, 1, 0
+        assert_eq!(st.choose_victim(0, |_| true), 2);
     }
 
     #[test]
     fn lru_and_fifo_diverge_after_a_hit() {
         // Identical fill sequences; only LRU lets the hit rescue way 0.
-        let mut lru = ReplacementState::new(ReplacementPolicy::Lru, 2);
-        let mut fifo = ReplacementState::new(ReplacementPolicy::Fifo, 2);
+        let mut lru = one_set(ReplacementPolicy::Lru, 2);
+        let mut fifo = one_set(ReplacementPolicy::Fifo, 2);
         for st in [&mut lru, &mut fifo] {
-            st.on_fill(0);
-            st.on_fill(1);
-            st.on_hit(0);
+            st.on_fill(0, 0);
+            st.on_fill(0, 1);
+            st.on_hit(0, 0);
         }
-        assert_eq!(lru.choose_victim(|_| true), 1);
-        assert_eq!(fifo.choose_victim(|_| true), 0);
+        assert_eq!(lru.choose_victim(0, |_| true), 1);
+        assert_eq!(fifo.choose_victim(0, |_| true), 0);
     }
 
     #[test]
     fn repeated_fills_cycle_through_ways_under_fifo() {
-        let mut st = ReplacementState::new(ReplacementPolicy::Fifo, 2);
-        st.on_fill(0);
-        st.on_fill(1);
-        assert_eq!(st.choose_victim(|_| true), 0);
-        st.on_fill(0);
-        assert_eq!(st.choose_victim(|_| true), 1);
+        let mut st = one_set(ReplacementPolicy::Fifo, 2);
+        st.on_fill(0, 0);
+        st.on_fill(0, 1);
+        assert_eq!(st.choose_victim(0, |_| true), 0);
+        st.on_fill(0, 0);
+        assert_eq!(st.choose_victim(0, |_| true), 1);
+    }
+
+    #[test]
+    fn sets_age_independently_in_the_flat_layout() {
+        // Heavy traffic in set 0 must not perturb set 1's eviction order.
+        let mut st = FlatReplacement::new(ReplacementPolicy::Lru, 2, 2);
+        st.on_fill(1, 0);
+        st.on_fill(1, 1);
+        for _ in 0..100 {
+            st.on_fill(0, 0);
+            st.on_hit(0, 1);
+        }
+        assert_eq!(st.choose_victim(1, |_| true), 0, "set 1 order is untouched");
+        st.on_hit(1, 0);
+        assert_eq!(st.choose_victim(1, |_| true), 1);
     }
 }

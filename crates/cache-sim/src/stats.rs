@@ -102,7 +102,7 @@ impl MemoryStats {
 }
 
 /// Per-level aggregate over all instances of that level in the node.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LevelStats {
     /// Cache level (1, 2, 3).
     pub level: u32,
@@ -122,7 +122,7 @@ impl LevelStats {
 }
 
 /// Snapshot of all counters in the node.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct NodeStats {
     /// One entry per cache level, ordered L1, L2, L3.
     pub levels: Vec<LevelStats>,

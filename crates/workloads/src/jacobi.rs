@@ -19,7 +19,7 @@
 //! cross-socket memory traffic and performance collapses below the
 //! baseline, which is exactly the effect the simulation reproduces.
 
-use likwid_cache_sim::{Access, HierarchyConfig, NodeCacheSystem, NodeStats, NumaPolicy};
+use likwid_cache_sim::{HierarchyConfig, NodeCacheSystem, NodeStats, NumaPolicy};
 use likwid_x86_machine::{MachinePreset, SimMachine};
 
 use crate::exec::ExecutionProfile;
@@ -163,9 +163,9 @@ impl<'m> Jacobi<'m> {
     }
 
     /// The standard threaded sweep: every thread owns a contiguous block of
-    /// planes; for every destination line it loads the five source lines of
-    /// the stencil (same line, j±1, k±1; the i±1 neighbours live in the same
-    /// line) and stores the destination line.
+    /// planes; for every destination row it streams the five source rows of
+    /// the stencil (same row, j±1, k±1; the i±1 neighbours live in the same
+    /// line) and the destination row, each as one batched line run.
     fn run_threaded(
         &self,
         config: &JacobiConfig,
@@ -185,55 +185,29 @@ impl<'m> Jacobi<'m> {
                 let k_end = 1 + (t_index as u64 + 1) * (n - 2) / threads;
                 for k in k_begin..k_end {
                     for j in 1..n - 1 {
-                        for l in 0..lines_per_row {
-                            sys.access(
+                        for (kk, jj) in [(k, j), (k, j - 1), (k, j + 1), (k - 1, j), (k + 1, j)] {
+                            sys.access_run(
                                 hw,
-                                Access {
-                                    address: Self::line_addr(src, n, lines_per_row, k, j, l),
-                                    size: 64,
-                                    kind: likwid_cache_sim::AccessKind::Load,
-                                },
+                                Self::line_addr(src, n, lines_per_row, kk, jj, 0),
+                                64,
+                                lines_per_row,
+                                64,
+                                likwid_cache_sim::AccessKind::Load,
                             );
-                            sys.access(
-                                hw,
-                                Access {
-                                    address: Self::line_addr(src, n, lines_per_row, k, j - 1, l),
-                                    size: 64,
-                                    kind: likwid_cache_sim::AccessKind::Load,
-                                },
-                            );
-                            sys.access(
-                                hw,
-                                Access {
-                                    address: Self::line_addr(src, n, lines_per_row, k, j + 1, l),
-                                    size: 64,
-                                    kind: likwid_cache_sim::AccessKind::Load,
-                                },
-                            );
-                            sys.access(
-                                hw,
-                                Access {
-                                    address: Self::line_addr(src, n, lines_per_row, k - 1, j, l),
-                                    size: 64,
-                                    kind: likwid_cache_sim::AccessKind::Load,
-                                },
-                            );
-                            sys.access(
-                                hw,
-                                Access {
-                                    address: Self::line_addr(src, n, lines_per_row, k + 1, j, l),
-                                    size: 64,
-                                    kind: likwid_cache_sim::AccessKind::Load,
-                                },
-                            );
-                            let store_addr = Self::line_addr(dst, n, lines_per_row, k, j, l);
-                            let kind = if nt {
-                                likwid_cache_sim::AccessKind::NonTemporalStore
-                            } else {
-                                likwid_cache_sim::AccessKind::Store
-                            };
-                            sys.access(hw, Access { address: store_addr, size: 64, kind });
                         }
+                        let kind = if nt {
+                            likwid_cache_sim::AccessKind::NonTemporalStore
+                        } else {
+                            likwid_cache_sim::AccessKind::Store
+                        };
+                        sys.access_run(
+                            hw,
+                            Self::line_addr(dst, n, lines_per_row, k, j, 0),
+                            64,
+                            lines_per_row,
+                            64,
+                            kind,
+                        );
                     }
                 }
             }
@@ -289,68 +263,53 @@ impl<'m> Jacobi<'m> {
                         }
                         for j_off in 0..rows {
                             let j = j0 + j_off;
-                            for l in 0..lines_per_row {
-                                // Input: memory for stage 0, the previous
-                                // stage's ring buffer otherwise (three
-                                // neighbouring planes of it).
-                                if stage == 0 {
-                                    for kk in [plane - 1, plane, plane + 1] {
-                                        sys.access(
-                                            hw,
-                                            Access {
-                                                address: Self::line_addr(
-                                                    src_base,
-                                                    n,
-                                                    lines_per_row,
-                                                    kk,
-                                                    j,
-                                                    l,
-                                                ),
-                                                size: 64,
-                                                kind: likwid_cache_sim::AccessKind::Load,
-                                            },
-                                        );
-                                    }
-                                } else {
-                                    for kk in [plane.saturating_sub(1), plane, plane + 1] {
-                                        sys.access(
-                                            hw,
-                                            Access {
-                                                address: ring_addr(stage - 1, kk, j_off, l),
-                                                size: 64,
-                                                kind: likwid_cache_sim::AccessKind::Load,
-                                            },
-                                        );
-                                    }
-                                }
-                                // Output: the own ring buffer, or the result
-                                // array (streaming stores) for the last stage.
-                                if stage == depth as u64 - 1 {
-                                    sys.access(
+                            // Input: memory for stage 0, the previous
+                            // stage's ring buffer otherwise (three
+                            // neighbouring planes of it) — one batched line
+                            // run per plane row.
+                            if stage == 0 {
+                                for kk in [plane - 1, plane, plane + 1] {
+                                    sys.access_run(
                                         hw,
-                                        Access {
-                                            address: Self::line_addr(
-                                                dst_base,
-                                                n,
-                                                lines_per_row,
-                                                plane,
-                                                j,
-                                                l,
-                                            ),
-                                            size: 64,
-                                            kind: likwid_cache_sim::AccessKind::NonTemporalStore,
-                                        },
-                                    );
-                                } else {
-                                    sys.access(
-                                        hw,
-                                        Access {
-                                            address: ring_addr(stage, plane, j_off, l),
-                                            size: 64,
-                                            kind: likwid_cache_sim::AccessKind::Store,
-                                        },
+                                        Self::line_addr(src_base, n, lines_per_row, kk, j, 0),
+                                        64,
+                                        lines_per_row,
+                                        64,
+                                        likwid_cache_sim::AccessKind::Load,
                                     );
                                 }
+                            } else {
+                                for kk in [plane.saturating_sub(1), plane, plane + 1] {
+                                    sys.access_run(
+                                        hw,
+                                        ring_addr(stage - 1, kk, j_off, 0),
+                                        64,
+                                        lines_per_row,
+                                        64,
+                                        likwid_cache_sim::AccessKind::Load,
+                                    );
+                                }
+                            }
+                            // Output: the own ring buffer, or the result
+                            // array (streaming stores) for the last stage.
+                            if stage == depth as u64 - 1 {
+                                sys.access_run(
+                                    hw,
+                                    Self::line_addr(dst_base, n, lines_per_row, plane, j, 0),
+                                    64,
+                                    lines_per_row,
+                                    64,
+                                    likwid_cache_sim::AccessKind::NonTemporalStore,
+                                );
+                            } else {
+                                sys.access_run(
+                                    hw,
+                                    ring_addr(stage, plane, j_off, 0),
+                                    64,
+                                    lines_per_row,
+                                    64,
+                                    likwid_cache_sim::AccessKind::Store,
+                                );
                             }
                         }
                     }

@@ -1,0 +1,140 @@
+//! Equivalence property test for the optimized cache-simulator hot path.
+//!
+//! The presence-directory coherence walk, the precomputed back-invalidation
+//! maps and the batched `access_run` entry point are pure optimizations:
+//! for any access stream they must produce **bit-identical** [`NodeStats`]
+//! to the slow pre-optimization reference walk
+//! (`likwid_cache_sim::reference`, compiled in via the `reference`
+//! feature). These properties replay randomized multi-thread streams —
+//! single accesses and strided runs, loads, stores and non-temporal
+//! stores, with and without prefetchers — through both implementations.
+
+use proptest::prelude::*;
+
+use likwid_suite::cache_sim::reference::ReferenceCacheSystem;
+use likwid_suite::cache_sim::{
+    Access, AccessKind, CacheLevelConfig, HierarchyConfig, NodeCacheSystem, NumaPolicy,
+    PrefetchConfig, ReplacementPolicy, WritePolicy,
+};
+
+/// A small synthetic two-socket hierarchy with an inclusive shared L3, so
+/// the streams exercise coherence invalidations, inclusive back-invalidation
+/// and cross-socket traffic on short runs.
+fn tiny_hierarchy(prefetch_on: bool) -> HierarchyConfig {
+    let level = |level, sets, ways, shared, inclusive| CacheLevelConfig {
+        level,
+        sets,
+        ways,
+        line_size: 64,
+        inclusive,
+        shared_by_threads: shared,
+        write_policy: WritePolicy::WriteBackAllocate,
+        replacement: ReplacementPolicy::Lru,
+    };
+    HierarchyConfig {
+        levels: vec![
+            level(1, 8, 2, 1, false),
+            level(2, 32, 4, 1, false),
+            level(3, 128, 8, 2, true),
+        ],
+        num_threads: 4,
+        thread_socket: vec![0, 0, 1, 1],
+        thread_core: vec![0, 1, 2, 3],
+        num_sockets: 2,
+        prefetch: if prefetch_on {
+            PrefetchConfig::all_enabled()
+        } else {
+            PrefetchConfig::all_disabled()
+        },
+        numa_policy: NumaPolicy::interleave(4096),
+        memory_line_size: 64,
+    }
+}
+
+fn kind_of(selector: usize) -> AccessKind {
+    match selector {
+        0 => AccessKind::Store,
+        1 => AccessKind::NonTemporalStore,
+        2 => AccessKind::Prefetch,
+        _ => AccessKind::Load,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Randomized multi-thread single-access streams: the directory-driven
+    /// coherence walk must produce the same counters as the broadcast walk.
+    #[test]
+    fn directory_path_matches_reference_on_single_accesses(
+        ops in prop::collection::vec(
+            (0usize..4, 0u64..4096, 0usize..6, 1u32..96),
+            1..300,
+        ),
+        prefetch_on in prop::bool::ANY,
+    ) {
+        let mut optimized = NodeCacheSystem::new(tiny_hierarchy(prefetch_on));
+        let mut reference = ReferenceCacheSystem::new(tiny_hierarchy(prefetch_on));
+        for (thread, line, kind_sel, size) in ops {
+            let access = Access { address: line * 64 + (size as u64 % 64), size, kind: kind_of(kind_sel) };
+            let got = optimized.access(thread, access);
+            let want = reference.access(thread, access);
+            prop_assert_eq!(got, want, "hit level diverged");
+        }
+        prop_assert_eq!(optimized.stats(), reference.stats());
+    }
+
+    /// Randomized batched runs: `access_run` must be indistinguishable from
+    /// issuing every element of the run individually — including sub-line
+    /// strides (collapsed repeats), negative strides, zero strides and
+    /// line-straddling element sizes.
+    #[test]
+    fn batched_runs_match_reference_element_streams(
+        runs in prop::collection::vec(
+            (0usize..4, 0u64..(1 << 18), 0usize..7, 0u64..96, 0usize..4),
+            1..40,
+        ),
+        prefetch_on in prop::bool::ANY,
+    ) {
+        let strides: [i64; 7] = [-64, -8, 0, 8, 24, 64, 192];
+        let sizes: [u32; 7] = [8, 8, 8, 8, 16, 64, 8];
+        let mut optimized = NodeCacheSystem::new(tiny_hierarchy(prefetch_on));
+        let mut reference = ReferenceCacheSystem::new(tiny_hierarchy(prefetch_on));
+        for (thread, base, stride_sel, count, kind_sel) in runs {
+            let stride = strides[stride_sel];
+            let size = sizes[stride_sel];
+            let kind = kind_of(kind_sel);
+            let got = optimized.access_run(thread, base, stride, count, size, kind);
+            let mut want = if kind == AccessKind::NonTemporalStore {
+                likwid_suite::cache_sim::HitLevel::Streaming
+            } else {
+                likwid_suite::cache_sim::HitLevel::L1
+            };
+            for i in 0..count {
+                let address = base.wrapping_add((i as i64).wrapping_mul(stride) as u64);
+                let level = reference.access(thread, Access { address, size, kind });
+                if level > want {
+                    want = level;
+                }
+            }
+            if count > 0 {
+                prop_assert_eq!(got, want, "worst hit level diverged");
+            }
+        }
+        prop_assert_eq!(optimized.stats(), reference.stats());
+    }
+
+    /// Mixed workloads on the directory path keep the directory a superset
+    /// of the true holders (the invariant coherence correctness rests on).
+    #[test]
+    fn directory_stays_a_superset_of_holders(
+        ops in prop::collection::vec((0usize..4, 0u64..2048, prop::bool::ANY), 1..400),
+    ) {
+        let mut sys = NodeCacheSystem::new(tiny_hierarchy(true));
+        for (thread, line, is_store) in ops {
+            let kind = if is_store { AccessKind::Store } else { AccessKind::Load };
+            sys.access(thread, Access { address: line * 64, size: 8, kind });
+        }
+        sys.verify_directory_superset();
+    }
+}

@@ -62,9 +62,22 @@ impl Bencher {
             .unwrap_or(Duration::from_millis(200))
     }
 
+    /// Whether the binary runs in criterion's smoke-test mode
+    /// (`cargo bench -- --test`): execute every routine once to prove it
+    /// still works, skip the timing loop.
+    fn smoke_mode() -> bool {
+        std::env::args().any(|arg| arg == "--test")
+    }
+
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
-        let budget = Self::run_budget();
         let start = Instant::now();
+        if Self::smoke_mode() {
+            black_box(routine());
+            self.iterations = 1;
+            self.total = start.elapsed();
+            return;
+        }
+        let budget = Self::run_budget();
         loop {
             black_box(routine());
             self.iterations += 1;
