@@ -1,5 +1,12 @@
 //! Regenerates Figure 1 and the Section II-B `likwid-topology` listings.
 
+use likwid::args::ArgSpec;
+
 fn main() {
-    print!("{}", likwid_bench::figure1_text());
+    let spec =
+        ArgSpec::new("fig01_topology", "Figure 1: probed topology of the evaluation machines");
+    std::process::exit(likwid_bench::figure_bin_main(
+        &spec,
+        |_| Ok(likwid_bench::figure1_report()),
+    ));
 }

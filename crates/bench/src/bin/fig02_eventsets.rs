@@ -1,8 +1,18 @@
 //! Regenerates Figure 2: event sets, events and counters.
 
+use likwid::args::ArgSpec;
+use likwid::report::Report;
 use likwid_x86_machine::MachinePreset;
 
 fn main() {
-    print!("{}", likwid_bench::figure2_text(MachinePreset::WestmereEp2S));
-    print!("{}", likwid_bench::figure2_text(MachinePreset::Core2Quad));
+    let spec = ArgSpec::new(
+        "fig02_eventsets",
+        "Figure 2: event set -> event -> counter mapping on Westmere EP and Core 2 Quad",
+    );
+    std::process::exit(likwid_bench::figure_bin_main(&spec, |_| {
+        let mut report = Report::new("figure2");
+        report.extend(likwid_bench::figure2_report(MachinePreset::WestmereEp2S));
+        report.extend(likwid_bench::figure2_report(MachinePreset::Core2Quad));
+        Ok(report)
+    }));
 }

@@ -1,5 +1,14 @@
 //! Regenerates Figure 3: the likwid-pin wrapper mechanism trace.
 
+use likwid::args::ArgSpec;
+
 fn main() {
-    print!("{}", likwid_bench::figure3_text());
+    let spec = ArgSpec::new(
+        "fig03_pin_mechanism",
+        "Figure 3: likwid-pin wrapper mechanism (Intel OpenMP binary)",
+    );
+    std::process::exit(likwid_bench::figure_bin_main(
+        &spec,
+        |_| Ok(likwid_bench::figure3_report()),
+    ));
 }

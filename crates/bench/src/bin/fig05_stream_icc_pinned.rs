@@ -2,7 +2,12 @@
 //! likwid-pin (round robin across sockets, physical cores first).
 
 fn main() {
-    let samples: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(100);
-    let fig = likwid_bench::stream_figures()[1];
-    print!("{}", likwid_bench::stream_figure_text(fig, samples, 5));
+    let spec = likwid_bench::stream_figure_spec(
+        "fig05_stream_icc_pinned",
+        "Figure 5: STREAM triad, Intel icc, Westmere EP, pinned with likwid-pin",
+    );
+    std::process::exit(likwid_bench::figure_bin_main(&spec, |parsed| {
+        let samples = parsed.positional_number(100)?;
+        Ok(likwid_bench::stream_figure_report(likwid_bench::stream_figures()[1], samples, 5))
+    }));
 }

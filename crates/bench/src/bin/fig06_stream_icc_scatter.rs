@@ -2,7 +2,12 @@
 //! Intel OpenMP affinity interface set to scatter.
 
 fn main() {
-    let samples: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(100);
-    let fig = likwid_bench::stream_figures()[2];
-    print!("{}", likwid_bench::stream_figure_text(fig, samples, 6));
+    let spec = likwid_bench::stream_figure_spec(
+        "fig06_stream_icc_scatter",
+        "Figure 6: STREAM triad, Intel icc, Westmere EP, KMP_AFFINITY=scatter",
+    );
+    std::process::exit(likwid_bench::figure_bin_main(&spec, |parsed| {
+        let samples = parsed.positional_number(100)?;
+        Ok(likwid_bench::stream_figure_report(likwid_bench::stream_figures()[2], samples, 6))
+    }));
 }

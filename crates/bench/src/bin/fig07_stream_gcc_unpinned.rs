@@ -1,7 +1,12 @@
 //! Regenerates Figure 7: STREAM triad, gcc, Westmere EP, not pinned.
 
 fn main() {
-    let samples: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(100);
-    let fig = likwid_bench::stream_figures()[3];
-    print!("{}", likwid_bench::stream_figure_text(fig, samples, 7));
+    let spec = likwid_bench::stream_figure_spec(
+        "fig07_stream_gcc_unpinned",
+        "Figure 7: STREAM triad, gcc, Westmere EP, not pinned",
+    );
+    std::process::exit(likwid_bench::figure_bin_main(&spec, |parsed| {
+        let samples = parsed.positional_number(100)?;
+        Ok(likwid_bench::stream_figure_report(likwid_bench::stream_figures()[3], samples, 7))
+    }));
 }

@@ -2,7 +2,12 @@
 //! likwid-pin.
 
 fn main() {
-    let samples: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(100);
-    let fig = likwid_bench::stream_figures()[4];
-    print!("{}", likwid_bench::stream_figure_text(fig, samples, 8));
+    let spec = likwid_bench::stream_figure_spec(
+        "fig08_stream_gcc_pinned",
+        "Figure 8: STREAM triad, gcc, Westmere EP, pinned with likwid-pin",
+    );
+    std::process::exit(likwid_bench::figure_bin_main(&spec, |parsed| {
+        let samples = parsed.positional_number(100)?;
+        Ok(likwid_bench::stream_figure_report(likwid_bench::stream_figures()[4], samples, 8))
+    }));
 }

@@ -2,7 +2,12 @@
 //! likwid-pin.
 
 fn main() {
-    let samples: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(100);
-    let fig = likwid_bench::stream_figures()[6];
-    print!("{}", likwid_bench::stream_figure_text(fig, samples, 10));
+    let spec = likwid_bench::stream_figure_spec(
+        "fig10_stream_istanbul_pinned",
+        "Figure 10: STREAM triad, Intel icc, AMD Istanbul, pinned with likwid-pin",
+    );
+    std::process::exit(likwid_bench::figure_bin_main(&spec, |parsed| {
+        let samples = parsed.positional_number(100)?;
+        Ok(likwid_bench::stream_figure_report(likwid_bench::stream_figures()[6], samples, 10))
+    }));
 }

@@ -3,8 +3,22 @@
 //!
 //! Pass problem sizes as arguments to override the default sweep.
 
+use likwid::args::ArgSpec;
+use likwid::LikwidError;
+
 fn main() {
-    let args: Vec<usize> = std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
-    let sizes = if args.is_empty() { vec![50, 100, 150, 200, 250] } else { args };
-    print!("{}", likwid_bench::figure11_text(&sizes, 4));
+    let spec = ArgSpec::new(
+        "fig11_jacobi_pinning",
+        "Figure 11: 3D Jacobi MLUPS vs. problem size for three pinning/blocking variants",
+    )
+    .positional("size", "problem sizes (default: 50 100 150 200 250)", true);
+    std::process::exit(likwid_bench::figure_bin_main(&spec, |parsed| {
+        let sizes: Vec<usize> = parsed
+            .positionals()
+            .iter()
+            .map(|raw| raw.parse().map_err(|_| LikwidError::Usage(format!("bad size '{raw}'"))))
+            .collect::<likwid::Result<_>>()?;
+        let sizes = if sizes.is_empty() { vec![50, 100, 150, 200, 250] } else { sizes };
+        Ok(likwid_bench::figure11_report(&sizes, 4))
+    }));
 }

@@ -1,10 +1,14 @@
 //! Regenerates Table I (qualitative comparison) and adds the measured
 //! marker-API vs. PAPI-style API overhead.
 
+use likwid::args::ArgSpec;
+
 fn main() {
-    print!("{}", likwid_bench::table1_text());
-    let (likwid_ns, papi_ns) = likwid_bench::api_overhead_ns(10_000);
-    println!("\nMeasured API overhead per start/stop pair (simulated machine):");
-    println!("  LIKWID marker API : {likwid_ns:8.0} ns");
-    println!("  PAPI-style API    : {papi_ns:8.0} ns");
+    let spec = ArgSpec::new(
+        "table1_likwid_vs_papi",
+        "Table I: LIKWID vs. PAPI comparison plus measured API overhead",
+    );
+    std::process::exit(likwid_bench::figure_bin_main(&spec, |_| {
+        Ok(likwid_bench::table1_bin_report(10_000))
+    }));
 }

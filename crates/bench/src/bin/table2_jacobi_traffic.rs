@@ -3,7 +3,16 @@
 //!
 //! Pass a grid size as the first argument (default 150).
 
+use likwid::args::ArgSpec;
+
 fn main() {
-    let size: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(150);
-    print!("{}", likwid_bench::table2_text(size, 4));
+    let spec = ArgSpec::new(
+        "table2_jacobi_traffic",
+        "Table II: uncore traffic and MLUPS of the three Jacobi variants",
+    )
+    .positional("size", "grid size (default 150)", false);
+    std::process::exit(likwid_bench::figure_bin_main(&spec, |parsed| {
+        let size = parsed.positional_number(150)?;
+        Ok(likwid_bench::table2_report(size, 4))
+    }));
 }

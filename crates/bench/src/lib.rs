@@ -8,12 +8,17 @@
 //! probing, counter programming, marker/PAPI API overhead, cache-simulator
 //! throughput, the workload models).
 //!
-//! Output format: plain-text tables with one row per x-axis point, columns
-//! `min / q1 / median / q3 / max` for the box-plot figures — the same
-//! summary statistics the paper plots.
+//! Output: every generator builds a typed [`likwid::Report`] — one table
+//! row per x-axis point, columns `min / q1 / median / q3 / max` for the
+//! box-plot figures, the same summary statistics the paper plots. The
+//! `*_text` helpers render the classic plain-text form; the binaries accept
+//! `-O <ascii|csv|json>` / `-o <file>` through [`figure_bin_main`] like the
+//! four tools.
 
+use likwid::args::{ArgSpec, ParsedArgs};
 use likwid::perfctr::{group_definition, supported_groups, EventGroupKind};
 use likwid::pin::{PinConfig, PinTool};
+use likwid::report::{Ascii, Body, KvEntry, Render, Report, Row, Section, Table, Value};
 use likwid::topology::CpuTopology;
 use likwid_affinity::ThreadingModel;
 use likwid_workloads::jacobi::{Jacobi, JacobiConfig, JacobiVariant};
@@ -107,10 +112,10 @@ pub fn stream_figures() -> Vec<StreamFigure> {
     ]
 }
 
-/// Regenerate one STREAM figure as a text table.
+/// Regenerate one STREAM figure as a typed report.
 ///
 /// `samples` is the number of runs per thread count (the paper uses 100).
-pub fn stream_figure_text(figure: StreamFigure, samples: usize, seed: u64) -> String {
+pub fn stream_figure_report(figure: StreamFigure, samples: usize, seed: u64) -> Report {
     let mut experiment = StreamExperiment::new(figure.preset, figure.personality);
     experiment.samples_per_point = samples.max(1);
     let counts = experiment.paper_thread_counts();
@@ -124,42 +129,64 @@ pub fn stream_figure_text(figure: StreamFigure, samples: usize, seed: u64) -> St
         seed,
     );
 
-    let mut out = String::new();
-    out.push_str(&format!(
-        "Figure {}: STREAM triad, {} compiler, {}, {} ({} samples per thread count)\n",
+    let mut table =
+        Table::plain(vec!["threads", "min_mb_s", "q1_mb_s", "median_mb_s", "q3_mb_s", "max_mb_s"])
+            .with_ascii_header("threads  min[MB/s]  q1[MB/s]  median[MB/s]  q3[MB/s]  max[MB/s]");
+    for point in &series {
+        table.push(
+            Row::new(vec![
+                Value::Count(point.threads as u64),
+                Value::Real(point.stats.min),
+                Value::Real(point.stats.q1),
+                Value::Real(point.stats.median),
+                Value::Real(point.stats.q3),
+                Value::Real(point.stats.max),
+            ])
+            .with_ascii(format!(
+                "{:7}  {:9.0}  {:8.0}  {:12.0}  {:8.0}  {:9.0}",
+                point.threads,
+                point.stats.min,
+                point.stats.q1,
+                point.stats.median,
+                point.stats.q3,
+                point.stats.max
+            )),
+        );
+    }
+    let mut report = Report::new(format!("figure{}", figure.number));
+    report.push(Section::new("series", Body::Table(table)).with_heading(format!(
+        "Figure {}: STREAM triad, {} compiler, {}, {} ({} samples per thread count)",
         figure.number,
         figure.personality.name(),
         figure.preset.id(),
         figure.scenario.label(),
         samples
-    ));
-    out.push_str("threads  min[MB/s]  q1[MB/s]  median[MB/s]  q3[MB/s]  max[MB/s]\n");
-    for point in &series {
-        out.push_str(&format!(
-            "{:7}  {:9.0}  {:8.0}  {:12.0}  {:8.0}  {:9.0}\n",
-            point.threads,
-            point.stats.min,
-            point.stats.q1,
-            point.stats.median,
-            point.stats.q3,
-            point.stats.max
-        ));
-    }
-    out
+    )));
+    report
 }
 
-/// Regenerate Figure 11: MLUPS vs. problem size for the three Jacobi
-/// curves (wavefront on one socket, wavefront split 2+2, threaded baseline).
-pub fn figure11_text(sizes: &[usize], time_steps: usize) -> String {
+/// Regenerate one STREAM figure as a text table.
+pub fn stream_figure_text(figure: StreamFigure, samples: usize, seed: u64) -> String {
+    Ascii.render(&stream_figure_report(figure, samples, seed))
+}
+
+/// Regenerate Figure 11 as a typed report: MLUPS vs. problem size for the
+/// three Jacobi curves (wavefront on one socket, wavefront split 2+2,
+/// threaded baseline).
+pub fn figure11_report(sizes: &[usize], time_steps: usize) -> Report {
     let machine = SimMachine::new(MachinePreset::NehalemEp2S);
     let jacobi = Jacobi::new(&machine);
     let one_socket = vec![0usize, 1, 2, 3];
     let split = vec![0usize, 1, 4, 5];
 
-    let mut out = String::new();
-    out.push_str("Figure 11: 3D Jacobi smoother on Nehalem EP (2.66 GHz), 4 threads [MLUPS]\n");
-    out.push_str(
-        "size  wavefront 1x4 (one socket)  wavefront 1x4 (2 per socket)  threaded baseline\n",
+    let mut table = Table::plain(vec![
+        "size",
+        "wavefront_one_socket_mlups",
+        "wavefront_split_mlups",
+        "threaded_mlups",
+    ])
+    .with_ascii_header(
+        "size  wavefront 1x4 (one socket)  wavefront 1x4 (2 per socket)  threaded baseline",
     );
     for &size in sizes {
         let wavefront = jacobi.run(&JacobiConfig {
@@ -180,19 +207,38 @@ pub fn figure11_text(sizes: &[usize], time_steps: usize) -> String {
             placement: one_socket.clone(),
             variant: JacobiVariant::Threaded,
         });
-        out.push_str(&format!(
-            "{:4}  {:26.0}  {:28.0}  {:17.0}\n",
-            size, wavefront.mlups, wrong.mlups, baseline.mlups
-        ));
+        table.push(
+            Row::new(vec![
+                Value::Count(size as u64),
+                Value::Real(wavefront.mlups),
+                Value::Real(wrong.mlups),
+                Value::Real(baseline.mlups),
+            ])
+            .with_ascii(format!(
+                "{:4}  {:26.0}  {:28.0}  {:17.0}",
+                size, wavefront.mlups, wrong.mlups, baseline.mlups
+            )),
+        );
     }
-    out
+    let mut report = Report::new("figure11");
+    report.push(
+        Section::new("series", Body::Table(table)).with_heading(
+            "Figure 11: 3D Jacobi smoother on Nehalem EP (2.66 GHz), 4 threads [MLUPS]",
+        ),
+    );
+    report
 }
 
-/// Regenerate Table II: uncore L3 line counts, data volume and MLUPS for the
-/// three Jacobi variants on one Nehalem EP socket, measured through
-/// `likwid-perfctr` (counters programmed via MSRs, credited by the counting
-/// engine from the simulated run).
-pub fn table2_text(size: usize, time_steps: usize) -> String {
+/// Regenerate Figure 11 as a text table.
+pub fn figure11_text(sizes: &[usize], time_steps: usize) -> String {
+    Ascii.render(&figure11_report(sizes, time_steps))
+}
+
+/// Regenerate Table II as a typed report: uncore L3 line counts, data
+/// volume and MLUPS for the three Jacobi variants on one Nehalem EP socket,
+/// measured through `likwid-perfctr` (counters programmed via MSRs,
+/// credited by the counting engine from the simulated run).
+pub fn table2_report(size: usize, time_steps: usize) -> Report {
     use likwid::perfctr::{MeasurementSpec, PerfCtr, PerfCtrConfig};
     use likwid_perf_events::EventEngine;
     use likwid_workloads::exec::sample_from_simulation;
@@ -232,117 +278,231 @@ pub fn table2_text(size: usize, time_steps: usize) -> String {
         let lines_in = results.event_count("UNC_L3_LINES_IN_ANY", 0).unwrap_or(0);
         let lines_out = results.event_count("UNC_L3_LINES_OUT_ANY", 0).unwrap_or(0);
 
-        rows.push((
-            variant.name().to_string(),
-            lines_in,
-            lines_out,
-            result.memory_bytes as f64 / 1e9,
-            result.mlups,
-        ));
+        rows.push((lines_in, lines_out, result.memory_bytes as f64 / 1e9, result.mlups));
     }
 
-    let mut out = String::new();
-    out.push_str(&format!(
-        "Table II: likwid-perfCtr measurements on one Nehalem EP socket (N = {size}, {time_steps} sweeps)\n"
-    ));
-    out.push_str(&format!(
-        "{:28} {:>16} {:>16} {:>22} {:>20}\n",
-        "", "threaded", "threaded (NT)", "blocked (wavefront)", ""
-    ));
-    let metric_rows = [
-        (
-            "UNC_L3_LINES_IN_ANY",
-            rows.iter().map(|r| format!("{:.3e}", r.1 as f64)).collect::<Vec<_>>(),
-        ),
-        (
-            "UNC_L3_LINES_OUT_ANY",
-            rows.iter().map(|r| format!("{:.3e}", r.2 as f64)).collect::<Vec<_>>(),
-        ),
-        ("Total data volume [GB]", rows.iter().map(|r| format!("{:.2}", r.3)).collect::<Vec<_>>()),
-        ("Performance [MLUPS]", rows.iter().map(|r| format!("{:.0}", r.4)).collect::<Vec<_>>()),
-    ];
-    for (name, values) in metric_rows {
-        out.push_str(&format!(
-            "{:28} {:>16} {:>16} {:>22}\n",
-            name, values[0], values[1], values[2]
+    let mut table = Table::plain(vec!["metric", "threaded", "threaded_nt", "wavefront"])
+        .with_ascii_header(format!(
+            "{:28} {:>16} {:>16} {:>22} {:>20}",
+            "", "threaded", "threaded (NT)", "blocked (wavefront)", ""
         ));
-    }
-    out
+    let count_row = |name: &str, values: [u64; 3]| {
+        let ascii: Vec<String> = values.iter().map(|&v| format!("{:.3e}", v as f64)).collect();
+        Row::new(vec![
+            Value::Str(name.to_string()),
+            Value::Count(values[0]),
+            Value::Count(values[1]),
+            Value::Count(values[2]),
+        ])
+        .with_ascii(format!("{:28} {:>16} {:>16} {:>22}", name, ascii[0], ascii[1], ascii[2]))
+    };
+    table.push(count_row("UNC_L3_LINES_IN_ANY", [rows[0].0, rows[1].0, rows[2].0]));
+    table.push(count_row("UNC_L3_LINES_OUT_ANY", [rows[0].1, rows[1].1, rows[2].1]));
+    table.push(
+        Row::new(vec![
+            Value::Str("Total data volume [GB]".to_string()),
+            Value::Real(rows[0].2),
+            Value::Real(rows[1].2),
+            Value::Real(rows[2].2),
+        ])
+        .with_ascii(format!(
+            "{:28} {:>16} {:>16} {:>22}",
+            "Total data volume [GB]",
+            format!("{:.2}", rows[0].2),
+            format!("{:.2}", rows[1].2),
+            format!("{:.2}", rows[2].2)
+        )),
+    );
+    table.push(
+        Row::new(vec![
+            Value::Str("Performance [MLUPS]".to_string()),
+            Value::Real(rows[0].3),
+            Value::Real(rows[1].3),
+            Value::Real(rows[2].3),
+        ])
+        .with_ascii(format!(
+            "{:28} {:>16} {:>16} {:>22}",
+            "Performance [MLUPS]",
+            format!("{:.0}", rows[0].3),
+            format!("{:.0}", rows[1].3),
+            format!("{:.0}", rows[2].3)
+        )),
+    );
+
+    let mut report = Report::new("table2");
+    report.push(Section::new("measurements", Body::Table(table)).with_heading(format!(
+        "Table II: likwid-perfCtr measurements on one Nehalem EP socket (N = {size}, {time_steps} sweeps)"
+    )));
+    report
 }
 
-/// Regenerate Table I: the qualitative LIKWID-vs-PAPI comparison.
-pub fn table1_text() -> String {
-    let mut out = String::new();
-    out.push_str("Table I: Comparison between LIKWID and PAPI\n");
+/// Regenerate Table II as a text table.
+pub fn table2_text(size: usize, time_steps: usize) -> String {
+    Ascii.render(&table2_report(size, time_steps))
+}
+
+/// Regenerate Table I as a typed report: the qualitative LIKWID-vs-PAPI
+/// comparison.
+pub fn table1_report() -> Report {
+    let mut table = Table::plain(vec!["aspect", "likwid", "papi"]);
     for (aspect, likwid, papi) in likwid_papi_compat::table1_rows() {
-        out.push_str(&format!("{aspect}\n  LIKWID: {likwid}\n  PAPI:   {papi}\n"));
+        table.push(
+            Row::new(vec![
+                Value::Str(aspect.to_string()),
+                Value::Str(likwid.to_string()),
+                Value::Str(papi.to_string()),
+            ])
+            .with_ascii(format!("{aspect}\n  LIKWID: {likwid}\n  PAPI:   {papi}")),
+        );
     }
-    out
+    let mut report = Report::new("table1");
+    report.push(
+        Section::new("comparison", Body::Table(table))
+            .with_heading("Table I: Comparison between LIKWID and PAPI"),
+    );
+    report
 }
 
-/// Regenerate Figure 1 and the Section II-B listing: the probed topology of
-/// the evaluation machines.
-pub fn figure1_text() -> String {
-    let mut out = String::new();
+/// Regenerate Table I as text.
+pub fn table1_text() -> String {
+    Ascii.render(&table1_report())
+}
+
+/// The full report of the Table I binary: the qualitative comparison plus
+/// the measured marker-API vs. PAPI-style API overhead.
+pub fn table1_bin_report(iterations: u32) -> Report {
+    let mut report = table1_report();
+    let (likwid_ns, papi_ns) = api_overhead_ns(iterations);
+    report.push(
+        Section::new(
+            "api-overhead",
+            Body::KeyValues(vec![
+                KvEntry::new("LIKWID marker API [ns]", Value::Real(likwid_ns))
+                    .with_ascii(format!("  LIKWID marker API : {likwid_ns:8.0} ns")),
+                KvEntry::new("PAPI-style API [ns]", Value::Real(papi_ns))
+                    .with_ascii(format!("  PAPI-style API    : {papi_ns:8.0} ns")),
+            ]),
+        )
+        .with_heading("\nMeasured API overhead per start/stop pair (simulated machine):"),
+    );
+    report
+}
+
+/// Regenerate Figure 1 and the Section II-B listing as a typed report: the
+/// probed topology of the evaluation machines.
+pub fn figure1_report() -> Report {
+    let mut report = Report::new("figure1");
     for preset in [MachinePreset::NehalemEp2S, MachinePreset::WestmereEp2S] {
         let machine = SimMachine::new(preset);
         let topo = CpuTopology::probe(&machine).expect("topology probe");
-        out.push_str(&format!("==== {} ====\n", preset.id()));
-        out.push_str(&topo.render_text(true));
-        for socket in 0..topo.sockets {
-            out.push_str(&format!("Socket {socket}:\n"));
-            out.push_str(&topo.render_ascii_socket(socket));
+        report.push(
+            Section::new(format!("{}.banner", preset.id()), Body::Text(String::new()))
+                .with_heading(format!("==== {} ====", preset.id())),
+        );
+        for mut section in topo.report(true, true).sections {
+            section.id = format!("{}.{}", preset.id(), section.id);
+            report.push(section);
         }
     }
-    out
+    report
 }
 
-/// Regenerate Figure 2: the mapping from event sets through events to
-/// counters for every group supported on an architecture.
-pub fn figure2_text(preset: MachinePreset) -> String {
+/// Regenerate Figure 1 as text.
+pub fn figure1_text() -> String {
+    Ascii.render(&figure1_report())
+}
+
+/// Regenerate Figure 2 as a typed report: the mapping from event sets
+/// through events to counters for every group supported on an architecture.
+pub fn figure2_report(preset: MachinePreset) -> Report {
     let machine = SimMachine::new(preset);
-    let mut out = String::new();
-    out.push_str(&format!(
-        "Figure 2: event sets -> hardware events -> performance counters ({})\n",
-        machine.arch().display_name()
-    ));
+    let mut report = Report::new("figure2");
+    report.push(
+        Section::new(format!("{}.banner", preset.id()), Body::Text(String::new())).with_heading(
+            format!(
+                "Figure 2: event sets -> hardware events -> performance counters ({})",
+                machine.arch().display_name()
+            ),
+        ),
+    );
     for kind in supported_groups(machine.arch()) {
         let def = group_definition(machine.arch(), kind).expect("supported group");
-        out.push_str(&format!("{} ({}):\n", kind.name(), kind.description()));
+        let mut table = Table::plain(vec!["kind", "name", "mapping"]);
         for (event, slot) in &def.events {
-            out.push_str(&format!("    {:40} -> {}\n", event, slot.name()));
+            table.push(
+                Row::new(vec![
+                    Value::Str("event".to_string()),
+                    Value::Str(event.to_string()),
+                    Value::Str(slot.name()),
+                ])
+                .with_ascii(format!("    {:40} -> {}", event, slot.name())),
+            );
         }
         for (metric, formula) in &def.metrics {
-            out.push_str(&format!("    metric {:28} = {}\n", metric, formula));
+            table.push(
+                Row::new(vec![
+                    Value::Str("metric".to_string()),
+                    Value::Str(metric.to_string()),
+                    Value::Str(formula.to_string()),
+                ])
+                .with_ascii(format!("    metric {:28} = {}", metric, formula)),
+            );
         }
+        report.push(
+            Section::new(format!("{}.group.{}", preset.id(), kind.name()), Body::Table(table))
+                .with_heading(format!("{} ({}):", kind.name(), kind.description())),
+        );
     }
-    out
+    report
 }
 
-/// Regenerate Figure 3: the likwid-pin interception mechanism, traced for
-/// an Intel OpenMP binary on the Westmere node.
-pub fn figure3_text() -> String {
+/// Regenerate Figure 2 as text.
+pub fn figure2_text(preset: MachinePreset) -> String {
+    Ascii.render(&figure2_report(preset))
+}
+
+/// Regenerate Figure 3 as a typed report: the likwid-pin interception
+/// mechanism, traced for an Intel OpenMP binary on the Westmere node.
+pub fn figure3_report() -> Report {
     let machine = SimMachine::new(MachinePreset::WestmereEp2S);
     let tool =
         PinTool::new(&machine, PinConfig::new("0-3").with_model(ThreadingModel::IntelOpenMp))
             .expect("pin configuration");
-    let mut out = String::new();
-    out.push_str("Figure 3: likwid-pin wrapper mechanism (Intel OpenMP binary, -c 0-3 -t intel)\n");
     let env = tool.environment();
-    out.push_str(&format!(
-        "exported environment: LIKWID_PIN={} LIKWID_SKIP={} KMP_AFFINITY={} LD_PRELOAD={}\n",
-        env.likwid_pin, env.likwid_skip, env.kmp_affinity, env.ld_preload
-    ));
-    out.push_str(&format!(
-        "master thread pinned to hardware thread {:?}\n",
-        tool.pinner().master_cpu()
-    ));
+    let mut entries = vec![
+        KvEntry::new(
+            "exported environment",
+            Value::Str(format!(
+                "LIKWID_PIN={} LIKWID_SKIP={} KMP_AFFINITY={} LD_PRELOAD={}",
+                env.likwid_pin, env.likwid_skip, env.kmp_affinity, env.ld_preload
+            )),
+        ),
+        {
+            let master = tool.pinner().master_cpu();
+            let value = match master {
+                Some(c) => Value::CpuId(c),
+                None => Value::Str("unpinned".to_string()),
+            };
+            KvEntry::new("master thread", value)
+                .with_ascii(format!("master thread pinned to hardware thread {master:?}"))
+        },
+    ];
     let mut pinner = tool.pinner();
     for i in 0..ThreadingModel::IntelOpenMp.created_threads(4) {
         let outcome = pinner.on_thread_create();
-        out.push_str(&format!("pthread_create #{i}: {outcome:?}\n"));
+        entries
+            .push(KvEntry::new(format!("pthread_create #{i}"), Value::Str(format!("{outcome:?}"))));
     }
-    out
+    let mut report = Report::new("figure3");
+    report.push(Section::new("mechanism", Body::KeyValues(entries)).with_heading(
+        "Figure 3: likwid-pin wrapper mechanism (Intel OpenMP binary, -c 0-3 -t intel)",
+    ));
+    report
+}
+
+/// Regenerate Figure 3 as text.
+pub fn figure3_text() -> String {
+    Ascii.render(&figure3_report())
 }
 
 /// Marker-API vs. PAPI-style API overhead: the measured counterpart to the
@@ -383,6 +543,36 @@ pub fn api_overhead_ns(iterations: u32) -> (f64, f64) {
     (likwid_ns, papi_ns)
 }
 
+/// Parse args, build the report, render it in the selected format and
+/// resolve the target (the testable core of [`figure_bin_main`]). `-h`
+/// requests surface as `Ok(None)`.
+pub fn run_figure_bin(
+    spec: &ArgSpec,
+    args: &[String],
+    build: impl FnOnce(&ParsedArgs) -> likwid::Result<Report>,
+) -> likwid::Result<Option<(String, likwid::args::OutputTarget)>> {
+    match likwid::args::drive(spec, args, build)? {
+        likwid::args::Invocation::Help(_) => Ok(None),
+        likwid::args::Invocation::Rendered { text, target } => Ok(Some((text, target))),
+    }
+}
+
+/// Binary entry point shared by the thirteen figure/table binaries: the
+/// tools' driver ([`likwid::args::bin_main`]) applied to the process
+/// arguments. Returns the process exit code.
+pub fn figure_bin_main(
+    spec: &ArgSpec,
+    build: impl FnOnce(&ParsedArgs) -> likwid::Result<Report>,
+) -> i32 {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    likwid::args::bin_main(spec, &args, build)
+}
+
+/// The argument spec of a STREAM figure binary (positional sample count).
+pub fn stream_figure_spec(tool: &'static str, about: &'static str) -> ArgSpec {
+    ArgSpec::new(tool, about).positional("samples", "runs per thread count (default 100)", false)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -408,6 +598,20 @@ mod tests {
     }
 
     #[test]
+    fn stream_figure_report_round_trips_and_matches_the_text() {
+        use likwid::report::Json;
+        let fig = stream_figures()[1];
+        let report = stream_figure_report(fig, 3, 1);
+        let table = report.table("series").expect("series table");
+        assert_eq!(table.num_columns(), 6);
+        assert!(table.num_rows() >= 24);
+        assert_eq!(table.rows[0].values[0].as_count(), Some(1));
+        let parsed = Report::from_json(&Json.render(&report)).expect("round trip");
+        assert_eq!(parsed, report);
+        assert_eq!(Ascii.render(&report), stream_figure_text(fig, 3, 1));
+    }
+
+    #[test]
     fn figure11_text_contains_all_three_curves() {
         let text = figure11_text(&[32, 48], 4);
         assert!(text.contains("wavefront 1x4 (one socket)"));
@@ -423,6 +627,17 @@ mod tests {
         assert!(text.contains("UNC_L3_LINES_OUT_ANY"));
         assert!(text.contains("Total data volume [GB]"));
         assert!(text.contains("Performance [MLUPS]"));
+    }
+
+    #[test]
+    fn table2_report_exposes_typed_counts() {
+        let report = table2_report(48, 4);
+        let table = report.table("measurements").expect("measurements table");
+        assert_eq!(table.num_rows(), 4);
+        let lines_in = table.cell("UNC_L3_LINES_IN_ANY", "threaded").expect("typed cell");
+        assert!(lines_in.as_count().unwrap() > 0, "the threaded variant moves L3 lines");
+        let mlups = table.cell("Performance [MLUPS]", "wavefront").expect("typed cell");
+        assert!(mlups.as_real().unwrap() > 0.0);
     }
 
     #[test]
@@ -442,5 +657,31 @@ mod tests {
         let (likwid_ns, papi_ns) = api_overhead_ns(100);
         assert!(likwid_ns > 0.0);
         assert!(papi_ns > 0.0);
+    }
+
+    #[test]
+    fn figure_bin_driver_renders_and_validates() {
+        let spec = stream_figure_spec("fig-test", "test figure");
+        let args = |list: &[&str]| list.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+
+        let (text, target) = run_figure_bin(&spec, &args(&["2", "-O", "json"]), |parsed| {
+            let samples = parsed.positional_number(100)?;
+            Ok(stream_figure_report(stream_figures()[1], samples, 5))
+        })
+        .unwrap()
+        .expect("not a help request");
+        assert!(target.path.is_none());
+        let parsed = Report::from_json(&text).expect("valid JSON");
+        assert!(parsed.table("series").is_some());
+
+        assert!(run_figure_bin(&spec, &args(&["-h"]), |_| Ok(Report::new("unused")))
+            .unwrap()
+            .is_none());
+        assert!(run_figure_bin(&spec, &args(&["two"]), |parsed| {
+            parsed.positional_number(100)?;
+            Ok(Report::new("unused"))
+        })
+        .is_err());
+        assert!(run_figure_bin(&spec, &args(&["--bogus"]), |_| Ok(Report::new("unused"))).is_err());
     }
 }

@@ -2,11 +2,5 @@
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match likwid::cli::run_features(&args) {
-        Ok(out) => print!("{out}"),
-        Err(e) => {
-            eprintln!("likwid-features: {e}");
-            std::process::exit(1);
-        }
-    }
+    std::process::exit(likwid::cli::tool_main(likwid::cli::Tool::Features, &args));
 }

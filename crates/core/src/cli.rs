@@ -1,103 +1,211 @@
 //! Command-line front ends of the four tools.
 //!
-//! The binaries in `src/bin/` are thin wrappers around the functions here,
-//! which parse arguments and produce the tool output as a string (so the
-//! argument handling is unit-testable without spawning processes). Since
-//! the reproduction drives a *simulated* machine, every tool accepts a
-//! `--machine <preset>` switch selecting one of the paper's node
-//! configurations; the remaining switches mirror the original tools
+//! The binaries in `src/bin/` are thin wrappers around [`tool_main`]; each
+//! tool declares its switches once as an [`ArgSpec`] and builds a typed
+//! [`Report`], which the common driver renders in the format selected with
+//! `-O <ascii|csv|json>` (or inferred from the `-o <file>` extension) —
+//! argument handling and output stay unit-testable without spawning
+//! processes. Since the reproduction drives a *simulated* machine, every
+//! tool accepts a `--machine <preset>` switch selecting one of the paper's
+//! node configurations; the remaining switches mirror the original tools
 //! (`-c`, `-g`, `-t`, `-s`, `-e`/`-u`, …).
 
 use likwid_affinity::{SkipMask, ThreadingModel};
 use likwid_x86_machine::{MachinePreset, Prefetcher, SimMachine};
 
+use crate::args::{ArgSpec, OutputTarget, ParsedArgs};
 use crate::error::{LikwidError, Result};
 use crate::features::FeaturesTool;
 use crate::perfctr::{supported_groups, EventGroupKind};
 use crate::pin::{PinConfig, PinTool};
+use crate::report::{Body, KvEntry, Report, Row, Section, Table, Value};
 use crate::topology::CpuTopology;
 
-/// Parse `--machine <id>` (default: the Westmere EP node of the paper).
-fn parse_machine(args: &[String]) -> Result<MachinePreset> {
-    let mut machine = MachinePreset::WestmereEp2S;
-    let mut iter = args.iter();
-    while let Some(arg) = iter.next() {
-        if arg == "--machine" || arg == "-M" {
-            let id = iter
-                .next()
-                .ok_or_else(|| LikwidError::Usage("--machine needs an argument".into()))?;
-            machine = MachinePreset::from_id(id).ok_or_else(|| {
-                LikwidError::Usage(format!(
-                    "unknown machine '{id}'; available: {}",
-                    MachinePreset::all().iter().map(|p| p.id()).collect::<Vec<_>>().join(", ")
-                ))
-            })?;
+/// The four tools of the suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tool {
+    /// `likwid-topology`.
+    Topology,
+    /// `likwid-perfctr`.
+    Perfctr,
+    /// `likwid-pin`.
+    Pin,
+    /// `likwid-features`.
+    Features,
+}
+
+impl Tool {
+    /// The binary name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tool::Topology => "likwid-topology",
+            Tool::Perfctr => "likwid-perfctr",
+            Tool::Pin => "likwid-pin",
+            Tool::Features => "likwid-features",
         }
     }
-    Ok(machine)
+
+    /// The declarative argument specification of the tool.
+    pub fn spec(self) -> ArgSpec {
+        match self {
+            Tool::Topology => ArgSpec::new(
+                "likwid-topology",
+                "probe and report the hardware thread and cache topology",
+            )
+            .machine_flag()
+            .flag("-c", None, None, "print extended cache parameters")
+            .flag("-g", None, None, "print the cache hierarchy as ASCII art"),
+            Tool::Perfctr => ArgSpec::new(
+                "likwid-perfctr",
+                "configure hardware performance counter measurements",
+            )
+            .machine_flag()
+            .flag("-c", None, Some("cpus"), "hardware threads to measure")
+            .flag("-g", None, Some("group|EVENT:CTR,..."), "event group or custom event set")
+            .flag("-a", None, None, "list the event groups available on the machine"),
+            Tool::Pin => ArgSpec::new(
+                "likwid-pin",
+                "report the thread-core placement the wrapper library enforces",
+            )
+            .machine_flag()
+            .flag("-c", None, Some("list"), "pin list expression")
+            .flag("-t", None, Some("model"), "threading model (intel|gnu|posix|intel-mpi)")
+            .flag("-s", None, Some("mask"), "skip mask overriding the model default")
+            .flag("-n", None, Some("threads"), "number of application threads"),
+            Tool::Features => {
+                ArgSpec::new("likwid-features", "report and toggle switchable processor features")
+                    .machine_flag()
+                    .flag("-c", None, Some("core"), "core to inspect (default 0)")
+                    .flag(
+                        "-e",
+                        None,
+                        Some("NAME"),
+                        "enable a prefetcher (applied in argument order)",
+                    )
+                    .flag(
+                        "-u",
+                        None,
+                        Some("NAME"),
+                        "disable a prefetcher (applied in argument order)",
+                    )
+            }
+        }
+    }
+
+    /// Parse a command line and build the tool's report and output target.
+    /// `--help` requests surface as `Ok(None)`.
+    pub fn run(self, args: &[String]) -> Result<Option<(Report, OutputTarget)>> {
+        let parsed = self.spec().parse(args)?;
+        if parsed.help_requested() {
+            return Ok(None);
+        }
+        let target = parsed.output()?;
+        Ok(Some((self.build_report(&parsed)?, target)))
+    }
+
+    fn build_report(self, parsed: &ParsedArgs) -> Result<Report> {
+        match self {
+            Tool::Topology => topology_report_from(parsed),
+            Tool::Perfctr => perfctr_report_from(parsed),
+            Tool::Pin => pin_report_from(parsed),
+            Tool::Features => features_report_from(parsed),
+        }
+    }
 }
 
-/// Fetch the value following a flag.
-fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+/// Binary entry point shared by the four tools: parse, build the report,
+/// render it in the selected format and write it to stdout or the `-o`
+/// file. Returns the process exit code.
+pub fn tool_main(tool: Tool, args: &[String]) -> i32 {
+    crate::args::bin_main(&tool.spec(), args, |parsed| tool.build_report(parsed))
 }
 
-/// Whether a boolean flag is present.
-fn has_flag(args: &[String], flag: &str) -> bool {
-    args.iter().any(|a| a == flag)
+/// Run a tool and render its report (the string-level front end used by the
+/// tests and by embedders that do not need the typed document). Honours
+/// `-o` exactly like the binaries — the rendered text is also written to
+/// the file — and additionally returns it.
+fn run_tool(tool: Tool, args: &[String]) -> Result<String> {
+    match tool.run(args)? {
+        None => Ok(tool.spec().help_text()),
+        Some((report, target)) => {
+            let text = target.format.render(&report);
+            target.write_file_if_requested(&text)?;
+            Ok(text)
+        }
+    }
+}
+
+/// Parse `--machine <id>` (default: the Westmere EP node of the paper).
+fn parse_machine(parsed: &ParsedArgs) -> Result<MachinePreset> {
+    match parsed.value("-M") {
+        None => Ok(MachinePreset::WestmereEp2S),
+        Some(id) => MachinePreset::from_id(id).ok_or_else(|| {
+            LikwidError::Usage(format!(
+                "unknown machine '{id}'; available: {}",
+                MachinePreset::all().iter().map(|p| p.id()).collect::<Vec<_>>().join(", ")
+            ))
+        }),
+    }
 }
 
 /// `likwid-topology [-c] [-g] [--machine <id>]`.
 pub fn run_topology(args: &[String]) -> Result<String> {
-    if has_flag(args, "-h") || has_flag(args, "--help") {
-        return Ok(topology_help());
-    }
-    let machine = SimMachine::new(parse_machine(args)?);
-    let topo = CpuTopology::probe(&machine)?;
-    let mut out = topo.render_text(has_flag(args, "-c"));
-    if has_flag(args, "-g") {
-        for socket in 0..topo.sockets {
-            out.push_str(&format!("Socket {socket}:\n"));
-            out.push_str(&topo.render_ascii_socket(socket));
-        }
-    }
-    Ok(out)
+    run_tool(Tool::Topology, args)
 }
 
-fn topology_help() -> String {
-    "likwid-topology [-c] [-g] [--machine <preset>]\n\
-     -c  print extended cache parameters\n\
-     -g  print the cache hierarchy as ASCII art\n"
-        .to_string()
+/// The typed report of a `likwid-topology` invocation.
+pub fn topology_report(args: &[String]) -> Result<Report> {
+    topology_report_from(&Tool::Topology.spec().parse(args)?)
+}
+
+fn topology_report_from(parsed: &ParsedArgs) -> Result<Report> {
+    let machine = SimMachine::new(parse_machine(parsed)?);
+    let topo = CpuTopology::probe(&machine)?;
+    Ok(topo.report(parsed.has("-c"), parsed.has("-g")))
 }
 
 /// `likwid-features [-c <core>] [-e <PREFETCHER>] [-u <PREFETCHER>]`.
+///
+/// `-e`/`-u` toggles apply in command-line order, so `-e X -u X` leaves `X`
+/// disabled and `-u X -e X` leaves it enabled.
 pub fn run_features(args: &[String]) -> Result<String> {
-    if has_flag(args, "-h") || has_flag(args, "--help") {
-        return Ok("likwid-features [-c <core>] [-e NAME] [-u NAME] [--machine <preset>]\n".into());
-    }
-    let machine = SimMachine::new(parse_machine(args)?);
+    run_tool(Tool::Features, args)
+}
+
+/// The typed report of a `likwid-features` invocation.
+pub fn features_report(args: &[String]) -> Result<Report> {
+    features_report_from(&Tool::Features.spec().parse(args)?)
+}
+
+fn features_report_from(parsed: &ParsedArgs) -> Result<Report> {
+    let machine = SimMachine::new(parse_machine(parsed)?);
     let tool = FeaturesTool::new(&machine);
-    let cpu: usize = flag_value(args, "-c")
+    let cpu: usize = parsed
+        .value("-c")
         .map(|v| v.parse().map_err(|_| LikwidError::Usage(format!("bad core id '{v}'"))))
         .transpose()?
         .unwrap_or(0);
 
-    let mut out = String::new();
-    if let Some(name) = flag_value(args, "-u") {
+    let mut actions = Vec::new();
+    for (flag, value) in parsed.occurrences_of(&["-e", "-u"]) {
+        let name = value.expect("-e/-u declare a value in the spec");
         let prefetcher = Prefetcher::from_cli_name(name)
             .ok_or_else(|| LikwidError::Usage(format!("unknown prefetcher '{name}'")))?;
-        tool.disable_prefetcher(cpu, prefetcher)?;
-        out.push_str(&format!("{}: disabled\n", name));
+        if flag == "-e" {
+            tool.enable_prefetcher(cpu, prefetcher)?;
+            actions.push(KvEntry::new(name, Value::Str("enabled".to_string())));
+        } else {
+            tool.disable_prefetcher(cpu, prefetcher)?;
+            actions.push(KvEntry::new(name, Value::Str("disabled".to_string())));
+        }
     }
-    if let Some(name) = flag_value(args, "-e") {
-        let prefetcher = Prefetcher::from_cli_name(name)
-            .ok_or_else(|| LikwidError::Usage(format!("unknown prefetcher '{name}'")))?;
-        tool.enable_prefetcher(cpu, prefetcher)?;
-        out.push_str(&format!("{}: enabled\n", name));
+
+    let mut report = Report::new("likwid-features");
+    if !actions.is_empty() {
+        report.push(Section::new("actions", Body::KeyValues(actions)));
     }
-    out.push_str(&tool.render(cpu)?);
-    Ok(out)
+    report.extend(tool.report(cpu)?);
+    Ok(report)
 }
 
 /// `likwid-pin -c <list> [-t <model>] [-s <mask>] [-n <threads>]`.
@@ -106,52 +214,44 @@ pub fn run_features(args: &[String]) -> Result<String> {
 /// enforce for the given number of application threads instead of exec'ing
 /// a target binary.
 pub fn run_pin(args: &[String]) -> Result<String> {
-    if has_flag(args, "-h") || has_flag(args, "--help") {
-        return Ok(
-            "likwid-pin -c <list> [-t intel|gnu|posix|intel-mpi] [-s <mask>] [-n <threads>] [--machine <preset>]\n"
-                .into(),
-        );
-    }
-    let machine = SimMachine::new(parse_machine(args)?);
-    let expression = flag_value(args, "-c")
+    run_tool(Tool::Pin, args)
+}
+
+/// The typed report of a `likwid-pin` invocation.
+pub fn pin_report(args: &[String]) -> Result<Report> {
+    pin_report_from(&Tool::Pin.spec().parse(args)?)
+}
+
+fn pin_report_from(parsed: &ParsedArgs) -> Result<Report> {
+    let machine = SimMachine::new(parse_machine(parsed)?);
+    let expression = parsed
+        .value("-c")
         .ok_or_else(|| LikwidError::Usage("likwid-pin requires -c <list>".into()))?;
     let mut config = PinConfig::new(expression);
-    if let Some(model) = flag_value(args, "-t") {
+    if let Some(model) = parsed.value("-t") {
         config = config.with_model(
             ThreadingModel::from_cli_name(model)
                 .ok_or_else(|| LikwidError::Usage(format!("unknown threading model '{model}'")))?,
         );
     }
-    if let Some(mask) = flag_value(args, "-s") {
+    if let Some(mask) = parsed.value("-s") {
         config = config.with_skip_mask(
             SkipMask::parse(mask)
                 .ok_or_else(|| LikwidError::Usage(format!("bad skip mask '{mask}'")))?,
         );
     }
-    let threads: usize = flag_value(args, "-n")
-        .map(|v| v.parse().map_err(|_| LikwidError::Usage(format!("bad thread count '{v}'"))))
-        .transpose()?
-        .unwrap_or_else(|| parse_pin_list_len(&machine, expression));
+    let threads: usize = match parsed.value("-n") {
+        Some(v) => v.parse().map_err(|_| LikwidError::Usage(format!("bad thread count '{v}'")))?,
+        // Default to one thread per pin-list slot. A malformed expression is
+        // a usage error here — the old front end swallowed it and silently
+        // fabricated a single-thread placement.
+        None => likwid_affinity::parse_pin_list(expression, machine.topology())
+            .map_err(|e| LikwidError::Usage(format!("bad pin list '{expression}': {e}")))?
+            .len(),
+    };
 
     let tool = PinTool::new(&machine, config)?;
-    let env = tool.environment();
-    let mut out = String::new();
-    out.push_str(&format!("Pin list: {}\n", env.likwid_pin));
-    out.push_str(&format!("Skip mask: {}\n", env.likwid_skip));
-    out.push_str(&format!("KMP_AFFINITY={}\n", env.kmp_affinity));
-    out.push_str(&format!("LD_PRELOAD={}\n", env.ld_preload));
-    out.push_str(&format!("Placement for {threads} application threads:\n"));
-    for (i, cpu) in tool.worker_placement(threads).iter().enumerate() {
-        match cpu {
-            Some(c) => out.push_str(&format!("  thread {i} -> hardware thread {c}\n")),
-            None => out.push_str(&format!("  thread {i} -> UNPINNED (pin list exhausted)\n")),
-        }
-    }
-    Ok(out)
-}
-
-fn parse_pin_list_len(machine: &SimMachine, expression: &str) -> usize {
-    likwid_affinity::parse_pin_list(expression, machine.topology()).map(|l| l.len()).unwrap_or(1)
+    Ok(tool.report(threads))
 }
 
 /// `likwid-perfctr -c <cpus> -g <group> [-a] [--machine <preset>]`.
@@ -161,25 +261,41 @@ fn parse_pin_list_len(machine: &SimMachine, expression: &str) -> usize {
 /// locks); the full measurement pipeline is exercised by the workload and
 /// benchmark crates, which drive the counting engine.
 pub fn run_perfctr(args: &[String]) -> Result<String> {
-    if has_flag(args, "-h") || has_flag(args, "--help") {
-        return Ok(
-            "likwid-perfctr -c <cpus> -g <group|EVENT:CTR,…> [-a] [--machine <preset>]\n".into()
-        );
-    }
-    let machine = SimMachine::new(parse_machine(args)?);
+    run_tool(Tool::Perfctr, args)
+}
 
-    if has_flag(args, "-a") {
-        let mut out = String::from("Available event groups:\n");
+/// The typed report of a `likwid-perfctr` invocation.
+pub fn perfctr_report(args: &[String]) -> Result<Report> {
+    perfctr_report_from(&Tool::Perfctr.spec().parse(args)?)
+}
+
+fn perfctr_report_from(parsed: &ParsedArgs) -> Result<Report> {
+    let machine = SimMachine::new(parse_machine(parsed)?);
+
+    if parsed.has("-a") {
+        let mut groups = Table::plain(vec!["group", "description"]);
         for g in supported_groups(machine.arch()) {
-            out.push_str(&format!("{:10} {}\n", g.name(), g.description()));
+            groups.push(
+                Row::new(vec![
+                    Value::Str(g.name().to_string()),
+                    Value::Str(g.description().to_string()),
+                ])
+                .with_ascii(format!("{:10} {}", g.name(), g.description())),
+            );
         }
-        return Ok(out);
+        let mut report = Report::new("likwid-perfctr");
+        report.push(
+            Section::new("groups", Body::Table(groups)).with_heading("Available event groups:"),
+        );
+        return Ok(report);
     }
 
-    let cpus_expr = flag_value(args, "-c")
+    let cpus_expr = parsed
+        .value("-c")
         .ok_or_else(|| LikwidError::Usage("likwid-perfctr requires -c <cpus>".into()))?;
     let cpus = likwid_affinity::parse_pin_list(cpus_expr, machine.topology())?;
-    let group_arg = flag_value(args, "-g")
+    let group_arg = parsed
+        .value("-g")
         .ok_or_else(|| LikwidError::Usage("likwid-perfctr requires -g <group>".into()))?;
 
     let table = likwid_perf_events::tables::for_arch(machine.arch());
@@ -197,22 +313,31 @@ pub fn run_perfctr(args: &[String]) -> Result<String> {
         &machine,
         crate::perfctr::PerfCtrConfig { cpus: cpus.clone(), spec },
     )?;
-    let mut out = String::new();
-    out.push_str(&format!("CPU type: {}\n", machine.arch().display_name()));
-    out.push_str(&format!("CPU clock: {}\n", machine.clock().display()));
-    out.push_str(&format!("Measuring group {group_arg}\n"));
-    out.push_str(&format!("Measured hardware threads: {cpus:?}\n"));
+    let mut entries = vec![
+        KvEntry::new("CPU type", Value::Str(machine.arch().display_name().to_string())),
+        KvEntry::new("CPU clock", Value::Real(machine.clock().ghz()))
+            .with_ascii(format!("CPU clock: {}", machine.clock().display())),
+        KvEntry::new("Measuring group", Value::Str(group_arg.to_string()))
+            .with_ascii(format!("Measuring group {group_arg}")),
+        KvEntry::new("Measured hardware threads", Value::Str(format!("{cpus:?}"))),
+    ];
     for &cpu in session.cpus() {
         if session.owns_socket_lock(cpu) {
-            out.push_str(&format!("Socket lock owner: hardware thread {cpu}\n"));
+            entries.push(
+                KvEntry::new("Socket lock owner", Value::CpuId(cpu))
+                    .with_ascii(format!("Socket lock owner: hardware thread {cpu}")),
+            );
         }
     }
-    Ok(out)
+    let mut report = Report::new("likwid-perfctr");
+    report.push(Section::new("session", Body::KeyValues(entries)));
+    Ok(report)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::report::OutputFormat;
 
     fn args(list: &[&str]) -> Vec<String> {
         list.iter().map(|s| s.to_string()).collect()
@@ -243,6 +368,37 @@ mod tests {
     }
 
     #[test]
+    fn features_toggles_apply_in_argument_order() {
+        // enable-then-disable must end disabled…
+        let out = run_features(&args(&[
+            "--machine",
+            "core2-duo",
+            "-e",
+            "CL_PREFETCHER",
+            "-u",
+            "CL_PREFETCHER",
+        ]))
+        .unwrap();
+        assert!(out.contains("Adjacent Cache Line Prefetch: disabled"));
+        let enabled_at = out.find("CL_PREFETCHER: enabled").expect("first action reported");
+        let disabled_at = out.find("CL_PREFETCHER: disabled").expect("second action reported");
+        assert!(enabled_at < disabled_at, "actions report in argument order");
+
+        // …and disable-then-enable must end enabled (the old front end
+        // always applied -u before -e and got this wrong).
+        let out = run_features(&args(&[
+            "--machine",
+            "core2-duo",
+            "-u",
+            "CL_PREFETCHER",
+            "-e",
+            "CL_PREFETCHER",
+        ]))
+        .unwrap();
+        assert!(out.contains("Adjacent Cache Line Prefetch: enabled"));
+    }
+
+    #[test]
     fn pin_cli_reports_the_placement() {
         let out =
             run_pin(&args(&["--machine", "westmere-ep-2s", "-c", "0-3", "-t", "intel", "-n", "4"]))
@@ -251,6 +407,15 @@ mod tests {
         assert!(out.contains("thread 3 -> hardware thread 3"));
         assert!(out.contains("KMP_AFFINITY=disabled"));
         assert!(run_pin(&args(&["-t", "intel"])).is_err(), "-c is mandatory");
+    }
+
+    #[test]
+    fn pin_cli_rejects_malformed_pin_lists_without_thread_count() {
+        // The old front end swallowed the parse error and defaulted to one
+        // thread; the expression must be a usage error instead.
+        let err = run_pin(&args(&["--machine", "westmere-ep-2s", "-c", "S9:frob"])).unwrap_err();
+        assert!(matches!(err, LikwidError::Usage(_)), "got {err:?}");
+        assert!(err.to_string().contains("S9:frob"));
     }
 
     #[test]
@@ -279,10 +444,96 @@ mod tests {
     }
 
     #[test]
+    fn perfctr_cli_rejects_flags_posing_as_values() {
+        // `likwid-perfctr -c -g MEM` used to take "-g" as the cpus
+        // expression; it must be a usage error.
+        let err = run_perfctr(&args(&["-c", "-g", "MEM"])).unwrap_err();
+        assert!(matches!(err, LikwidError::Usage(_)), "got {err:?}");
+        assert!(err.to_string().contains("'-c'"));
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        for tool in [Tool::Topology, Tool::Perfctr, Tool::Pin, Tool::Features] {
+            let err = run_tool(tool, &args(&["--frobnicate"])).unwrap_err();
+            assert!(err.to_string().contains("unknown option"), "{tool:?}: {err}");
+        }
+    }
+
+    #[test]
     fn help_flags_short_circuit() {
         assert!(run_topology(&args(&["-h"])).unwrap().contains("likwid-topology"));
         assert!(run_pin(&args(&["--help"])).unwrap().contains("likwid-pin"));
         assert!(run_perfctr(&args(&["-h"])).unwrap().contains("likwid-perfctr"));
         assert!(run_features(&args(&["-h"])).unwrap().contains("likwid-features"));
+        // Help mentions the output switches every binary carries.
+        assert!(run_topology(&args(&["-h"])).unwrap().contains("-O <ascii|csv|json>"));
+    }
+
+    #[test]
+    fn output_format_switch_selects_the_renderer() {
+        let base = ["--machine", "westmere-ep-2s", "-c"];
+        let ascii = run_topology(&args(&base)).unwrap();
+        let mut with_o = base.to_vec();
+        with_o.extend(["-O", "ascii"]);
+        assert_eq!(run_topology(&args(&with_o)).unwrap(), ascii, "-O ascii is the default output");
+
+        let mut json_args = base.to_vec();
+        json_args.extend(["-O", "json"]);
+        let json = run_topology(&args(&json_args)).unwrap();
+        let parsed = Report::from_json(&json).expect("valid JSON document");
+        assert_eq!(parsed, topology_report(&args(&base)).unwrap());
+        assert_eq!(parsed.value("thread-topology", "Sockets").unwrap().as_count(), Some(2));
+
+        let mut csv_args = base.to_vec();
+        csv_args.extend(["-O", "csv"]);
+        let csv = run_topology(&args(&csv_args)).unwrap();
+        assert!(csv.contains("SECTION,thread-topology"));
+        assert!(csv.contains("Sockets,2"));
+
+        let mut bad = base.to_vec();
+        bad.extend(["-O", "xml"]);
+        assert!(run_topology(&args(&bad)).is_err());
+    }
+
+    #[test]
+    fn output_format_is_inferred_from_the_file_extension() {
+        let parsed = Tool::Topology.spec().parse(&args(&["-o", "topo.json"])).unwrap();
+        assert_eq!(parsed.output().unwrap().format, OutputFormat::Json);
+        assert_eq!(parsed.output().unwrap().path.as_deref(), Some("topo.json"));
+    }
+
+    #[test]
+    fn string_front_ends_honour_the_output_file() {
+        let path = std::env::temp_dir().join("likwid-cli-output-file-test.json");
+        let path_str = path.to_str().unwrap().to_string();
+        let argv = vec!["-c".to_string(), "-o".to_string(), path_str.clone()];
+        let text = run_topology(&argv).unwrap();
+        let on_disk = std::fs::read_to_string(&path).expect("-o must write the file");
+        assert_eq!(on_disk, text, "file contents equal the returned text");
+        assert!(Report::from_json(&on_disk).is_ok(), "format inferred from .json extension");
+        std::fs::remove_file(&path).ok();
+
+        let bad = vec!["-o".to_string(), "/nonexistent-dir/impossible.json".to_string()];
+        assert!(matches!(run_topology(&bad).unwrap_err(), LikwidError::Output(_)));
+    }
+
+    #[test]
+    fn typed_reports_expose_tool_results() {
+        let report =
+            perfctr_report(&args(&["--machine", "nehalem-ep-2s", "-c", "0-7", "-g", "MEM"]))
+                .unwrap();
+        let owners: Vec<usize> = report
+            .values("session", "Socket lock owner")
+            .iter()
+            .filter_map(|v| v.as_cpu_id())
+            .collect();
+        assert_eq!(owners, vec![0, 4]);
+
+        let report =
+            pin_report(&args(&["--machine", "westmere-ep-2s", "-c", "0-3", "-n", "4"])).unwrap();
+        let placement = report.table("placement").unwrap();
+        assert_eq!(placement.num_rows(), 4);
+        assert_eq!(placement.rows[3].values[1].as_cpu_id(), Some(3));
     }
 }

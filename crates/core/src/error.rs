@@ -37,6 +37,8 @@ pub enum LikwidError {
     Formula(String),
     /// Command-line usage error.
     Usage(String),
+    /// Writing the rendered output failed.
+    Output(String),
     /// The feature is not available on this CPU (e.g. prefetcher control on AMD).
     Unsupported(String),
 }
@@ -60,6 +62,7 @@ impl std::fmt::Display for LikwidError {
             LikwidError::Marker(e) => write!(f, "marker API misuse: {e}"),
             LikwidError::Formula(e) => write!(f, "metric formula error: {e}"),
             LikwidError::Usage(e) => write!(f, "usage error: {e}"),
+            LikwidError::Output(e) => write!(f, "output error: {e}"),
             LikwidError::Unsupported(e) => write!(f, "not supported: {e}"),
         }
     }

@@ -12,7 +12,7 @@ use likwid_x86_machine::{
 };
 
 use crate::error::{LikwidError, Result};
-use crate::output;
+use crate::report::{Ascii, Body, KvEntry, Render, Report, Section, Value};
 
 /// The `likwid-features` tool bound to one machine.
 pub struct FeaturesTool<'m> {
@@ -79,21 +79,38 @@ impl<'m> FeaturesTool<'m> {
         Ok(())
     }
 
+    /// Build the structured feature report for one core.
+    pub fn report(&self, cpu: usize) -> Result<Report> {
+        let mut report = Report::new("likwid-features");
+        report.push(
+            Section::new(
+                "identification",
+                Body::KeyValues(vec![
+                    KvEntry::new("CPU name", Value::Str(self.machine.preset().brand().to_string())),
+                    KvEntry::new("CPU core id", Value::CpuId(cpu)),
+                ]),
+            )
+            .with_rule_before(),
+        );
+        let entries = self
+            .feature_states(cpu)?
+            .into_iter()
+            .map(|(feature, state)| {
+                KvEntry::new(
+                    feature.display_name().to_string(),
+                    Value::Str(state.display().to_string()),
+                )
+            })
+            .collect();
+        report.push(
+            Section::new("features", Body::KeyValues(entries)).with_rule_before().with_rule_after(),
+        );
+        Ok(report)
+    }
+
     /// Render the report for one core, in the style of the paper's listing.
     pub fn render(&self, cpu: usize) -> Result<String> {
-        let mut out = String::new();
-        out.push_str(&output::rule());
-        out.push('\n');
-        out.push_str(&format!("CPU name: {}\n", self.machine.preset().brand()));
-        out.push_str(&format!("CPU core id: {}\n", cpu));
-        out.push_str(&output::rule());
-        out.push('\n');
-        for (feature, state) in self.feature_states(cpu)? {
-            out.push_str(&format!("{}: {}\n", feature.display_name(), state.display()));
-        }
-        out.push_str(&output::rule());
-        out.push('\n');
-        Ok(out)
+        Ok(Ascii.render(&self.report(cpu)?))
     }
 }
 

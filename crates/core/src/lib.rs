@@ -18,9 +18,14 @@
 //!   `pthread_create` interception model of the `likwid-affinity` crate.
 //! * [`features`] — `likwid-features`: reporting and toggling of hardware
 //!   prefetchers and other switchable processor features.
-//! * [`output`] — the ASCII table/box rendering shared by the tools.
-//! * [`cli`] — command-line argument parsing for the four tool binaries.
+//! * [`report`] — the typed report document model every tool produces, and
+//!   the ASCII/CSV/JSON renderers behind the [`report::Render`] trait.
+//! * [`output`] — the low-level ASCII table/box rendering primitives.
+//! * [`args`] — the declarative [`args::ArgSpec`] command-line parser shared
+//!   by every binary (including the common `-O`/`-o` output switches).
+//! * [`cli`] — the four tool front ends on top of [`args`] and [`report`].
 
+pub mod args;
 pub mod cli;
 pub mod error;
 pub mod features;
@@ -28,11 +33,14 @@ pub mod marker;
 pub mod output;
 pub mod perfctr;
 pub mod pin;
+pub mod report;
 pub mod topology;
 
+pub use args::{ArgSpec, ParsedArgs};
 pub use error::{LikwidError, Result};
 pub use features::FeaturesTool;
 pub use marker::MarkerApi;
 pub use perfctr::{EventGroupKind, PerfCtr, PerfCtrConfig, PerfCtrResults};
 pub use pin::{PinConfig, PinTool};
+pub use report::{Ascii, Csv, Json, OutputFormat, Render, Report};
 pub use topology::CpuTopology;

@@ -23,6 +23,7 @@ use std::collections::HashMap;
 use crate::error::{LikwidError, Result};
 use crate::perfctr::session::{GroupCounts, PerfCtr};
 use crate::perfctr::PerfCtrResults;
+use crate::report::{Ascii, Heading, Render, Report};
 
 /// Identifier returned by [`MarkerApi::register_region`].
 pub type RegionId = usize;
@@ -200,18 +201,31 @@ impl MarkerApi {
         session.results(&region.counts)
     }
 
-    /// Render all regions in the style of the paper's marker-mode listing
-    /// ("Region: Init", tables, "Region: Benchmark", tables).
-    pub fn render(&self, session: &PerfCtr<'_>) -> Result<String> {
-        let mut out = String::new();
+    /// Build the structured summary of all measured regions: for each
+    /// region, the event and metric tables of its accumulated counts,
+    /// headed by the region name.
+    pub fn report(&self, session: &PerfCtr<'_>) -> Result<Report> {
+        let mut report = Report::new("likwid-marker");
         for (id, region) in self.regions.iter().enumerate() {
             if region.counts.is_empty() {
                 continue;
             }
-            out.push_str(&format!("Region: {}\n", region.name));
-            out.push_str(&self.region_results(id, session)?.render());
+            let mut region_report = self.region_results(id, session)?.report();
+            if let Some(first) = region_report.sections.first_mut() {
+                first.heading = Heading::Line(format!("Region: {}", region.name));
+            }
+            for mut section in region_report.sections {
+                section.id = format!("{}.{}", region.name, section.id);
+                report.push(section);
+            }
         }
-        Ok(out)
+        Ok(report)
+    }
+
+    /// Render all regions in the style of the paper's marker-mode listing
+    /// ("Region: Init", tables, "Region: Benchmark", tables).
+    pub fn render(&self, session: &PerfCtr<'_>) -> Result<String> {
+        Ok(Ascii.render(&self.report(session)?))
     }
 }
 

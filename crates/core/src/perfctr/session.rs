@@ -7,9 +7,9 @@ use likwid_perf_events::{CounterSlot, EventDefinition, EventTable, MultiplexSche
 use likwid_x86_machine::SimMachine;
 
 use crate::error::{LikwidError, Result};
-use crate::output::{self, Table};
 use crate::perfctr::formula::Formula;
 use crate::perfctr::groups::{group_definition, EventGroupKind, GroupDefinition};
+use crate::report::{Ascii, Body, Render, Report, Row, Section, Table, Value};
 
 /// What to measure.
 #[derive(Debug, Clone, PartialEq)]
@@ -419,32 +419,41 @@ impl PerfCtrResults {
         self.metrics.iter().find(|(n, _)| n == name).and_then(|(_, v)| v.get(cpu_position).copied())
     }
 
-    /// Render the two tables of the tool output (events, then metrics), in
-    /// the style of the FLOPS_DP listing of the paper.
-    pub fn render(&self) -> String {
-        let mut out = String::new();
+    /// Build the structured report of the measurement: the event-count
+    /// table, followed by the derived-metric table when the group defines
+    /// metrics. Rows are keyed by event/metric name, columns by `core N`,
+    /// so consumers read typed counts via [`Table::cell`] instead of
+    /// scraping the listing.
+    pub fn report(&self) -> Report {
+        let mut report = Report::new(format!("likwid-perfctr.{}", self.group_name));
         let mut header: Vec<String> = vec!["Event".to_string()];
         header.extend(self.cpus.iter().map(|c| format!("core {c}")));
-        let mut events_table = Table::new(header);
+        let mut events_table = Table::bordered(header);
         for (name, _, counts) in &self.events {
-            let mut row = vec![name.clone()];
-            row.extend(counts.iter().map(|&c| output::format_count(c)));
-            events_table.add_row(row);
+            let mut row = vec![Value::Str(name.clone())];
+            row.extend(counts.iter().map(|&c| Value::Count(c)));
+            events_table.push(Row::new(row));
         }
-        out.push_str(&events_table.render());
+        report.push(Section::new("events", Body::Table(events_table)));
 
         if !self.metrics.is_empty() {
             let mut header: Vec<String> = vec!["Metric".to_string()];
             header.extend(self.cpus.iter().map(|c| format!("core {c}")));
-            let mut metrics_table = Table::new(header);
+            let mut metrics_table = Table::bordered(header);
             for (name, values) in &self.metrics {
-                let mut row = vec![name.clone()];
-                row.extend(values.iter().map(|&v| output::format_value(v)));
-                metrics_table.add_row(row);
+                let mut row = vec![Value::Str(name.clone())];
+                row.extend(values.iter().map(|&v| Value::Real(v)));
+                metrics_table.push(Row::new(row));
             }
-            out.push_str(&metrics_table.render());
+            report.push(Section::new("metrics", Body::Table(metrics_table)));
         }
-        out
+        report
+    }
+
+    /// Render the two tables of the tool output (events, then metrics), in
+    /// the style of the FLOPS_DP listing of the paper.
+    pub fn render(&self) -> String {
+        Ascii.render(&self.report())
     }
 }
 

@@ -13,6 +13,7 @@ use likwid_affinity::{parse_pin_list, PthreadPinner, SkipMask, ThreadingModel};
 use likwid_x86_machine::SimMachine;
 
 use crate::error::{LikwidError, Result};
+use crate::report::{Body, KvEntry, Report, Row, Section, Table, Value};
 
 /// Configuration of one `likwid-pin` invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -140,6 +141,38 @@ impl<'m> PinTool<'m> {
         }
         placement.truncate(omp_num_threads);
         placement
+    }
+
+    /// Build the structured report of the placement the wrapper library will
+    /// enforce for `threads` application threads (the `likwid-pin` output).
+    pub fn report(&self, threads: usize) -> Report {
+        let env = self.environment();
+        let mut report = Report::new("likwid-pin");
+        report.push(Section::new(
+            "environment",
+            Body::KeyValues(vec![
+                KvEntry::new("Pin list", Value::Str(env.likwid_pin.clone())),
+                KvEntry::new("Skip mask", Value::Str(env.likwid_skip.clone())),
+                KvEntry::new("KMP_AFFINITY", Value::Str(env.kmp_affinity.clone()))
+                    .with_ascii(format!("KMP_AFFINITY={}", env.kmp_affinity)),
+                KvEntry::new("LD_PRELOAD", Value::Str(env.ld_preload.clone()))
+                    .with_ascii(format!("LD_PRELOAD={}", env.ld_preload)),
+            ]),
+        ));
+        let mut placement = Table::plain(vec!["thread", "hardware_thread"]);
+        for (i, cpu) in self.worker_placement(threads).iter().enumerate() {
+            placement.push(match cpu {
+                Some(c) => Row::new(vec![Value::Count(i as u64), Value::CpuId(*c)])
+                    .with_ascii(format!("  thread {i} -> hardware thread {c}")),
+                None => Row::new(vec![Value::Count(i as u64), Value::Str("UNPINNED".to_string())])
+                    .with_ascii(format!("  thread {i} -> UNPINNED (pin list exhausted)")),
+            });
+        }
+        report.push(
+            Section::new("placement", Body::Table(placement))
+                .with_heading(format!("Placement for {threads} application threads:")),
+        );
+        report
     }
 
     /// Whether a placement keeps every worker on a distinct physical core

@@ -13,6 +13,7 @@ use likwid_x86_machine::{apic, CacheKind, Microarch, SimMachine, Vendor};
 
 use crate::error::{LikwidError, Result};
 use crate::output;
+use crate::report::{Ascii, Body, KvEntry, Render, Report, Row, Section, Table, Value};
 
 /// One hardware thread as reported by the tool (the rows of the
 /// "HWThread / Thread / Core / Socket" listing).
@@ -379,66 +380,105 @@ impl CpuTopology {
         members.iter().map(|t| t.os_id).collect()
     }
 
-    /// Render the standard text report (the `likwid-topology` output of
-    /// Section II-B); `extended` adds the per-level cache parameters (`-c`).
-    pub fn render_text(&self, extended: bool) -> String {
-        let mut out = String::new();
-        out.push_str(&output::rule());
-        out.push('\n');
-        out.push_str(&format!("CPU name: {}\n", self.brand));
-        out.push_str(&format!("CPU type: {}\n", self.arch.display_name()));
-        out.push_str(&format!("CPU clock: {:.2} GHz\n", self.clock_ghz));
-        out.push_str(&output::heavy_rule());
-        out.push('\n');
-        out.push_str("Hardware Thread Topology\n");
-        out.push_str(&output::heavy_rule());
-        out.push('\n');
-        out.push_str(&format!("Sockets: {}\n", self.sockets));
-        out.push_str(&format!("Cores per socket: {}\n", self.cores_per_socket));
-        out.push_str(&format!("Threads per core: {}\n", self.threads_per_core));
-        out.push_str(&output::rule());
-        out.push('\n');
-        out.push_str("HWThread\tThread\tCore\tSocket\n");
+    /// Build the structured report of the probed topology: the standard
+    /// listing (Section II-B), with the per-level cache parameters when
+    /// `extended` is set (`-c`) and the per-socket ASCII art when
+    /// `ascii_art` is set (`-g`).
+    pub fn report(&self, extended: bool, ascii_art: bool) -> Report {
+        let mut report = Report::new("likwid-topology");
+        report.push(
+            Section::new(
+                "identification",
+                Body::KeyValues(vec![
+                    KvEntry::new("CPU name", Value::Str(self.brand.clone())),
+                    KvEntry::new("CPU type", Value::Str(self.arch.display_name().to_string())),
+                    KvEntry::new("CPU clock", Value::Real(self.clock_ghz))
+                        .with_ascii(format!("CPU clock: {:.2} GHz", self.clock_ghz)),
+                ]),
+            )
+            .with_rule_before(),
+        );
+        report.push(
+            Section::new(
+                "thread-topology",
+                Body::KeyValues(vec![
+                    KvEntry::new("Sockets", Value::Count(self.sockets as u64)),
+                    KvEntry::new("Cores per socket", Value::Count(self.cores_per_socket as u64)),
+                    KvEntry::new("Threads per core", Value::Count(self.threads_per_core as u64)),
+                ]),
+            )
+            .with_boxed_heading("Hardware Thread Topology"),
+        );
+        let mut threads = Table::plain(vec!["hwthread", "thread", "core", "socket"])
+            .with_ascii_header("HWThread\tThread\tCore\tSocket");
         for t in &self.hw_threads {
-            out.push_str(&format!(
-                "{}\t\t{}\t{}\t{}\n",
-                t.os_id, t.thread_id, t.core_id, t.socket_id
-            ));
+            threads.push(
+                Row::new(vec![
+                    Value::CpuId(t.os_id),
+                    Value::Count(t.thread_id as u64),
+                    Value::Count(t.core_id as u64),
+                    Value::Count(t.socket_id as u64),
+                ])
+                .with_ascii(format!(
+                    "{}\t\t{}\t{}\t{}",
+                    t.os_id, t.thread_id, t.core_id, t.socket_id
+                )),
+            );
         }
-        out.push_str(&output::rule());
-        out.push('\n');
-        for socket in 0..self.sockets {
-            let ids: Vec<String> =
-                self.socket_members(socket).iter().map(|id| id.to_string()).collect();
-            out.push_str(&format!("Socket {}: ( {} )\n", socket, ids.join(" ")));
-        }
-        out.push_str(&output::rule());
-        out.push('\n');
-        out.push_str(&output::heavy_rule());
-        out.push('\n');
-        out.push_str("Cache Topology\n");
-        out.push_str(&output::heavy_rule());
-        out.push('\n');
+        report.push(Section::new("hwthreads", Body::Table(threads)).with_rule_before());
+        let sockets = (0..self.sockets)
+            .map(|socket| {
+                let ids: Vec<String> =
+                    self.socket_members(socket).iter().map(|id| id.to_string()).collect();
+                KvEntry::new(
+                    format!("Socket {socket}"),
+                    Value::Str(format!("( {} )", ids.join(" "))),
+                )
+            })
+            .collect();
+        report.push(
+            Section::new("sockets", Body::KeyValues(sockets)).with_rule_before().with_rule_after(),
+        );
+        report.push(
+            Section::new("cache-topology", Body::Text(String::new()))
+                .with_boxed_heading("Cache Topology"),
+        );
         for cache in self.caches.iter().filter(|c| c.kind != CacheKind::Instruction) {
-            out.push_str(&format!("Level: {}\n", cache.level));
-            out.push_str(&format!(
-                "Size: {}\n",
-                if cache.size_bytes >= 1024 * 1024 {
-                    format!("{} MB", cache.size_bytes / (1024 * 1024))
-                } else {
-                    format!("{} kB", cache.size_bytes / 1024)
-                }
-            ));
-            out.push_str(&format!("Type: {}\n", cache.kind.display_name()));
+            let mut entries = vec![
+                KvEntry::new("Level", Value::Count(cache.level as u64)),
+                KvEntry::new("Size", Value::Bytes(cache.size_bytes)).with_ascii(format!(
+                    "Size: {}",
+                    if cache.size_bytes >= 1024 * 1024 {
+                        format!("{} MB", cache.size_bytes / (1024 * 1024))
+                    } else {
+                        format!("{} kB", cache.size_bytes / 1024)
+                    }
+                )),
+                KvEntry::new("Type", Value::Str(cache.kind.display_name().to_string())),
+            ];
             if extended {
-                out.push_str(&format!("Associativity: {}\n", cache.associativity));
-                out.push_str(&format!("Number of sets: {}\n", cache.sets));
-                out.push_str(&format!("Cache line size: {}\n", cache.line_size));
-                out.push_str(&format!(
-                    "{}\n",
-                    if cache.inclusive { "Inclusive cache" } else { "Non Inclusive cache" }
-                ));
-                out.push_str(&format!("Shared among {} threads\n", cache.shared_by_threads));
+                entries
+                    .push(KvEntry::new("Associativity", Value::Count(cache.associativity as u64)));
+                entries.push(KvEntry::new("Number of sets", Value::Count(cache.sets as u64)));
+                entries.push(KvEntry::new("Cache line size", Value::Bytes(cache.line_size as u64)));
+                entries.push(
+                    KvEntry::new(
+                        "Inclusive",
+                        Value::Str(if cache.inclusive { "true" } else { "false" }.to_string()),
+                    )
+                    .with_ascii(if cache.inclusive {
+                        "Inclusive cache"
+                    } else {
+                        "Non Inclusive cache"
+                    }),
+                );
+                entries.push(
+                    KvEntry::new(
+                        "Shared among threads",
+                        Value::Count(cache.shared_by_threads as u64),
+                    )
+                    .with_ascii(format!("Shared among {} threads", cache.shared_by_threads)),
+                );
             }
             let groups: Vec<String> = cache
                 .groups
@@ -448,11 +488,30 @@ impl CpuTopology {
                     format!("( {} )", ids.join(" "))
                 })
                 .collect();
-            out.push_str(&format!("Cache groups: {}\n", groups.join(" ")));
-            out.push_str(&output::rule());
-            out.push('\n');
+            entries.push(KvEntry::new("Cache groups", Value::Str(groups.join(" "))));
+            report.push(
+                Section::new(format!("cache.l{}", cache.level), Body::KeyValues(entries))
+                    .with_rule_after(),
+            );
         }
-        out
+        if ascii_art {
+            for socket in 0..self.sockets {
+                report.push(
+                    Section::new(
+                        format!("art.socket{socket}"),
+                        Body::Text(self.render_ascii_socket(socket)),
+                    )
+                    .with_heading(format!("Socket {socket}:")),
+                );
+            }
+        }
+        report
+    }
+
+    /// Render the standard text report (the `likwid-topology` output of
+    /// Section II-B); `extended` adds the per-level cache parameters (`-c`).
+    pub fn render_text(&self, extended: bool) -> String {
+        Ascii.render(&self.report(extended, false))
     }
 
     /// Render the `-g` ASCII-art view of one socket.

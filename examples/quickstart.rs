@@ -1,9 +1,12 @@
 //! Quickstart: probe a node's topology and measure a small kernel with the
-//! FLOPS_DP event group — the two things a new LIKWID user does first.
+//! FLOPS_DP event group — the two things a new LIKWID user does first —
+//! then consume the result through the typed report API instead of
+//! scraping the listing.
 //!
 //! Run with `cargo run --example quickstart`.
 
 use likwid_suite::likwid::perfctr::{EventGroupKind, MeasurementSpec, PerfCtr, PerfCtrConfig};
+use likwid_suite::likwid::report::{Json, Render, Report};
 use likwid_suite::likwid::topology::CpuTopology;
 use likwid_suite::perf_events::{EventEngine, EventSample, HwEventKind};
 use likwid_suite::x86_machine::{MachinePreset, SimMachine};
@@ -45,4 +48,27 @@ fn main() {
 
     println!("Measuring group FLOPS_DP");
     println!("{}", results.render());
+
+    // 3. Scriptable consumption: the measurement is a typed document — read
+    //    the derived metric straight out of the metrics table instead of
+    //    string-matching the rendered listing.
+    let report = results.report();
+    let metrics = report.table("metrics").expect("FLOPS_DP defines derived metrics");
+    let mflops = metrics
+        .cell("DP MFlops/s", "core 0")
+        .and_then(|v| v.as_real())
+        .expect("typed metric value");
+    let packed = report
+        .table("events")
+        .and_then(|t| t.cell("FP_COMP_OPS_EXE_SSE_FP_PACKED", "core 0"))
+        .and_then(|v| v.as_count())
+        .expect("typed event count");
+    println!("typed consumption: core 0 retired {packed} packed DP ops at {mflops:.0} MFlops/s");
+
+    // The same document survives the process boundary: what the binary
+    // prints with `-O json` parses back into an equal report.
+    let wire = Json.render(&report);
+    let parsed = Report::from_json(&wire).expect("valid JSON");
+    assert_eq!(parsed, report);
+    println!("JSON round-trip: {} bytes, equal document", wire.len());
 }

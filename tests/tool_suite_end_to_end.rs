@@ -169,6 +169,72 @@ fn marker_regions_with_derived_metrics() {
     }
 }
 
+/// The typed report API end to end: run a measurement through the tool
+/// pipeline and consume counts and metrics from the structured document —
+/// no string scraping anywhere, and the JSON a binary would emit parses
+/// back into the same document.
+#[test]
+fn typed_report_consumption_without_string_scraping() {
+    use likwid_suite::likwid::report::{Json, Render, Report};
+    use likwid_suite::perf_events::{EventSample, HwEventKind};
+
+    let machine = SimMachine::new(MachinePreset::Core2Quad);
+    let mut session = PerfCtr::new(
+        &machine,
+        PerfCtrConfig {
+            cpus: vec![0, 1, 2, 3],
+            spec: MeasurementSpec::Group(EventGroupKind::FLOPS_DP),
+        },
+    )
+    .unwrap();
+    let (_, results) = session
+        .measure(|m| {
+            let mut sample = EventSample::new(m.num_hw_threads(), 1);
+            for cpu in 0..4 {
+                sample.threads[cpu].set(HwEventKind::SimdPackedDouble, 8_192_000);
+                sample.threads[cpu].set(HwEventKind::SimdScalarDouble, 1);
+                sample.threads[cpu].set(HwEventKind::InstructionsRetired, 18_802_400);
+                sample.threads[cpu].set(HwEventKind::CoreCycles, 28_583_800);
+            }
+            EventEngine::new(m).apply(m, &sample);
+        })
+        .unwrap();
+
+    let report = results.report();
+    let events = report.table("events").expect("events table");
+    assert_eq!(
+        events.cell("SIMD_COMP_INST_RETIRED_PACKED_DOUBLE", "core 2").unwrap().as_count(),
+        Some(8_192_000)
+    );
+    let metrics = report.table("metrics").expect("metrics table");
+    let mflops = metrics.cell("DP MFlops/s", "core 0").unwrap().as_real().unwrap();
+    assert!((mflops - 1624.0).abs() < 40.0, "paper reports ~1624 MFlops/s, got {mflops}");
+    let cpi = metrics.cell("CPI", "core 3").unwrap().as_real().unwrap();
+    assert!((cpi - 1.52).abs() < 0.02);
+
+    // What `likwid-perfctr -O json` would emit round-trips across the
+    // process boundary into an equal document.
+    let wire = Json.render(&report);
+    let parsed = Report::from_json(&wire).expect("valid JSON");
+    assert_eq!(parsed, report);
+    assert_eq!(
+        parsed.table("events").unwrap().cell("INSTR_RETIRED_ANY", "core 1").unwrap().as_count(),
+        Some(18_802_400)
+    );
+
+    // The topology report feeds typed placement decisions the same way.
+    let topo_report = likwid_suite::likwid::cli::topology_report(&[
+        "--machine".to_string(),
+        "westmere-ep-2s".to_string(),
+    ])
+    .unwrap();
+    assert_eq!(topo_report.value("thread-topology", "Sockets").unwrap().as_count(), Some(2));
+    assert_eq!(
+        topo_report.value("thread-topology", "Cores per socket").unwrap().as_count(),
+        Some(6)
+    );
+}
+
 /// The four CLI front ends work against every machine preset.
 #[test]
 fn cli_tools_run_on_every_preset() {
