@@ -26,7 +26,7 @@ pub mod scheduler;
 pub mod skipmask;
 
 pub use cpuset::CpuSet;
-pub use pinlist::{parse_pin_list, PinListError};
+pub use pinlist::{parse_pin_list, parse_pin_list_lenient, PinListError};
 pub use pinner::{PinOutcome, PthreadPinner};
 pub use scheduler::{PlacementStrategy, SimScheduler};
 pub use skipmask::{SkipMask, ThreadingModel};

@@ -64,14 +64,35 @@ fn parse_numeric_list(expr: &str) -> Result<Vec<usize>, PinListError> {
 ///   first, SMT threads second" order; several socket expressions are
 ///   separated by `@` (e.g. `S0:0-1@S1:0-1`).
 pub fn parse_pin_list(expr: &str, topo: &TopologySpec) -> Result<Vec<usize>, PinListError> {
+    expand_pin_list(expr, topo, false)
+}
+
+/// Like [`parse_pin_list`], but *lenient*: entries naming hardware threads
+/// (or whole sockets) that do not exist on this machine are dropped instead
+/// of failing the expression. This is the semantic a benchmark harness
+/// wants — `S0:0-3` means "up to four threads of socket 0" and works on
+/// everything from a single-core Pentium M to a two-socket Westmere node.
+/// Syntax errors still fail, and so does an expression that selects nothing
+/// at all.
+pub fn parse_pin_list_lenient(expr: &str, topo: &TopologySpec) -> Result<Vec<usize>, PinListError> {
+    expand_pin_list(expr, topo, true)
+}
+
+/// The one expansion behind both parsers. `lenient` decides the policy for
+/// entries the machine does not have: skip them, or fail the expression.
+fn expand_pin_list(
+    expr: &str,
+    topo: &TopologySpec,
+    lenient: bool,
+) -> Result<Vec<usize>, PinListError> {
     let expr = expr.trim();
     if expr.is_empty() {
         return Err(PinListError::Syntax(String::new()));
     }
 
-    // Socket-relative form.
+    let mut out = Vec::new();
     if expr.starts_with('S') || expr.contains('@') {
-        let mut out = Vec::new();
+        // Socket-relative form.
         for part in expr.split('@') {
             let part = part.trim();
             let Some(rest) = part.strip_prefix('S') else {
@@ -83,10 +104,16 @@ pub fn parse_pin_list(expr: &str, topo: &TopologySpec) -> Result<Vec<usize>, Pin
             let socket: u32 =
                 socket_str.parse().map_err(|_| PinListError::Syntax(part.to_string()))?;
             if socket >= topo.sockets {
+                if lenient {
+                    // The whole domain does not exist here — skip it, but a
+                    // typo'd entry list must still be a syntax error.
+                    parse_numeric_list(list_str)?;
+                    continue;
+                }
                 return Err(PinListError::OutOfRange(part.to_string()));
             }
             let entries = parse_numeric_list(list_str)?;
-            if entries.is_empty() {
+            if entries.is_empty() && !lenient {
                 // "S0:" or "S0:," — a socket domain must select something.
                 return Err(PinListError::Syntax(part.to_string()));
             }
@@ -96,31 +123,31 @@ pub fn parse_pin_list(expr: &str, topo: &TopologySpec) -> Result<Vec<usize>, Pin
             // core, and so on.
             let cores = topo.socket_cores(socket);
             let cores_per_socket = cores.len();
-            let expanded: Vec<usize> = entries
-                .into_iter()
-                .map(|k| {
-                    let smt = k / cores_per_socket;
-                    let core = k % cores_per_socket;
-                    cores
-                        .get(core)
-                        .and_then(|c| c.get(smt))
-                        .copied()
-                        .ok_or_else(|| PinListError::OutOfRange(part.to_string()))
-                })
-                .collect::<Result<_, _>>()?;
-            out.extend(expanded);
+            for k in entries {
+                let smt = k / cores_per_socket;
+                let core = k % cores_per_socket;
+                match cores.get(core).and_then(|c| c.get(smt)) {
+                    Some(&id) => out.push(id),
+                    None if lenient => {}
+                    None => return Err(PinListError::OutOfRange(part.to_string())),
+                }
+            }
         }
-        return Ok(out);
+    } else {
+        // Plain numeric form.
+        for id in parse_numeric_list(expr)? {
+            if id < topo.num_hw_threads() {
+                out.push(id);
+            } else if !lenient {
+                return Err(PinListError::OutOfRange(id.to_string()));
+            }
+        }
     }
 
-    // Plain numeric form.
-    let ids = parse_numeric_list(expr)?;
-    for &id in &ids {
-        if id >= topo.num_hw_threads() {
-            return Err(PinListError::OutOfRange(id.to_string()));
-        }
+    if lenient && out.is_empty() {
+        return Err(PinListError::OutOfRange(expr.to_string()));
     }
-    Ok(ids)
+    Ok(out)
 }
 
 /// Expand a "scatter" placement: threads distributed round-robin across
@@ -233,6 +260,39 @@ mod tests {
         assert!(matches!(parse_pin_list("S9:0", &topo), Err(PinListError::OutOfRange(_))));
         assert!(matches!(parse_pin_list("S0-3", &topo), Err(PinListError::Syntax(_))));
         assert!(matches!(parse_pin_list("S0:99", &topo), Err(PinListError::OutOfRange(_))));
+    }
+
+    #[test]
+    fn lenient_parsing_drops_what_the_machine_does_not_have() {
+        let topo = westmere();
+        // On a machine that has everything, lenient == strict.
+        assert_eq!(parse_pin_list_lenient("S0:0-3", &topo).unwrap(), vec![0, 1, 2, 3]);
+        assert_eq!(parse_pin_list_lenient("0-3", &topo).unwrap(), vec![0, 1, 2, 3]);
+
+        // A single-core, single-thread Pentium M keeps only what exists.
+        let small = MachinePreset::PentiumM.topology();
+        assert_eq!(parse_pin_list_lenient("S0:0-3", &small).unwrap(), vec![0]);
+        assert_eq!(parse_pin_list_lenient("0-99", &small).unwrap(), vec![0]);
+        // A socket that does not exist is dropped, not fatal.
+        assert_eq!(parse_pin_list_lenient("S0:0@S1:0", &small).unwrap(), vec![0]);
+
+        // The two-thread Atom keeps its SMT sibling too.
+        let atom = MachinePreset::Atom.topology();
+        assert_eq!(parse_pin_list_lenient("S0:0-3", &atom).unwrap(), vec![0, 1]);
+
+        // Nothing selected and syntax errors still fail — the latter even
+        // inside a socket domain the machine does not have.
+        assert!(matches!(parse_pin_list_lenient("S1:0", &small), Err(PinListError::OutOfRange(_))));
+        assert!(matches!(parse_pin_list_lenient("a-b", &topo), Err(PinListError::Syntax(_))));
+        assert!(matches!(parse_pin_list_lenient("", &topo), Err(PinListError::Syntax(_))));
+        assert!(matches!(
+            parse_pin_list_lenient("S5:garbage@S0:0", &small),
+            Err(PinListError::Syntax(_))
+        ));
+        assert!(matches!(
+            parse_pin_list_lenient("S0:0@S5:0-", &small),
+            Err(PinListError::Syntax(_))
+        ));
     }
 
     #[test]

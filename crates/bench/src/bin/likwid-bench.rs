@@ -1,0 +1,10 @@
+//! `likwid-bench`: run a registered microbenchmark kernel on a simulated
+//! machine and report bandwidth, flops and optional counter metrics.
+
+fn main() {
+    let spec = likwid_bench::microbench::likwid_bench_spec();
+    std::process::exit(likwid_bench::figure_bin_main(
+        &spec,
+        likwid_bench::microbench::likwid_bench_report,
+    ));
+}

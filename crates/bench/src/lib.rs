@@ -20,11 +20,15 @@ use likwid::perfctr::{group_definition, supported_groups, EventGroupKind};
 use likwid::pin::{PinConfig, PinTool};
 use likwid::report::{Ascii, Body, KvEntry, Render, Report, Row, Section, Table, Value};
 use likwid::topology::CpuTopology;
+use likwid_affinity::pinlist::scatter_placement;
 use likwid_affinity::ThreadingModel;
-use likwid_workloads::jacobi::{Jacobi, JacobiConfig, JacobiVariant};
+use likwid_workloads::jacobi::{JacobiVariant, JacobiWorkload};
 use likwid_workloads::openmp::{CompilerPersonality, KmpAffinity, PlacementPolicy};
-use likwid_workloads::stream::StreamExperiment;
+use likwid_workloads::workload::WorkloadRun;
+use likwid_workloads::Experiment;
 use likwid_x86_machine::{MachinePreset, SimMachine};
+
+pub mod microbench;
 
 /// Which placement regime a STREAM figure uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -112,44 +116,46 @@ pub fn stream_figures() -> Vec<StreamFigure> {
     ]
 }
 
-/// Regenerate one STREAM figure as a typed report.
+/// Regenerate one STREAM figure as a typed report, one [`Experiment`] per
+/// thread count.
 ///
 /// `samples` is the number of runs per thread count (the paper uses 100).
 pub fn stream_figure_report(figure: StreamFigure, samples: usize, seed: u64) -> Report {
-    let mut experiment = StreamExperiment::new(figure.preset, figure.personality);
-    experiment.samples_per_point = samples.max(1);
-    let counts = experiment.paper_thread_counts();
-    let series = experiment.series(
-        counts,
-        |threads| match figure.scenario {
-            StreamScenario::Unpinned => PlacementPolicy::Unpinned,
-            StreamScenario::Pinned => experiment.paper_pinned_policy(threads),
-            StreamScenario::KmpScatter => PlacementPolicy::Kmp(KmpAffinity::Scatter),
-        },
-        seed,
-    );
+    let topo = figure.preset.topology();
+    let workload = likwid_workloads::StreamTriad::new(figure.personality);
 
     let mut table =
         Table::plain(vec!["threads", "min_mb_s", "q1_mb_s", "median_mb_s", "q3_mb_s", "max_mb_s"])
             .with_ascii_header("threads  min[MB/s]  q1[MB/s]  median[MB/s]  q3[MB/s]  max[MB/s]");
-    for point in &series {
+    for threads in 1..=topo.num_hw_threads() {
+        let policy = match figure.scenario {
+            StreamScenario::Unpinned => PlacementPolicy::Unpinned,
+            // The paper's pinned runs: round robin across sockets, physical
+            // cores before SMT threads.
+            StreamScenario::Pinned => PlacementPolicy::LikwidPin(scatter_placement(&topo, threads)),
+            StreamScenario::KmpScatter => PlacementPolicy::Kmp(KmpAffinity::Scatter),
+        };
+        let result = Experiment::on(figure.preset)
+            .personality(figure.personality)
+            .placement(policy)
+            .threads(threads)
+            .samples(samples.max(1))
+            .seed(seed ^ threads as u64)
+            .run(&workload)
+            .expect("a counter-less experiment cannot fail");
+        let stats = result.bandwidth_stats().expect("at least one sample");
         table.push(
             Row::new(vec![
-                Value::Count(point.threads as u64),
-                Value::Real(point.stats.min),
-                Value::Real(point.stats.q1),
-                Value::Real(point.stats.median),
-                Value::Real(point.stats.q3),
-                Value::Real(point.stats.max),
+                Value::Count(threads as u64),
+                Value::Real(stats.min),
+                Value::Real(stats.q1),
+                Value::Real(stats.median),
+                Value::Real(stats.q3),
+                Value::Real(stats.max),
             ])
             .with_ascii(format!(
                 "{:7}  {:9.0}  {:8.0}  {:12.0}  {:8.0}  {:9.0}",
-                point.threads,
-                point.stats.min,
-                point.stats.q1,
-                point.stats.median,
-                point.stats.q3,
-                point.stats.max
+                threads, stats.min, stats.q1, stats.median, stats.q3, stats.max
             )),
         );
     }
@@ -174,10 +180,17 @@ pub fn stream_figure_text(figure: StreamFigure, samples: usize, seed: u64) -> St
 /// three Jacobi curves (wavefront on one socket, wavefront split 2+2,
 /// threaded baseline).
 pub fn figure11_report(sizes: &[usize], time_steps: usize) -> Report {
-    let machine = SimMachine::new(MachinePreset::NehalemEp2S);
-    let jacobi = Jacobi::new(&machine);
     let one_socket = vec![0usize, 1, 2, 3];
     let split = vec![0usize, 1, 4, 5];
+    let run = |variant: JacobiVariant, placement: &[usize], size: usize| -> WorkloadRun {
+        Experiment::on(MachinePreset::NehalemEp2S)
+            .placement(PlacementPolicy::LikwidPin(placement.to_vec()))
+            .run(&JacobiWorkload { variant, size, time_steps })
+            .expect("a counter-less experiment cannot fail")
+            .runs
+            .remove(0)
+    };
+    let mlups = |r: &WorkloadRun| r.iterations_per_second() / 1e6;
 
     let mut table = Table::plain(vec![
         "size",
@@ -189,34 +202,22 @@ pub fn figure11_report(sizes: &[usize], time_steps: usize) -> Report {
         "size  wavefront 1x4 (one socket)  wavefront 1x4 (2 per socket)  threaded baseline",
     );
     for &size in sizes {
-        let wavefront = jacobi.run(&JacobiConfig {
-            size,
-            time_steps,
-            placement: one_socket.clone(),
-            variant: JacobiVariant::Wavefront,
-        });
-        let wrong = jacobi.run(&JacobiConfig {
-            size,
-            time_steps,
-            placement: split.clone(),
-            variant: JacobiVariant::Wavefront,
-        });
-        let baseline = jacobi.run(&JacobiConfig {
-            size,
-            time_steps,
-            placement: one_socket.clone(),
-            variant: JacobiVariant::Threaded,
-        });
+        let wavefront = run(JacobiVariant::Wavefront, &one_socket, size);
+        let wrong = run(JacobiVariant::Wavefront, &split, size);
+        let baseline = run(JacobiVariant::Threaded, &one_socket, size);
         table.push(
             Row::new(vec![
                 Value::Count(size as u64),
-                Value::Real(wavefront.mlups),
-                Value::Real(wrong.mlups),
-                Value::Real(baseline.mlups),
+                Value::Real(mlups(&wavefront)),
+                Value::Real(mlups(&wrong)),
+                Value::Real(mlups(&baseline)),
             ])
             .with_ascii(format!(
                 "{:4}  {:26.0}  {:28.0}  {:17.0}",
-                size, wavefront.mlups, wrong.mlups, baseline.mlups
+                size,
+                mlups(&wavefront),
+                mlups(&wrong),
+                mlups(&baseline)
             )),
         );
     }
@@ -239,46 +240,35 @@ pub fn figure11_text(sizes: &[usize], time_steps: usize) -> String {
 /// measured through `likwid-perfctr` (counters programmed via MSRs,
 /// credited by the counting engine from the simulated run).
 pub fn table2_report(size: usize, time_steps: usize) -> Report {
-    use likwid::perfctr::{MeasurementSpec, PerfCtr, PerfCtrConfig};
-    use likwid_perf_events::EventEngine;
-    use likwid_workloads::exec::sample_from_simulation;
-
-    let machine = SimMachine::new(MachinePreset::NehalemEp2S);
+    let preset = MachinePreset::NehalemEp2S;
     let placement = vec![0usize, 1, 2, 3];
+    // The custom Table II uncore event set, measured through the real tool
+    // path (session programming, marker region, counting engine, read-back)
+    // by the experiment harness.
+    let event_table = likwid_perf_events::tables::for_arch(preset.arch());
+    let spec = likwid::perfctr::parse_measurement_spec(
+        "UNC_L3_LINES_IN_ANY:UPMC0,UNC_L3_LINES_OUT_ANY:UPMC1",
+        &event_table,
+    )
+    .expect("event spec");
 
     let mut rows = Vec::new();
     for variant in [JacobiVariant::Threaded, JacobiVariant::ThreadedNt, JacobiVariant::Wavefront] {
-        // Measure the run through the real tool path: program the uncore
-        // events of the custom Table II set, run, credit, read back.
-        let table = likwid_perf_events::tables::for_arch(machine.arch());
-        let spec = likwid::perfctr::parse_event_spec(
-            "UNC_L3_LINES_IN_ANY:UPMC0,UNC_L3_LINES_OUT_ANY:UPMC1",
-            &table,
-        )
-        .expect("event spec");
-        let mut session = PerfCtr::new(
-            &machine,
-            PerfCtrConfig { cpus: placement.clone(), spec: MeasurementSpec::Custom(spec) },
-        )
-        .expect("session");
-        session.start().expect("start");
-
-        let result = Jacobi::new(&machine).run(&JacobiConfig {
-            size,
-            time_steps,
-            placement: placement.clone(),
-            variant,
-        });
-        let sample = sample_from_simulation(&machine, &result.stats, &result.profile);
-        EventEngine::new(&machine).apply(&machine, &sample);
-
-        session.stop().expect("stop");
-        let counts = session.read_counts().expect("read");
-        let results = session.results(&counts).expect("results");
-        let lines_in = results.event_count("UNC_L3_LINES_IN_ANY", 0).unwrap_or(0);
-        let lines_out = results.event_count("UNC_L3_LINES_OUT_ANY", 0).unwrap_or(0);
-
-        rows.push((lines_in, lines_out, result.memory_bytes as f64 / 1e9, result.mlups));
+        let result = Experiment::on(preset)
+            .placement(PlacementPolicy::LikwidPin(placement.clone()))
+            .counters(spec.clone())
+            .run(&JacobiWorkload { variant, size, time_steps })
+            .expect("Table II measurement");
+        let counters = result.counters.as_ref().expect("counters were configured");
+        let lines_in = counters.event_count("UNC_L3_LINES_IN_ANY", 0).unwrap_or(0);
+        let lines_out = counters.event_count("UNC_L3_LINES_OUT_ANY", 0).unwrap_or(0);
+        let run = result.first();
+        rows.push((
+            lines_in,
+            lines_out,
+            run.stats.total_memory_bytes() as f64 / 1e9,
+            run.iterations_per_second() / 1e6,
+        ));
     }
 
     let mut table = Table::plain(vec!["metric", "threaded", "threaded_nt", "wavefront"])

@@ -16,7 +16,7 @@ use likwid_x86_machine::{MachinePreset, Prefetcher, SimMachine};
 use crate::args::{ArgSpec, OutputTarget, ParsedArgs};
 use crate::error::{LikwidError, Result};
 use crate::features::FeaturesTool;
-use crate::perfctr::{supported_groups, EventGroupKind};
+use crate::perfctr::supported_groups;
 use crate::pin::{PinConfig, PinTool};
 use crate::report::{Body, KvEntry, Report, Row, Section, Table, Value};
 use crate::topology::CpuTopology;
@@ -136,7 +136,8 @@ fn run_tool(tool: Tool, args: &[String]) -> Result<String> {
 }
 
 /// Parse `--machine <id>` (default: the Westmere EP node of the paper).
-fn parse_machine(parsed: &ParsedArgs) -> Result<MachinePreset> {
+/// Shared by the four tools and the `likwid-bench` microbenchmark harness.
+pub fn parse_machine(parsed: &ParsedArgs) -> Result<MachinePreset> {
     match parsed.value("-M") {
         None => Ok(MachinePreset::WestmereEp2S),
         Some(id) => MachinePreset::from_id(id).ok_or_else(|| {
@@ -299,15 +300,7 @@ fn perfctr_report_from(parsed: &ParsedArgs) -> Result<Report> {
         .ok_or_else(|| LikwidError::Usage("likwid-perfctr requires -g <group>".into()))?;
 
     let table = likwid_perf_events::tables::for_arch(machine.arch());
-    let spec = if let Some(kind) = EventGroupKind::parse(group_arg) {
-        crate::perfctr::MeasurementSpec::Group(kind)
-    } else if group_arg.contains(':') {
-        crate::perfctr::MeasurementSpec::Custom(crate::perfctr::parse_event_spec(
-            group_arg, &table,
-        )?)
-    } else {
-        return Err(LikwidError::UnknownGroup(group_arg.to_string()));
-    };
+    let spec = crate::perfctr::parse_measurement_spec(group_arg, &table)?;
 
     let session = crate::perfctr::PerfCtr::new(
         &machine,

@@ -20,4 +20,7 @@ pub mod session;
 
 pub use formula::Formula;
 pub use groups::{group_definition, supported_groups, EventGroupKind, GroupDefinition};
-pub use session::{parse_event_spec, MeasurementSpec, PerfCtr, PerfCtrConfig, PerfCtrResults};
+pub use session::{
+    parse_event_spec, parse_measurement_spec, MeasurementSpec, PerfCtr, PerfCtrConfig,
+    PerfCtrResults,
+};

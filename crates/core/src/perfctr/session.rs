@@ -60,6 +60,28 @@ pub fn parse_event_spec(spec: &str, table: &EventTable) -> Result<Vec<(String, C
     Ok(out)
 }
 
+/// Parse a `-g` argument into a measurement specification: a preconfigured
+/// group name (`MEM`), a comma-separated group list measured via
+/// multiplexing (`FLOPS_DP,MEM`), or a custom `EVENT:COUNTER` list.
+/// Shared by `likwid-perfctr` and the `likwid-bench` harness.
+pub fn parse_measurement_spec(arg: &str, table: &EventTable) -> Result<MeasurementSpec> {
+    if let Some(kind) = EventGroupKind::parse(arg) {
+        return Ok(MeasurementSpec::Group(kind));
+    }
+    let parts: Vec<&str> = arg.split(',').map(str::trim).filter(|p| !p.is_empty()).collect();
+    if !parts.is_empty() {
+        if let Some(kinds) =
+            parts.iter().map(|p| EventGroupKind::parse(p)).collect::<Option<Vec<_>>>()
+        {
+            return Ok(MeasurementSpec::Groups(kinds));
+        }
+    }
+    if arg.contains(':') {
+        return Ok(MeasurementSpec::Custom(parse_event_spec(arg, table)?));
+    }
+    Err(LikwidError::UnknownGroup(arg.to_string()))
+}
+
 /// One event group resolved against the architecture's event table.
 #[derive(Debug, Clone)]
 struct ResolvedGroup {
@@ -657,6 +679,30 @@ mod tests {
                 assert_eq!(parsed, vec![(event.name.to_string(), *slot)]);
             }
         }
+    }
+
+    #[test]
+    fn measurement_specs_parse_groups_lists_and_custom_events() {
+        let machine = SimMachine::new(MachinePreset::WestmereEp2S);
+        let table = likwid_perf_events::tables::for_arch(machine.arch());
+        assert_eq!(
+            parse_measurement_spec("MEM", &table).unwrap(),
+            MeasurementSpec::Group(EventGroupKind::MEM)
+        );
+        assert_eq!(
+            parse_measurement_spec("FLOPS_DP,MEM", &table).unwrap(),
+            MeasurementSpec::Groups(vec![EventGroupKind::FLOPS_DP, EventGroupKind::MEM])
+        );
+        assert!(matches!(
+            parse_measurement_spec("L1D_REPL:PMC0", &table).unwrap(),
+            MeasurementSpec::Custom(_)
+        ));
+        assert!(matches!(
+            parse_measurement_spec("NOT_A_GROUP", &table),
+            Err(LikwidError::UnknownGroup(_))
+        ));
+        // A list mixing a group with an unknown name is not a group list.
+        assert!(parse_measurement_spec("FLOPS_DP,BOGUS", &table).is_err());
     }
 
     #[test]

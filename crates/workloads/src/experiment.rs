@@ -1,0 +1,342 @@
+//! The experiment harness: machine × placement × sampling × counters.
+//!
+//! An [`Experiment`] composes everything around a [`Workload`] that the
+//! paper's figures vary — machine preset, [`PlacementPolicy`], number of
+//! samples, and optionally a `likwid-perfctr` measurement — and runs any
+//! workload under it. One sample resolves the placement (drawing from a
+//! per-sample RNG stream for unpinned policies), executes the workload, and
+//! — when counters are configured — drives the whole tool path: program the
+//! counters through the MSRs, wrap the run in a marker-API region, credit
+//! the simulated activity through the counting engine, and read the region
+//! results back. The figure generators of `likwid-bench` (the crate) and
+//! the `likwid-bench` microbenchmark tool are both thin layers over this
+//! builder.
+
+use likwid::marker::MarkerApi;
+use likwid::perfctr::{MeasurementSpec, PerfCtr, PerfCtrConfig, PerfCtrResults};
+use likwid_perf_events::EventEngine;
+use likwid_x86_machine::{MachinePreset, SimMachine};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::exec::sample_from_simulation;
+use crate::openmp::{CompilerPersonality, OpenMpRuntime, PlacementPolicy};
+use crate::stats::BoxStats;
+use crate::workload::{Placement, Workload, WorkloadRun};
+
+/// Derive the RNG seed of sample `index` from the experiment's base seed
+/// (splitmix64 finalizer). Every sample owns an independent stream, so
+/// adding samples never perturbs the ones already drawn.
+pub fn sample_seed(base: u64, index: usize) -> u64 {
+    let mut z = base ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Builder for one experiment configuration.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    preset: MachinePreset,
+    personality: CompilerPersonality,
+    policy: PlacementPolicy,
+    threads: Option<usize>,
+    samples: usize,
+    seed: u64,
+    counters: Option<MeasurementSpec>,
+}
+
+impl Experiment {
+    /// A new experiment on a machine preset. Defaults: one sample, one
+    /// thread, unpinned placement, Intel personality, no counters.
+    pub fn on(preset: MachinePreset) -> Self {
+        Experiment {
+            preset,
+            personality: CompilerPersonality::IntelIcc,
+            policy: PlacementPolicy::Unpinned,
+            threads: None,
+            samples: 1,
+            seed: 0,
+            counters: None,
+        }
+    }
+
+    /// The compiler/runtime personality resolving the placement policy.
+    pub fn personality(mut self, personality: CompilerPersonality) -> Self {
+        self.personality = personality;
+        self
+    }
+
+    /// How the application threads are placed.
+    pub fn placement(mut self, policy: PlacementPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Number of application threads. Defaults to the pin-list length for
+    /// [`PlacementPolicy::LikwidPin`], 1 otherwise.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Number of samples (placement draws × runs). The paper uses 100 for
+    /// the STREAM figures.
+    pub fn samples(mut self, samples: usize) -> Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Base RNG seed; each sample derives its own stream via
+    /// [`sample_seed`].
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Measure the first sample through `likwid-perfctr` with this
+    /// specification (event group or custom event list).
+    pub fn counters(mut self, spec: MeasurementSpec) -> Self {
+        self.counters = Some(spec);
+        self
+    }
+
+    /// Sugar for [`Experiment::counters`] with a preconfigured group.
+    pub fn group(self, kind: likwid::perfctr::EventGroupKind) -> Self {
+        self.counters(MeasurementSpec::Group(kind))
+    }
+
+    fn resolved_threads(&self) -> usize {
+        match self.threads {
+            Some(n) => n,
+            None => match &self.policy {
+                PlacementPolicy::LikwidPin(list) => list.len().max(1),
+                _ => 1,
+            },
+        }
+    }
+
+    /// Run a workload under this configuration.
+    ///
+    /// Sample 0 is the measured one when counters are configured: the
+    /// session is programmed and started, the run is wrapped in a marker
+    /// region named after the workload, the simulated activity is credited
+    /// through the counting engine, and the region results are read back.
+    pub fn run(&self, workload: &dyn Workload) -> likwid::Result<ExperimentResult> {
+        if matches!(&self.policy, PlacementPolicy::LikwidPin(list) if list.is_empty()) {
+            return Err(likwid::LikwidError::Usage("empty pin list".into()));
+        }
+        // The harness measures exactly one group per run; a multiplexed
+        // group list would silently report only the active group.
+        if matches!(&self.counters, Some(MeasurementSpec::Groups(kinds)) if kinds.len() > 1) {
+            return Err(likwid::LikwidError::Usage(
+                "the experiment harness measures one event group per run; multiplexed group \
+                 lists are only supported by the likwid-perfctr session API"
+                    .into(),
+            ));
+        }
+        let machine = SimMachine::new(self.preset);
+        let runtime = OpenMpRuntime::new(self.personality, self.preset);
+        let topo = machine.topology();
+        let threads = self.resolved_threads();
+
+        let mut runs = Vec::with_capacity(self.samples);
+        let mut placements = Vec::with_capacity(self.samples);
+        let mut counters = None;
+        let mut measured_cpus = Vec::new();
+
+        for i in 0..self.samples {
+            let mut rng = StdRng::seed_from_u64(sample_seed(self.seed, i));
+            let placement = runtime.resolve_placement(topo, threads, &self.policy, &mut rng);
+
+            let run = match (&self.counters, i) {
+                (Some(spec), 0) => {
+                    let cpus = placement.measured_cpus();
+                    let mut session = PerfCtr::new(
+                        &machine,
+                        PerfCtrConfig { cpus: cpus.clone(), spec: spec.clone() },
+                    )?;
+                    session.start()?;
+                    let mut marker = MarkerApi::init(cpus.len(), 1);
+                    let region = marker.register_region(workload.name());
+                    for (t, &cpu) in cpus.iter().enumerate() {
+                        marker.start_region(t, cpu, &session)?;
+                    }
+                    let run = workload.run(&machine, &placement);
+                    let sample = sample_from_simulation(&machine, &run.stats, &run.profile);
+                    EventEngine::new(&machine).apply(&machine, &sample);
+                    for (t, &cpu) in cpus.iter().enumerate() {
+                        marker.stop_region(t, cpu, region, &session)?;
+                    }
+                    session.stop()?;
+                    counters = Some(marker.region_results(region, &session)?);
+                    measured_cpus = cpus;
+                    run
+                }
+                _ => workload.run(&machine, &placement),
+            };
+            runs.push(run);
+            placements.push(placement);
+        }
+
+        Ok(ExperimentResult {
+            workload: workload.name().to_string(),
+            preset: self.preset,
+            runs,
+            placements,
+            counters,
+            measured_cpus,
+        })
+    }
+}
+
+/// The outcome of an experiment: one [`WorkloadRun`] per sample, plus the
+/// counter results of the measured sample when counters were configured.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Name of the workload that ran.
+    pub workload: String,
+    /// The machine preset the experiment ran on.
+    pub preset: MachinePreset,
+    /// One run per sample.
+    pub runs: Vec<WorkloadRun>,
+    /// The resolved placement of each sample.
+    pub placements: Vec<Placement>,
+    /// `likwid-perfctr` results of the measured sample (sample 0), when
+    /// counters were configured.
+    pub counters: Option<PerfCtrResults>,
+    /// The hardware threads the counter session measured.
+    pub measured_cpus: Vec<usize>,
+}
+
+impl ExperimentResult {
+    /// The first (measured) run. Experiments always have at least one
+    /// sample.
+    pub fn first(&self) -> &WorkloadRun {
+        &self.runs[0]
+    }
+
+    /// The per-sample reported bandwidths.
+    pub fn bandwidths(&self) -> Vec<f64> {
+        self.runs.iter().map(|r| r.bandwidth_mbs).collect()
+    }
+
+    /// Box statistics over the per-sample bandwidths.
+    pub fn bandwidth_stats(&self) -> Option<BoxStats> {
+        BoxStats::from_samples(&self.bandwidths())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::StreamingKernel;
+    use likwid::perfctr::{EventGroupKind, MeasurementSpec};
+
+    #[test]
+    fn sample_seeds_are_distinct_streams() {
+        let seeds: Vec<u64> = (0..32).map(|i| sample_seed(42, i)).collect();
+        let distinct: std::collections::HashSet<u64> = seeds.iter().copied().collect();
+        assert_eq!(distinct.len(), seeds.len());
+        // And independent of each other: the same index always maps to the
+        // same seed, whatever the total number of samples.
+        assert_eq!(sample_seed(42, 3), seeds[3]);
+    }
+
+    #[test]
+    fn pinned_experiment_is_deterministic_across_runs() {
+        let kernel = StreamingKernel::triad(4 << 20, 1);
+        let exp = Experiment::on(MachinePreset::NehalemEp2S)
+            .placement(PlacementPolicy::LikwidPin(vec![0, 1]))
+            .samples(2);
+        let a = exp.run(&kernel).unwrap();
+        let b = exp.run(&kernel).unwrap();
+        assert_eq!(a.bandwidths(), b.bandwidths());
+        assert_eq!(a.placements[0].compute, vec![0, 1]);
+        assert_eq!(a.placements[0].init, a.placements[0].compute, "pinned runs first-touch local");
+        assert!(a.bandwidth_stats().unwrap().median > 0.0);
+    }
+
+    #[test]
+    fn multiplexed_group_lists_are_rejected_not_silently_truncated() {
+        let kernel = StreamingKernel::copy(1 << 20, 1);
+        let err = Experiment::on(MachinePreset::WestmereEp2S)
+            .placement(PlacementPolicy::LikwidPin(vec![0]))
+            .counters(MeasurementSpec::Groups(vec![EventGroupKind::FLOPS_DP, EventGroupKind::MEM]))
+            .run(&kernel)
+            .unwrap_err();
+        assert!(matches!(err, likwid::LikwidError::Usage(_)), "got {err:?}");
+        // A single-group list is equivalent to Group and works.
+        let ok = Experiment::on(MachinePreset::WestmereEp2S)
+            .placement(PlacementPolicy::LikwidPin(vec![0]))
+            .counters(MeasurementSpec::Groups(vec![EventGroupKind::FLOPS_DP]))
+            .run(&kernel)
+            .unwrap();
+        assert!(ok.counters.is_some());
+    }
+
+    #[test]
+    fn empty_pin_list_is_a_usage_error_not_a_panic() {
+        let kernel = StreamingKernel::copy(1 << 20, 1);
+        let err = Experiment::on(MachinePreset::Core2Quad)
+            .placement(PlacementPolicy::LikwidPin(vec![]))
+            .run(&kernel)
+            .unwrap_err();
+        assert!(matches!(err, likwid::LikwidError::Usage(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn thread_count_defaults_to_the_pin_list_length() {
+        let kernel = StreamingKernel::copy(1 << 20, 1);
+        let result = Experiment::on(MachinePreset::Core2Quad)
+            .placement(PlacementPolicy::LikwidPin(vec![0, 1, 2]))
+            .run(&kernel)
+            .unwrap();
+        assert_eq!(result.placements[0].compute.len(), 3);
+    }
+
+    #[test]
+    fn counters_measure_the_run_through_the_tool_path() {
+        let kernel = StreamingKernel::daxpy(16 << 20, 1);
+        let result = Experiment::on(MachinePreset::NehalemEp2S)
+            .placement(PlacementPolicy::LikwidPin(vec![0, 1, 2, 3]))
+            .group(EventGroupKind::MEM)
+            .run(&kernel)
+            .unwrap();
+        let counters = result.counters.as_ref().expect("counters were configured");
+        assert_eq!(result.measured_cpus, vec![0, 1, 2, 3]);
+        // The uncore memory reads credited to the socket-lock owner must
+        // reflect the simulated traffic: cpu 0 owns socket 0's uncore.
+        let reads = counters.event_count("UNC_QMC_NORMAL_READS_ANY", 0).unwrap();
+        let sim_reads = result.first().stats.memory.iter().map(|m| m.bytes_read).sum::<u64>() / 64;
+        assert_eq!(reads, sim_reads, "counter reads match the simulated line reads");
+        assert!(counters.metric("Memory bandwidth [MBytes/s]", 0).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn unpinned_samples_vary_but_are_prefix_stable() {
+        let kernel = StreamingKernel::copy(2 << 20, 1);
+        let short = Experiment::on(MachinePreset::WestmereEp2S)
+            .placement(PlacementPolicy::Unpinned)
+            .threads(4)
+            .samples(3)
+            .seed(7)
+            .run(&kernel)
+            .unwrap();
+        let long = Experiment::on(MachinePreset::WestmereEp2S)
+            .placement(PlacementPolicy::Unpinned)
+            .threads(4)
+            .samples(6)
+            .seed(7)
+            .run(&kernel)
+            .unwrap();
+        assert_eq!(
+            &long.placements[..3],
+            &short.placements[..],
+            "adding samples must not perturb earlier samples"
+        );
+        let distinct: std::collections::HashSet<Vec<usize>> =
+            long.placements.iter().map(|p| p.compute.clone()).collect();
+        assert!(distinct.len() > 1, "unpinned placements vary across samples");
+    }
+}

@@ -23,6 +23,7 @@ use likwid_cache_sim::{HierarchyConfig, NodeCacheSystem, NodeStats, NumaPolicy};
 use likwid_x86_machine::{MachinePreset, SimMachine};
 
 use crate::exec::ExecutionProfile;
+use crate::workload::{Placement, Workload, WorkloadRun};
 
 /// The Jacobi variant to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -447,6 +448,69 @@ pub fn run_on_preset(preset: MachinePreset, config: &JacobiConfig) -> JacobiResu
     Jacobi::new(&machine).run(config)
 }
 
+/// The Jacobi smoother as a pluggable [`Workload`]: one variant at one grid
+/// size, executed for the placement the experiment harness resolves. An
+/// iteration is one lattice-site update, so
+/// [`WorkloadRun::iterations_per_second`] `/ 1e6` is the MLUPS figure of
+/// the paper.
+#[derive(Debug, Clone, Copy)]
+pub struct JacobiWorkload {
+    /// Which variant to run.
+    pub variant: JacobiVariant,
+    /// Grid size in every dimension.
+    pub size: usize,
+    /// Number of time steps.
+    pub time_steps: usize,
+}
+
+impl Workload for JacobiWorkload {
+    fn name(&self) -> &str {
+        match self.variant {
+            JacobiVariant::Threaded => "jacobi-threaded",
+            JacobiVariant::ThreadedNt => "jacobi-threaded-nt",
+            JacobiVariant::Wavefront => "jacobi-wavefront",
+        }
+    }
+
+    fn flops_per_iteration(&self) -> f64 {
+        8.0 // 7-point stencil: six adds and two multiplies per update
+    }
+
+    fn bytes_per_iteration(&self) -> f64 {
+        // Streaming traffic per update once the grid exceeds the caches:
+        // the stencil neighbours come from cache, so the source costs one
+        // read; the destination costs write-allocate plus write-back (or a
+        // streamed store); the wavefront touches memory only at the
+        // pipeline's two ends, once per WAVEFRONT_DEPTH time steps.
+        match self.variant {
+            JacobiVariant::Threaded => 24.0,
+            JacobiVariant::ThreadedNt => 16.0,
+            JacobiVariant::Wavefront => 16.0 / JacobiConfig::WAVEFRONT_DEPTH as f64,
+        }
+    }
+
+    fn working_set_bytes(&self) -> u64 {
+        2 * (self.size as u64).pow(3) * 8
+    }
+
+    fn run(&self, machine: &SimMachine, placement: &Placement) -> WorkloadRun {
+        let result = Jacobi::new(machine).run(&JacobiConfig {
+            size: self.size,
+            time_steps: self.time_steps,
+            placement: placement.compute.clone(),
+            variant: self.variant,
+        });
+        WorkloadRun {
+            iterations: result.updates,
+            runtime_s: result.runtime_s,
+            bandwidth_mbs: result.memory_bytes as f64 / result.runtime_s / 1e6,
+            mflops: result.updates as f64 * self.flops_per_iteration() / result.runtime_s / 1e6,
+            stats: result.stats,
+            profile: result.profile,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -561,6 +625,18 @@ mod tests {
         // The profile charges cycles to exactly the worker threads.
         assert!(result.profile.cycles[0] > 0);
         assert_eq!(result.profile.cycles[7], 0);
+    }
+
+    #[test]
+    fn workload_trait_run_matches_the_direct_run() {
+        let machine = nehalem();
+        let direct = run_sized(&machine, JacobiVariant::Wavefront, vec![0, 1, 2, 3], 48);
+        let run = JacobiWorkload { variant: JacobiVariant::Wavefront, size: 48, time_steps: 4 }
+            .run(&machine, &Placement::pinned(vec![0, 1, 2, 3]));
+        assert_eq!(run.iterations, direct.updates);
+        assert_eq!(run.runtime_s, direct.runtime_s);
+        assert_eq!(run.stats, direct.stats);
+        assert!((run.iterations_per_second() / 1e6 - direct.mlups).abs() < 1e-9);
     }
 
     #[test]

@@ -20,6 +20,8 @@ use rand::Rng;
 
 use likwid_affinity::pinlist::{compact_placement, scatter_placement};
 
+use crate::workload::Placement;
+
 /// Compiler/runtime personality.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CompilerPersonality {
@@ -161,6 +163,28 @@ impl OpenMpRuntime {
     /// threads last (equivalent to `-c S0:…@S1:…` with likwid-pin).
     pub fn paper_scatter_pin_list(&self, topo: &TopologySpec, num_threads: usize) -> Vec<usize> {
         scatter_placement(topo, num_threads)
+    }
+
+    /// Resolve one sample's full [`Placement`]: where the threads compute,
+    /// and where they ran while first-touching their data. Pinned runs
+    /// first-touch exactly where they later run; unpinned runs draw a
+    /// second placement — the scheduler may have migrated threads between
+    /// the initialisation loop and the measured kernel.
+    pub fn resolve_placement<R: Rng + ?Sized>(
+        &self,
+        topo: &TopologySpec,
+        num_threads: usize,
+        policy: &PlacementPolicy,
+        rng: &mut R,
+    ) -> Placement {
+        let compute = self.place(topo, num_threads, policy, rng);
+        let init = match policy {
+            PlacementPolicy::Unpinned | PlacementPolicy::Kmp(KmpAffinity::Disabled) => {
+                self.place(topo, num_threads, policy, rng)
+            }
+            _ => compute.clone(),
+        };
+        Placement { compute, init }
     }
 }
 

@@ -24,13 +24,15 @@ pub struct BoxStats {
 }
 
 impl BoxStats {
-    /// Compute the summary of a non-empty sample set.
+    /// Compute the summary of a sample set. NaN samples carry no ordering
+    /// information and are filtered out; `None` when nothing (finite or
+    /// infinite) remains.
     pub fn from_samples(samples: &[f64]) -> Option<Self> {
-        if samples.is_empty() {
+        let mut sorted: Vec<f64> = samples.iter().copied().filter(|s| !s.is_nan()).collect();
+        if sorted.is_empty() {
             return None;
         }
-        let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not be NaN"));
+        sorted.sort_by(f64::total_cmp);
         let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
         Some(BoxStats {
             min: sorted[0],
@@ -49,12 +51,13 @@ impl BoxStats {
     }
 
     /// Relative spread (IQR over median), used to compare the variance of
-    /// pinned vs. unpinned runs.
-    pub fn relative_spread(&self) -> f64 {
+    /// pinned vs. unpinned runs. `None` when the median is zero — a
+    /// spread relative to nothing is undefined, not `0.0`.
+    pub fn relative_spread(&self) -> Option<f64> {
         if self.median == 0.0 {
-            0.0
+            None
         } else {
-            self.iqr() / self.median
+            Some(self.iqr() / self.median)
         }
     }
 }
@@ -112,6 +115,25 @@ mod tests {
     fn relative_spread_compares_variability() {
         let tight = BoxStats::from_samples(&[99.0, 100.0, 100.0, 100.0, 101.0]).unwrap();
         let wide = BoxStats::from_samples(&[50.0, 75.0, 100.0, 125.0, 150.0]).unwrap();
-        assert!(wide.relative_spread() > tight.relative_spread());
+        assert!(wide.relative_spread().unwrap() > tight.relative_spread().unwrap());
+    }
+
+    #[test]
+    fn nan_samples_are_filtered_not_fatal() {
+        let s = BoxStats::from_samples(&[2.0, f64::NAN, 1.0, 3.0, f64::NAN]).unwrap();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!(BoxStats::from_samples(&[f64::NAN, f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn zero_median_spread_is_undefined_not_zero() {
+        let s = BoxStats::from_samples(&[-1.0, 0.0, 1.0]).unwrap();
+        assert_eq!(s.median, 0.0);
+        assert_eq!(s.relative_spread(), None);
+        let nonzero = BoxStats::from_samples(&[1.0, 2.0, 3.0]).unwrap();
+        assert!(nonzero.relative_spread().is_some());
     }
 }

@@ -7,13 +7,89 @@
 //! is 100 samples per thread count, summarised as a box plot — exactly the
 //! procedure behind the paper's figures.
 
+use likwid_cache_sim::NodeStats;
 use likwid_x86_machine::{MachinePreset, SimMachine};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::exec::ExecutionProfile;
+use crate::experiment::sample_seed;
 use crate::openmp::{CompilerPersonality, OpenMpRuntime, PlacementPolicy};
 use crate::perfmodel::{BandwidthModel, StreamKernelModel};
 use crate::stats::BoxStats;
+use crate::workload::{Placement, Workload, WorkloadRun};
+
+/// The OpenMP STREAM triad of Figures 4–10 as a pluggable [`Workload`]:
+/// evaluated through the analytic bandwidth model (the figures need tens of
+/// thousands of samples, far too many to replay full address streams), with
+/// an execution profile consistent with the model so measured runs credit
+/// the right FLOPS/memory counters.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamTriad {
+    /// The compiler that built the triad loop.
+    pub personality: CompilerPersonality,
+    /// Elements per array (the paper-scale default is 20 million — three
+    /// arrays of 160 MB, far beyond every cache).
+    pub array_elements: u64,
+}
+
+impl StreamTriad {
+    /// The triad as compiled by `personality`, at the paper's array size.
+    pub fn new(personality: CompilerPersonality) -> Self {
+        StreamTriad { personality, array_elements: 20_000_000 }
+    }
+}
+
+impl Workload for StreamTriad {
+    fn name(&self) -> &str {
+        "stream-triad"
+    }
+
+    fn flops_per_iteration(&self) -> f64 {
+        2.0 // a[i] = b[i] + s*c[i]: one multiply, one add
+    }
+
+    fn bytes_per_iteration(&self) -> f64 {
+        self.personality.triad_bytes_per_iteration()
+    }
+
+    fn working_set_bytes(&self) -> u64 {
+        3 * self.array_elements * 8
+    }
+
+    fn run(&self, machine: &SimMachine, placement: &Placement) -> WorkloadRun {
+        let topo = machine.topology();
+        let memory = machine.memory_system();
+        let model = BandwidthModel::new(topo, memory);
+        let kernel = StreamKernelModel::triad(self.personality, &memory);
+        let bandwidth_mbs =
+            model.reported_stream_bandwidth(&placement.compute, &placement.init, &kernel);
+        let useful_bytes = self.array_elements as f64 * kernel.useful_bytes_per_iteration;
+        let runtime_s = useful_bytes / (bandwidth_mbs * 1e6);
+
+        let mut profile = ExecutionProfile::new(topo.num_hw_threads());
+        let cycles = machine.clock().seconds_to_cycles(runtime_s);
+        let threads = placement.compute.len().max(1) as u64;
+        for &hw in &placement.compute {
+            profile.credit_streaming_thread(
+                hw,
+                cycles,
+                self.array_elements / threads,
+                4,
+                self.flops_per_iteration(),
+            );
+        }
+
+        WorkloadRun {
+            iterations: self.array_elements,
+            runtime_s,
+            bandwidth_mbs,
+            mflops: self.array_elements as f64 * self.flops_per_iteration() / runtime_s / 1e6,
+            stats: NodeStats::default(),
+            profile,
+        }
+    }
+}
 
 /// The result of one benchmark run.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,10 +139,6 @@ impl StreamExperiment {
         self.runtime.personality
     }
 
-    fn kernel(&self) -> StreamKernelModel {
-        StreamKernelModel::triad(self.runtime.personality, &self.machine.memory_system())
-    }
-
     /// The pinned placement used in the paper's pinned figures: round robin
     /// across sockets, physical cores before SMT threads.
     pub fn paper_pinned_policy(&self, num_threads: usize) -> PlacementPolicy {
@@ -83,28 +155,25 @@ impl StreamExperiment {
         rng: &mut StdRng,
     ) -> StreamSample {
         let topo = self.machine.topology();
-        let placement = self.runtime.place(topo, num_threads, policy, rng);
-        // Pinned runs first-touch their data exactly where they later run;
-        // unpinned runs may have been scheduled elsewhere during the
-        // initialisation loop (thread migration between program phases).
-        let init_placement = match policy {
-            PlacementPolicy::Unpinned
-            | PlacementPolicy::Kmp(crate::openmp::KmpAffinity::Disabled) => {
-                self.runtime.place(topo, num_threads, policy, rng)
-            }
-            _ => placement.clone(),
-        };
-        let model = BandwidthModel::new(topo, self.machine.memory_system());
-        let bandwidth_mbs =
-            model.reported_stream_bandwidth(&placement, &init_placement, &self.kernel());
-        StreamSample { bandwidth_mbs, placement, init_placement }
+        let placement = self.runtime.resolve_placement(topo, num_threads, policy, rng);
+        let run = StreamTriad::new(self.runtime.personality).run(&self.machine, &placement);
+        StreamSample {
+            bandwidth_mbs: run.bandwidth_mbs,
+            placement: placement.compute,
+            init_placement: placement.init,
+        }
     }
 
-    /// Run the full sampling experiment at one thread count.
+    /// Run the full sampling experiment at one thread count. Each sample
+    /// draws from its own RNG stream derived from the base seed (see
+    /// [`sample_seed`]), so raising `samples_per_point` extends the sample
+    /// set without perturbing the samples already drawn.
     pub fn run_samples(&self, num_threads: usize, policy: &PlacementPolicy, seed: u64) -> Vec<f64> {
-        let mut rng = StdRng::seed_from_u64(seed);
         (0..self.samples_per_point)
-            .map(|_| self.run_once(num_threads, policy, &mut rng).bandwidth_mbs)
+            .map(|i| {
+                let mut rng = StdRng::seed_from_u64(sample_seed(seed, i));
+                self.run_once(num_threads, policy, &mut rng).bandwidth_mbs
+            })
             .collect()
     }
 
@@ -169,8 +238,8 @@ mod tests {
                 BoxStats::from_samples(&e.run_samples(threads, &e.paper_pinned_policy(threads), 7))
                     .unwrap();
             assert!(
-                unpinned.relative_spread() > pinned.relative_spread(),
-                "{threads} threads: unpinned spread {} must exceed pinned spread {}",
+                unpinned.relative_spread().unwrap() > pinned.relative_spread().unwrap(),
+                "{threads} threads: unpinned spread {:?} must exceed pinned spread {:?}",
                 unpinned.relative_spread(),
                 pinned.relative_spread()
             );
@@ -241,7 +310,7 @@ mod tests {
             BoxStats::from_samples(&e.run_samples(6, &PlacementPolicy::Unpinned, 9)).unwrap();
         let pinned =
             BoxStats::from_samples(&e.run_samples(6, &e.paper_pinned_policy(6), 9)).unwrap();
-        assert!(unpinned.relative_spread() > pinned.relative_spread());
+        assert!(unpinned.relative_spread().unwrap() > pinned.relative_spread().unwrap());
         let full =
             BoxStats::from_samples(&e.run_samples(12, &e.paper_pinned_policy(12), 9)).unwrap();
         assert!(
@@ -249,6 +318,36 @@ mod tests {
             "Istanbul plateau ≈ 24-25 GB/s, got {}",
             full.median
         );
+    }
+
+    #[test]
+    fn adding_samples_never_perturbs_earlier_samples() {
+        // Regression: run_samples used to thread one sequential RNG through
+        // all samples, so growing the sample count (or consuming a different
+        // number of random draws per sample) shifted every later sample.
+        // Per-sample seed streams make the prefix stable.
+        let mut e = experiment(CompilerPersonality::IntelIcc);
+        e.samples_per_point = 5;
+        let short = e.run_samples(6, &PlacementPolicy::Unpinned, 11);
+        e.samples_per_point = 20;
+        let long = e.run_samples(6, &PlacementPolicy::Unpinned, 11);
+        assert_eq!(&long[..5], &short[..], "the first five samples are identical");
+        let distinct: std::collections::HashSet<u64> = long.iter().map(|b| b.to_bits()).collect();
+        assert!(distinct.len() > 1, "unpinned samples still vary");
+    }
+
+    #[test]
+    fn stream_triad_workload_matches_the_experiment_front_end() {
+        let e = experiment(CompilerPersonality::IntelIcc);
+        let placement: Vec<usize> = (0..12).collect();
+        let run = StreamTriad::new(CompilerPersonality::IntelIcc)
+            .run(e.machine(), &Placement::pinned(placement.clone()));
+        let mut rng = StdRng::seed_from_u64(1);
+        let sample = e.run_once(12, &PlacementPolicy::LikwidPin(placement), &mut rng);
+        assert_eq!(run.bandwidth_mbs, sample.bandwidth_mbs);
+        assert!(run.mflops > 0.0);
+        assert!(run.runtime_s > 0.0);
+        assert_eq!(run.iterations, 20_000_000);
     }
 
     #[test]

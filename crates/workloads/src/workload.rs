@@ -1,0 +1,135 @@
+//! The pluggable workload abstraction behind every experiment.
+//!
+//! The paper's case studies (STREAM triad, blocked Jacobi) are *consumers*
+//! of the LIKWID tools; this module turns them — and any future kernel —
+//! into interchangeable plug-ins. A [`Workload`] declares its static
+//! metadata (name, per-iteration flops and modelled memory traffic,
+//! working-set size) and knows how to execute itself against a
+//! [`SimMachine`] for a given thread [`Placement`], producing a
+//! [`WorkloadRun`]: the modelled runtime and throughput plus the raw
+//! cache-simulator statistics and execution profile that feed the
+//! counting engine when the run is measured through `likwid-perfctr`.
+//!
+//! Everything above this trait — the [`crate::experiment::Experiment`]
+//! builder, the figure generators, the `likwid-bench` microbenchmark tool —
+//! is workload-agnostic.
+
+use likwid_cache_sim::NodeStats;
+use likwid_x86_machine::SimMachine;
+
+use crate::exec::ExecutionProfile;
+
+/// Where a run's threads execute and where its data was first touched.
+///
+/// The two lists differ only for unpinned runs, where the scheduler may
+/// have migrated threads between the initialisation loop (which places the
+/// pages, first-touch) and the measured kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    /// The hardware thread each application thread runs on.
+    pub compute: Vec<usize>,
+    /// The hardware thread each application thread ran on while
+    /// first-touching its data partition.
+    pub init: Vec<usize>,
+}
+
+impl Placement {
+    /// A pinned placement: threads compute exactly where they initialised.
+    pub fn pinned(threads: Vec<usize>) -> Self {
+        Placement { init: threads.clone(), compute: threads }
+    }
+
+    /// The distinct hardware threads of the compute placement, in first-use
+    /// order (the `-c` set a counter session measures).
+    pub fn measured_cpus(&self) -> Vec<usize> {
+        let mut cpus = Vec::new();
+        for &hw in &self.compute {
+            if !cpus.contains(&hw) {
+                cpus.push(hw);
+            }
+        }
+        cpus
+    }
+}
+
+/// The outcome of one workload execution.
+#[derive(Debug, Clone)]
+pub struct WorkloadRun {
+    /// Kernel iterations performed (array elements processed, lattice site
+    /// updates, dependent loads — whatever the workload's unit of work is).
+    pub iterations: u64,
+    /// Modelled wall-clock time in seconds.
+    pub runtime_s: f64,
+    /// Reported useful bandwidth in MB/s (decimal, as in the paper).
+    pub bandwidth_mbs: f64,
+    /// Double-precision MFlops/s.
+    pub mflops: f64,
+    /// Cache/memory statistics of the run; empty (default) for workloads
+    /// evaluated through an analytic model instead of the cache simulator.
+    pub stats: NodeStats,
+    /// Per-thread execution profile consistent with the model, for the
+    /// counting engine.
+    pub profile: ExecutionProfile,
+}
+
+impl WorkloadRun {
+    /// Iterations per second — MLUPS × 1e6 for a stencil, updates/s for a
+    /// streaming kernel.
+    pub fn iterations_per_second(&self) -> f64 {
+        self.iterations as f64 / self.runtime_s
+    }
+
+    /// Average time per iteration in nanoseconds (the access latency for a
+    /// dependent-load workload).
+    pub fn time_per_iteration_ns(&self) -> f64 {
+        self.runtime_s / self.iterations as f64 * 1e9
+    }
+}
+
+/// A workload that can run under the experiment harness.
+pub trait Workload {
+    /// The kernel name (`copy`, `triad`, `jacobi-wavefront`, …).
+    fn name(&self) -> &str;
+
+    /// Double-precision floating-point operations per iteration.
+    fn flops_per_iteration(&self) -> f64;
+
+    /// Modelled memory traffic per iteration in bytes, *including* the
+    /// write-allocate stream of regular stores under the simulator's
+    /// write-back/write-allocate model (non-temporal stores and
+    /// read-modify-write targets do not pay it).
+    fn bytes_per_iteration(&self) -> f64;
+
+    /// Total bytes of the data the kernel touches.
+    fn working_set_bytes(&self) -> u64;
+
+    /// Execute the access streams of the kernel on `machine` with the
+    /// application threads at `placement`.
+    fn run(&self, machine: &SimMachine, placement: &Placement) -> WorkloadRun;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_cpus_deduplicates_preserving_order() {
+        let p = Placement::pinned(vec![4, 1, 4, 1, 2]);
+        assert_eq!(p.measured_cpus(), vec![4, 1, 2]);
+        assert_eq!(p.init, p.compute);
+    }
+
+    #[test]
+    fn run_derives_per_iteration_figures() {
+        let run = WorkloadRun {
+            iterations: 1000,
+            runtime_s: 2e-6,
+            bandwidth_mbs: 0.0,
+            mflops: 0.0,
+            stats: NodeStats::default(),
+            profile: ExecutionProfile::new(1),
+        };
+        assert!((run.iterations_per_second() - 5e8).abs() < 1.0);
+        assert!((run.time_per_iteration_ns() - 2.0).abs() < 1e-9);
+    }
+}
