@@ -1,0 +1,11 @@
+//! Time-resolved Jacobi case study: the blocked vs naive phase structure
+//! in MEM bandwidth over virtual time (timeline mode on the experiment
+//! harness).
+
+fn main() {
+    let spec = likwid_bench::jacobi_timeline_spec();
+    std::process::exit(likwid_bench::figure_bin_main(
+        &spec,
+        likwid_bench::jacobi_timeline_report_from,
+    ));
+}

@@ -18,7 +18,9 @@
 use likwid::args::{ArgSpec, ParsedArgs};
 use likwid::perfctr::{group_definition, supported_groups, EventGroupKind};
 use likwid::pin::{PinConfig, PinTool};
-use likwid::report::{Ascii, Body, KvEntry, Render, Report, Row, Section, Table, Value};
+use likwid::report::{
+    Ascii, Body, KvEntry, Render, Report, Row, Section, Table, TimeSeries, Value,
+};
 use likwid::topology::CpuTopology;
 use likwid_affinity::pinlist::scatter_placement;
 use likwid_affinity::ThreadingModel;
@@ -233,6 +235,98 @@ pub fn figure11_report(sizes: &[usize], time_steps: usize) -> Report {
 /// Regenerate Figure 11 as a text table.
 pub fn figure11_text(sizes: &[usize], time_steps: usize) -> String {
     Ascii.render(&figure11_report(sizes, time_steps))
+}
+
+/// The time-resolved Jacobi case study: MEM bandwidth over virtual time
+/// for the naive threaded sweep vs. the temporally blocked wavefront, four
+/// threads on one Nehalem EP socket, measured through the timeline mode of
+/// the experiment harness.
+///
+/// The phase structure that end-to-end totals hide becomes visible here:
+/// the threaded variant alternates memory-saturating sweeps with
+/// zero-traffic fork/join barriers (a sawtooth in the bandwidth series),
+/// while the wavefront streams steadily at a fraction of the bandwidth
+/// because only the pipeline's two ends touch main memory.
+pub fn jacobi_timeline_report(
+    size: usize,
+    time_steps: usize,
+    interval_s: f64,
+) -> likwid::Result<Report> {
+    let placement = vec![0usize, 1, 2, 3];
+    let mut report = Report::new("fig12");
+    report.push(Section::new("banner", Body::Text(String::new())).with_heading(format!(
+        "Time-resolved Jacobi on one Nehalem EP socket (N = {size}, {time_steps} sweeps, \
+             4 threads, sampling interval {} s)",
+        likwid::output::format_value(interval_s)
+    )));
+    for (variant, label) in
+        [(JacobiVariant::Threaded, "threaded"), (JacobiVariant::Wavefront, "wavefront")]
+    {
+        let result = Experiment::on(MachinePreset::NehalemEp2S)
+            .placement(PlacementPolicy::LikwidPin(placement.clone()))
+            .group(EventGroupKind::MEM)
+            .timeline(interval_s)
+            .run(&JacobiWorkload { variant, size, time_steps })?;
+        let timeline = result.timeline.as_ref().expect("timeline was configured");
+        let run = result.first();
+        let series = timeline.time_series("MEM").expect("MEM group series");
+        // The socket-lock owner (hardware thread 0) carries the uncore
+        // bandwidth counts; the other threads read 0 for them.
+        let bandwidth = TimeSeries {
+            timestamps: series.timestamps.clone(),
+            series: series
+                .series
+                .iter()
+                .filter(|s| s.cpu == 0 && s.metric == "Memory bandwidth [MBytes/s]")
+                .cloned()
+                .collect(),
+        };
+        report.push(
+            Section::new(format!("{label}.summary"), {
+                Body::KeyValues(vec![
+                    KvEntry::new("Runtime [s]", Value::Real(run.runtime_s)),
+                    KvEntry::new(
+                        "Performance [MLUPS]",
+                        Value::Real(run.iterations_per_second() / 1e6),
+                    ),
+                    KvEntry::new(
+                        "Memory data volume [GBytes]",
+                        Value::Real(run.stats.total_memory_bytes() as f64 / 1e9),
+                    ),
+                ])
+            })
+            .with_heading(format!("{}:", variant.name())),
+        );
+        report.push(Section::new(format!("{label}.timeline"), Body::TimeSeries(bandwidth)));
+    }
+    Ok(report)
+}
+
+/// The argument spec of the `fig12_jacobi_timeline` binary.
+pub fn jacobi_timeline_spec() -> ArgSpec {
+    ArgSpec::new(
+        "fig12_jacobi_timeline",
+        "time-resolved Jacobi: blocked vs naive phase structure in MEM bandwidth",
+    )
+    .flag("-t", None, Some("interval"), "sampling interval of virtual time (default 200us)")
+    .flag("-s", None, Some("steps"), "time steps / sweeps (default 4)")
+    .positional("size", "grid size in every dimension (default 104)", false)
+}
+
+/// Build the `fig12_jacobi_timeline` report from parsed arguments.
+pub fn jacobi_timeline_report_from(parsed: &ParsedArgs) -> likwid::Result<Report> {
+    let size = parsed.positional_number(104)?;
+    let time_steps: usize = match parsed.value("-s") {
+        None => 4,
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| likwid::LikwidError::Usage(format!("bad time step count '{raw}'")))?,
+    };
+    let interval_s = match parsed.value("-t") {
+        None => 200e-6,
+        Some(raw) => likwid::perfctr::parse_interval(raw)?,
+    };
+    jacobi_timeline_report(size, time_steps, interval_s)
 }
 
 /// Regenerate Table II as a typed report: uncore L3 line counts, data

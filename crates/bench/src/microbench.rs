@@ -36,6 +36,12 @@ pub fn likwid_bench_spec() -> ArgSpec {
         .flag("-g", None, Some("group|EVENT:CTR,..."), "measure the run with this counter group")
         .flag("-i", None, Some("iters"), "passes over the working set (default 1)")
         .flag("-a", None, None, "list the registered kernels")
+        .flag(
+            "-T",
+            None,
+            Some("interval"),
+            "timeline: sample the counters every <interval> of virtual time (requires -g)",
+        )
 }
 
 /// Build the report of one `likwid-bench` invocation.
@@ -84,6 +90,12 @@ pub fn likwid_bench_report(parsed: &ParsedArgs) -> Result<Report> {
         let event_table = likwid_perf_events::tables::for_arch(preset.arch());
         experiment = experiment.counters(parse_measurement_spec(group_arg, &event_table)?);
     }
+    if let Some(raw) = parsed.value("-T") {
+        if parsed.value("-g").is_none() {
+            return Err(LikwidError::Usage("-T (timeline) requires -g <group>".into()));
+        }
+        experiment = experiment.timeline(likwid::perfctr::parse_interval(raw)?);
+    }
     let result = experiment.run(workload.as_ref())?;
     let run = result.first();
     // Threads that actually did work: a serial kernel (the pointer chase)
@@ -110,7 +122,15 @@ pub fn likwid_bench_report(parsed: &ParsedArgs) -> Result<Report> {
         Section::new("bench", Body::KeyValues(entries))
             .with_heading(format!("Microbenchmark {kernel_name} on {}", preset.id())),
     );
-    if let Some(counters) = &result.counters {
+    if let Some(timeline) = &result.timeline {
+        // The timeline report carries the per-interval series and the
+        // aggregate tables; the plain counters sections would repeat the
+        // latter.
+        for mut section in timeline.report().sections {
+            section.id = format!("timeline.{}", section.id);
+            report.push(section);
+        }
+    } else if let Some(counters) = &result.counters {
         for mut section in counters.report().sections {
             section.id = format!("counters.{}", section.id);
             report.push(section);
@@ -163,6 +183,46 @@ mod tests {
         assert!(report.table("counters.metrics").is_some());
         let parsed = Report::from_json(&Json.render(&report)).unwrap();
         assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn timeline_flag_adds_per_interval_series() {
+        let report = report_for(&[
+            "-t",
+            "triad",
+            "-w",
+            "16MB",
+            "-c",
+            "S0:0-3",
+            "-g",
+            "MEM",
+            "-T",
+            "100us",
+            "--machine",
+            "nehalem-ep-2s",
+        ])
+        .unwrap();
+        let series_section =
+            report.section("timeline.timeseries.MEM").expect("timeline series section rides along");
+        let likwid::report::Body::TimeSeries(ts) = &series_section.body else {
+            panic!("not a timeseries body");
+        };
+        assert!(ts.timestamps.len() >= 2, "multiple sampling intervals");
+        assert!(ts.series_for("Memory bandwidth [MBytes/s]", 0).is_some());
+        assert!(report.table("timeline.aggregate.MEM.events").is_some());
+        assert!(report.section("counters.events").is_none(), "aggregates live in the timeline");
+        let parsed = Report::from_json(&Json.render(&report)).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn timeline_flag_requires_a_group_and_a_sane_interval() {
+        let err = report_for(&["-t", "copy", "-T", "1ms"]).unwrap_err();
+        assert!(matches!(err, LikwidError::Usage(_)), "got {err:?}");
+        for bad in ["0", "0us", "soon"] {
+            let err = report_for(&["-t", "copy", "-g", "MEM", "-T", bad]).unwrap_err();
+            assert!(matches!(err, LikwidError::Usage(_)), "'{bad}' gave {err:?}");
+        }
     }
 
     #[test]

@@ -62,7 +62,19 @@ impl Tool {
             .machine_flag()
             .flag("-c", None, Some("cpus"), "hardware threads to measure")
             .flag("-g", None, Some("group|EVENT:CTR,..."), "event group or custom event set")
-            .flag("-a", None, None, "list the event groups available on the machine"),
+            .flag("-a", None, None, "list the event groups available on the machine")
+            .flag(
+                "-t",
+                None,
+                Some("interval"),
+                "timeline mode: sample the counters every <interval> of virtual time (e.g. 1ms)",
+            )
+            .flag(
+                "-S",
+                None,
+                Some("duration"),
+                "stethoscope mode: measure for <duration> of virtual time and report",
+            ),
             Tool::Pin => ArgSpec::new(
                 "likwid-pin",
                 "report the thread-core placement the wrapper library enforces",
@@ -255,12 +267,17 @@ fn pin_report_from(parsed: &ParsedArgs) -> Result<Report> {
     Ok(tool.report(threads))
 }
 
-/// `likwid-perfctr -c <cpus> -g <group> [-a] [--machine <preset>]`.
+/// `likwid-perfctr -c <cpus> -g <group> [-a] [-t <interval>] [-S <duration>]
+/// [--machine <preset>]`.
 ///
 /// Wrapper mode against a real target process is replaced by reporting the
 /// measurement configuration (group resolution, counter assignment, socket
 /// locks); the full measurement pipeline is exercised by the workload and
-/// benchmark crates, which drive the counting engine.
+/// benchmark crates, which drive the counting engine. The timeline (`-t`)
+/// and stethoscope (`-S`) modes observe the built-in synthetic
+/// phase-structured demo application
+/// ([`crate::perfctr::timeline::demo_slice`]), since the simulated tool has
+/// no real process to attach to.
 pub fn run_perfctr(args: &[String]) -> Result<String> {
     run_tool(Tool::Perfctr, args)
 }
@@ -302,10 +319,57 @@ fn perfctr_report_from(parsed: &ParsedArgs) -> Result<Report> {
     let table = likwid_perf_events::tables::for_arch(machine.arch());
     let spec = crate::perfctr::parse_measurement_spec(group_arg, &table)?;
 
+    if parsed.has("-t") && parsed.has("-S") {
+        return Err(LikwidError::Usage("choose one of -t (timeline) and -S (stethoscope)".into()));
+    }
+    if let Some(raw) = parsed.value("-t") {
+        let interval = crate::perfctr::parse_interval(raw)?;
+        let config = crate::perfctr::PerfCtrConfig { cpus: cpus.clone(), spec };
+        let result = crate::perfctr::timeline::run_demo_timeline(
+            &machine,
+            config,
+            interval,
+            crate::perfctr::timeline::DEMO_DURATION_S,
+        )?;
+        let mut report = Report::new("likwid-perfctr");
+        report.push(session_section(&machine, group_arg, &cpus, &result.socket_lock_owners));
+        report.extend(result.report());
+        return Ok(report);
+    }
+    if let Some(raw) = parsed.value("-S") {
+        let duration = crate::perfctr::parse_interval(raw)?;
+        let config = crate::perfctr::PerfCtrConfig { cpus: cpus.clone(), spec };
+        let result = crate::perfctr::timeline::run_demo_stethoscope(&machine, config, duration)?;
+        let mut report = Report::new("likwid-perfctr");
+        report.push(session_section(&machine, group_arg, &cpus, &result.socket_lock_owners));
+        report.extend(result.stethoscope_report());
+        return Ok(report);
+    }
+
     let session = crate::perfctr::PerfCtr::new(
         &machine,
         crate::perfctr::PerfCtrConfig { cpus: cpus.clone(), spec },
     )?;
+    let mut report = Report::new("likwid-perfctr");
+    report.push(session_section(
+        &machine,
+        group_arg,
+        session.cpus(),
+        &session.socket_lock_owners(),
+    ));
+    Ok(report)
+}
+
+/// The `session` key/value section shared by the perfctr modes: machine
+/// identification, the measured group and threads, and the session's
+/// socket-lock owners (as assigned by [`crate::perfctr::PerfCtr`] — the
+/// single source of truth for the lock rule).
+fn session_section(
+    machine: &SimMachine,
+    group_arg: &str,
+    cpus: &[usize],
+    socket_lock_owners: &[usize],
+) -> Section {
     let mut entries = vec![
         KvEntry::new("CPU type", Value::Str(machine.arch().display_name().to_string())),
         KvEntry::new("CPU clock", Value::Real(machine.clock().ghz()))
@@ -314,17 +378,13 @@ fn perfctr_report_from(parsed: &ParsedArgs) -> Result<Report> {
             .with_ascii(format!("Measuring group {group_arg}")),
         KvEntry::new("Measured hardware threads", Value::Str(format!("{cpus:?}"))),
     ];
-    for &cpu in session.cpus() {
-        if session.owns_socket_lock(cpu) {
-            entries.push(
-                KvEntry::new("Socket lock owner", Value::CpuId(cpu))
-                    .with_ascii(format!("Socket lock owner: hardware thread {cpu}")),
-            );
-        }
+    for &cpu in socket_lock_owners {
+        entries.push(
+            KvEntry::new("Socket lock owner", Value::CpuId(cpu))
+                .with_ascii(format!("Socket lock owner: hardware thread {cpu}")),
+        );
     }
-    let mut report = Report::new("likwid-perfctr");
-    report.push(Section::new("session", Body::KeyValues(entries)));
-    Ok(report)
+    Section::new("session", Body::KeyValues(entries))
 }
 
 #[cfg(test)]
@@ -434,6 +494,90 @@ mod tests {
         ]))
         .unwrap();
         assert!(custom.contains("Measured hardware threads: [1]"));
+    }
+
+    #[test]
+    fn perfctr_timeline_mode_reports_per_interval_series() {
+        let out = run_perfctr(&args(&[
+            "--machine",
+            "westmere-ep-2s",
+            "-c",
+            "0-1",
+            "-g",
+            "MEM",
+            "-t",
+            "1ms",
+        ]))
+        .unwrap();
+        assert!(out.contains("Measuring group MEM"));
+        assert!(out.contains("Timeline MEM (interval 0.001 s):"));
+        assert!(out.contains("time[s]"));
+        assert!(out.contains("Memory bandwidth [MBytes/s] core 0"));
+        assert!(out.contains("Aggregate MEM:"));
+        // The typed document carries the series.
+        let report = perfctr_report(&args(&[
+            "--machine",
+            "westmere-ep-2s",
+            "-c",
+            "0-1",
+            "-g",
+            "MEM",
+            "-t",
+            "1ms",
+        ]))
+        .unwrap();
+        let crate::report::Body::TimeSeries(ts) =
+            &report.section("timeseries.MEM").expect("series section").body
+        else {
+            panic!("not a timeseries body");
+        };
+        assert_eq!(ts.timestamps.len(), 10, "10 ms demo at 1 ms sampling");
+    }
+
+    #[test]
+    fn perfctr_stethoscope_mode_reports_one_aggregate() {
+        let report = perfctr_report(&args(&[
+            "--machine",
+            "nehalem-ep-2s",
+            "-c",
+            "0-3",
+            "-g",
+            "FLOPS_DP",
+            "-S",
+            "5ms",
+        ]))
+        .unwrap();
+        assert!(
+            (report.value("stethoscope", "Duration [s]").unwrap().as_real().unwrap() - 5e-3).abs()
+                < 1e-12
+        );
+        assert!(report.section("timeseries.FLOPS_DP").is_none(), "stethoscope has no series");
+        let runtime = report
+            .table("aggregate.FLOPS_DP.metrics")
+            .expect("metrics table")
+            .cell("Runtime [s]", "core 0")
+            .and_then(|v| v.as_real())
+            .unwrap();
+        assert!((runtime - 5e-3).abs() < 1e-4, "the window is the runtime, got {runtime}");
+    }
+
+    #[test]
+    fn perfctr_rejects_bad_timeline_and_stethoscope_intervals() {
+        // Zero, negative and unparsable intervals are usage errors, not
+        // panics or endless sampling loops.
+        for bad in ["0", "0ms", "bogus", "1xs"] {
+            for flag in ["-t", "-S"] {
+                let err = run_perfctr(&args(&["-c", "0", "-g", "MEM", flag, bad])).unwrap_err();
+                assert!(matches!(err, LikwidError::Usage(_)), "{flag} {bad}: {err:?}");
+            }
+        }
+        // Negative values look like flags to the parser — still a usage error.
+        let err = run_perfctr(&args(&["-c", "0", "-g", "MEM", "-t", "-1ms"])).unwrap_err();
+        assert!(matches!(err, LikwidError::Usage(_)), "got {err:?}");
+        // Both modes at once is ambiguous.
+        let err =
+            run_perfctr(&args(&["-c", "0", "-g", "MEM", "-t", "1ms", "-S", "2ms"])).unwrap_err();
+        assert!(matches!(err, LikwidError::Usage(_)), "got {err:?}");
     }
 
     #[test]

@@ -248,6 +248,11 @@ impl<'m> PerfCtr<'m> {
         self.socket_owner.values().any(|&owner| owner == cpu)
     }
 
+    /// The socket-lock owners, in measured-cpu order.
+    pub fn socket_lock_owners(&self) -> Vec<usize> {
+        self.cpus.iter().copied().filter(|&cpu| self.owns_socket_lock(cpu)).collect()
+    }
+
     /// Program all counters of group `index` (does not start them).
     fn program_group(&mut self, index: usize) -> Result<()> {
         let group = &self.groups[index];
@@ -349,6 +354,17 @@ impl<'m> PerfCtr<'m> {
             .collect()
     }
 
+    /// The raw accumulated counts of a group (no extrapolation): exactly
+    /// what was measured while the group's counters were live.
+    pub fn accumulated_counts(&self, group: usize) -> GroupCounts {
+        self.accumulated[group].clone()
+    }
+
+    /// The name of a group by index.
+    pub fn group_name(&self, group: usize) -> &str {
+        &self.groups[group].name
+    }
+
     /// Compute results (event table + derived metrics) for the active group
     /// from raw counts.
     pub fn results(&self, counts: &GroupCounts) -> Result<PerfCtrResults> {
@@ -356,8 +372,33 @@ impl<'m> PerfCtr<'m> {
     }
 
     /// Compute results for an arbitrary group index (used by the multiplexed
-    /// and marker paths).
+    /// and marker paths). The derived metrics' `time` variable is bound to
+    /// the group's time formula (total runtime from the cycle counters) —
+    /// the aggregate-mode binding.
     pub fn results_for_group(&self, group: usize, counts: &GroupCounts) -> Result<PerfCtrResults> {
+        self.results_for_group_with_time(group, counts, None)
+    }
+
+    /// Compute results for one *timeline interval* of a group: the derived
+    /// metrics' `time` variable is bound to the interval length `dt_s`, not
+    /// to the time formula, so rate metrics (MBytes/s, MFlops/s) come out
+    /// per interval. Aggregate-mode results ([`PerfCtr::results_for_group`])
+    /// keep the total-runtime binding.
+    pub fn results_for_group_at(
+        &self,
+        group: usize,
+        counts: &GroupCounts,
+        dt_s: f64,
+    ) -> Result<PerfCtrResults> {
+        self.results_for_group_with_time(group, counts, Some(dt_s))
+    }
+
+    fn results_for_group_with_time(
+        &self,
+        group: usize,
+        counts: &GroupCounts,
+        time_override: Option<f64>,
+    ) -> Result<PerfCtrResults> {
         let g = &self.groups[group];
         let inverse_clock = 1.0 / self.machine.clock().frequency_hz;
 
@@ -377,7 +418,10 @@ impl<'m> PerfCtr<'m> {
                     for (ei, (_, slot, _)) in g.events.iter().enumerate() {
                         vars.insert(slot.name(), counts[ei][ci] as f64);
                     }
-                    let time = time_formula.evaluate(&vars)?;
+                    let time = match time_override {
+                        Some(dt) => dt,
+                        None => time_formula.evaluate(&vars)?,
+                    };
                     vars.insert("time".to_string(), time);
                     per_cpu.push(f.evaluate(&vars)?);
                 }

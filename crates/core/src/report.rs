@@ -241,6 +241,45 @@ impl KvEntry {
     }
 }
 
+/// One named series of a [`TimeSeries`] body: the per-interval values of a
+/// metric (or raw event) on one measured hardware thread.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Metric or event name.
+    pub metric: String,
+    /// The OS hardware-thread ID the series was measured on.
+    pub cpu: usize,
+    /// One value per timestamp of the owning [`TimeSeries`].
+    pub values: Vec<f64>,
+}
+
+impl Series {
+    /// A new series.
+    pub fn new(metric: impl Into<String>, cpu: usize, values: Vec<f64>) -> Self {
+        Series { metric: metric.into(), cpu, values }
+    }
+}
+
+/// A time-resolved measurement: one shared timestamp axis (interval end
+/// times in seconds since measurement start) plus named per-metric series.
+/// The ASCII renderer prints a compact value table with a trailing
+/// sparkline per series; the CSV renderer emits long-format
+/// `time,metric,cpu,value` rows; JSON round-trips losslessly.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TimeSeries {
+    /// Interval end timestamps in seconds.
+    pub timestamps: Vec<f64>,
+    /// The series, in display order.
+    pub series: Vec<Series>,
+}
+
+impl TimeSeries {
+    /// The series of a metric on one cpu.
+    pub fn series_for(&self, metric: &str, cpu: usize) -> Option<&Series> {
+        self.series.iter().find(|s| s.metric == metric && s.cpu == cpu)
+    }
+}
+
 /// The content of a section.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Body {
@@ -251,6 +290,8 @@ pub enum Body {
     /// A free text block, rendered verbatim by the ASCII renderer (ASCII
     /// art, pre-laid-out listings).
     Text(String),
+    /// A time-resolved measurement (timeline mode).
+    TimeSeries(TimeSeries),
 }
 
 /// How a section announces itself in ASCII output.
@@ -453,6 +494,71 @@ impl OutputFormat {
     }
 }
 
+/// Eight-level sparkline of a series (`▁▂▃▄▅▆▇█`), scaled to its own
+/// min/max; non-finite values print as spaces, a constant series as `▄`.
+fn sparkline(values: &[f64]) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    let (min, max) = finite
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    values
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() {
+                ' '
+            } else if max <= min {
+                LEVELS[3]
+            } else {
+                let level = ((v - min) / (max - min) * 7.0).round() as usize;
+                LEVELS[level.min(7)]
+            }
+        })
+        .collect()
+}
+
+/// Render a [`TimeSeries`] body: a `time[s]` header row, one aligned value
+/// row per series, and a trailing sparkline per row.
+fn render_time_series(out: &mut String, ts: &TimeSeries) {
+    const TIME_LABEL: &str = "time[s]";
+    let labels: Vec<String> =
+        ts.series.iter().map(|s| format!("{} core {}", s.metric, s.cpu)).collect();
+    let label_w =
+        labels.iter().map(String::len).chain(std::iter::once(TIME_LABEL.len())).max().unwrap_or(0);
+    let time_cells: Vec<String> = ts.timestamps.iter().map(|&t| output::format_value(t)).collect();
+    let value_cells: Vec<Vec<String>> = ts
+        .series
+        .iter()
+        .map(|s| s.values.iter().map(|&v| output::format_value(v)).collect())
+        .collect();
+    let widths: Vec<usize> = (0..ts.timestamps.len())
+        .map(|j| {
+            value_cells
+                .iter()
+                .filter_map(|row| row.get(j).map(String::len))
+                .chain(std::iter::once(time_cells[j].len()))
+                .max()
+                .unwrap_or(0)
+        })
+        .collect();
+    out.push_str(&format!("{TIME_LABEL:<label_w$}"));
+    for (j, cell) in time_cells.iter().enumerate() {
+        out.push_str(&format!("  {cell:>w$}", w = widths[j]));
+    }
+    out.push('\n');
+    for (i, s) in ts.series.iter().enumerate() {
+        out.push_str(&format!("{:<label_w$}", labels[i]));
+        // A malformed document (hand-written JSON) may carry more values
+        // than timestamps; render only the timestamped columns.
+        for (j, cell) in value_cells[i].iter().enumerate().take(widths.len()) {
+            out.push_str(&format!("  {cell:>w$}", w = widths[j]));
+        }
+        out.push_str("  ");
+        out.push_str(&sparkline(&s.values));
+        out.push('\n');
+    }
+}
+
 /// The classic terminal renderer. Byte-identical to the pre-report string
 /// output of every tool (pinned by `tests/report_golden.rs`).
 pub struct Ascii;
@@ -523,6 +629,7 @@ impl Render for Ascii {
                     }
                 },
                 Body::Text(text) => out.push_str(text),
+                Body::TimeSeries(ts) => render_time_series(&mut out, ts),
             }
             if section.rule_after {
                 out.push_str(&output::rule());
@@ -586,6 +693,20 @@ impl Render for Csv {
                     out.push_str(&csv_field(text));
                     out.push('\n');
                 }
+                Body::TimeSeries(ts) => {
+                    out.push_str("time,metric,cpu,value\n");
+                    for (j, &t) in ts.timestamps.iter().enumerate() {
+                        for s in &ts.series {
+                            let Some(&v) = s.values.get(j) else { continue };
+                            out.push_str(&csv_field(&format_real(t)));
+                            out.push(',');
+                            out.push_str(&csv_field(&s.metric));
+                            out.push_str(&format!(",{},", s.cpu));
+                            out.push_str(&csv_field(&format_real(v)));
+                            out.push('\n');
+                        }
+                    }
+                }
             }
         }
         out
@@ -621,7 +742,9 @@ impl Render for Json {
 
 /// Hand-rolled JSON writer and reader for [`Report`] documents.
 mod json {
-    use super::{Body, Heading, KvEntry, Report, Row, Section, Table, TableStyle, Value};
+    use super::{
+        Body, Heading, KvEntry, Report, Row, Section, Series, Table, TableStyle, TimeSeries, Value,
+    };
 
     pub(super) fn write_string(out: &mut String, s: &str) {
         out.push('"');
@@ -666,6 +789,27 @@ mod json {
             Some(s) => write_string(out, s),
             None => out.push_str("null"),
         }
+    }
+
+    /// A raw f64 array element: a JSON number for finite values, the
+    /// conventional string spelling for NaN/±inf.
+    fn write_real_token(out: &mut String, v: f64) {
+        if v.is_finite() {
+            out.push_str(&format!("{v}"));
+        } else {
+            write_string(out, &super::format_real(v));
+        }
+    }
+
+    fn write_real_array(out: &mut String, values: &[f64]) {
+        out.push('[');
+        for (i, &v) in values.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_real_token(out, v);
+        }
+        out.push(']');
     }
 
     pub(super) fn write_section(out: &mut String, section: &Section) {
@@ -746,6 +890,22 @@ mod json {
                 out.push_str("{\"kind\":\"text\",\"text\":");
                 write_string(out, text);
                 out.push('}');
+            }
+            Body::TimeSeries(ts) => {
+                out.push_str("{\"kind\":\"timeseries\",\"timestamps\":");
+                write_real_array(out, &ts.timestamps);
+                out.push_str(",\"series\":[");
+                for (i, s) in ts.series.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str("{\"metric\":");
+                    write_string(out, &s.metric);
+                    out.push_str(&format!(",\"cpu\":{},\"values\":", s.cpu));
+                    write_real_array(out, &s.values);
+                    out.push('}');
+                }
+                out.push_str("]}");
             }
         }
         out.push('}');
@@ -1014,6 +1174,27 @@ mod json {
         }
     }
 
+    fn read_real_token(v: &JsonValue) -> Result<f64, String> {
+        match v {
+            JsonValue::Num(raw) => raw.parse().map_err(|_| format!("bad real '{raw}'")),
+            JsonValue::Str(s) => match s.as_str() {
+                "NaN" => Ok(f64::NAN),
+                "inf" => Ok(f64::INFINITY),
+                "-inf" => Ok(f64::NEG_INFINITY),
+                other => Err(format!("bad non-finite real '{other}'")),
+            },
+            _ => Err("expected a real number".into()),
+        }
+    }
+
+    fn read_real_array(v: &JsonValue) -> Result<Vec<f64>, String> {
+        v.as_array()
+            .ok_or_else(|| "expected an array of reals".to_string())?
+            .iter()
+            .map(read_real_token)
+            .collect()
+    }
+
     fn read_value(v: &JsonValue) -> Result<Value, String> {
         let kind = v
             .get("type")
@@ -1032,18 +1213,7 @@ mod json {
                     _ => Value::Bytes(n),
                 })
             }
-            "real" => match payload {
-                JsonValue::Num(raw) => {
-                    Ok(Value::Real(raw.parse().map_err(|_| format!("bad real '{raw}'"))?))
-                }
-                JsonValue::Str(s) => Ok(Value::Real(match s.as_str() {
-                    "NaN" => f64::NAN,
-                    "inf" => f64::INFINITY,
-                    "-inf" => f64::NEG_INFINITY,
-                    other => return Err(format!("bad non-finite real '{other}'")),
-                })),
-                _ => Err("real payload must be a number or string".into()),
-            },
+            "real" => Ok(Value::Real(read_real_token(payload)?)),
             "str" => Ok(Value::Str(
                 payload.as_str().ok_or_else(|| "str payload must be a string".to_string())?.into(),
             )),
@@ -1144,6 +1314,36 @@ mod json {
                     .ok_or_else(|| "text body without text".to_string())?
                     .to_string(),
             ),
+            Some("timeseries") => {
+                let timestamps = read_real_array(
+                    body_json
+                        .get("timestamps")
+                        .ok_or_else(|| "timeseries without timestamps".to_string())?,
+                )?;
+                let mut series = Vec::new();
+                for s in body_json
+                    .get("series")
+                    .and_then(JsonValue::as_array)
+                    .ok_or_else(|| "timeseries without series".to_string())?
+                {
+                    let metric = s
+                        .get("metric")
+                        .and_then(JsonValue::as_str)
+                        .ok_or_else(|| "series without a metric name".to_string())?
+                        .to_string();
+                    let cpu: usize = match s.get("cpu") {
+                        Some(JsonValue::Num(raw)) => {
+                            raw.parse().map_err(|_| format!("bad series cpu '{raw}'"))?
+                        }
+                        _ => return Err("series without a cpu".into()),
+                    };
+                    let values = read_real_array(
+                        s.get("values").ok_or_else(|| "series without values".to_string())?,
+                    )?;
+                    series.push(Series { metric, cpu, values });
+                }
+                Body::TimeSeries(TimeSeries { timestamps, series })
+            }
             _ => return Err("unknown body kind".into()),
         };
         Ok(Section { id, heading, rule_before, rule_after, body })
@@ -1329,6 +1529,95 @@ mod tests {
         assert_eq!(OutputFormat::from_extension("out.csv"), Some(OutputFormat::Csv));
         assert_eq!(OutputFormat::from_extension("out.txt"), Some(OutputFormat::Ascii));
         assert_eq!(OutputFormat::from_extension("out"), None);
+    }
+
+    fn sample_time_series() -> TimeSeries {
+        TimeSeries {
+            timestamps: vec![0.001, 0.002, 0.003, 0.004],
+            series: vec![
+                Series::new("Memory bandwidth [MBytes/s]", 0, vec![20480.0, 64.0, 20480.0, 64.0]),
+                Series::new("CPI", 1, vec![1.5, 1.5, 1.5, 1.5]),
+            ],
+        }
+    }
+
+    #[test]
+    fn time_series_ascii_prints_table_and_sparkline() {
+        let mut report = Report::new("tl");
+        report.push(Section::new("timeseries", Body::TimeSeries(sample_time_series())));
+        let text = Ascii.render(&report);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "header plus one line per series:\n{text}");
+        assert!(lines[0].starts_with("time[s]"));
+        assert!(lines[0].contains("0.001") && lines[0].contains("0.004"));
+        assert!(lines[1].starts_with("Memory bandwidth [MBytes/s] core 0"));
+        assert!(lines[1].ends_with("█▁█▁"), "alternating series sparkline: {}", lines[1]);
+        assert!(lines[2].starts_with("CPI core 1"));
+        assert!(lines[2].ends_with("▄▄▄▄"), "constant series sparkline: {}", lines[2]);
+        // Columns align: every value column is right-aligned under its
+        // timestamp, so the header and rows share the table width up to the
+        // sparkline suffix.
+        let data_width = lines[0].len();
+        assert!(lines[1].chars().count() > data_width, "sparkline extends past the table");
+    }
+
+    #[test]
+    fn time_series_csv_uses_long_format() {
+        let mut report = Report::new("tl");
+        report.push(Section::new("timeseries", Body::TimeSeries(sample_time_series())));
+        let csv = Csv.render(&report);
+        assert!(csv.starts_with("SECTION,timeseries\ntime,metric,cpu,value\n"));
+        assert!(csv.contains("0.001,Memory bandwidth [MBytes/s],0,20480\n"));
+        assert!(csv.contains("0.001,CPI,1,1.5\n"));
+        assert!(csv.contains("0.004,Memory bandwidth [MBytes/s],0,64\n"));
+        // One record per (timestamp, series) pair plus the two headers.
+        assert_eq!(csv.lines().count(), 2 + 4 * 2);
+    }
+
+    #[test]
+    fn time_series_json_round_trips() {
+        let mut report = Report::new("tl");
+        report.push(
+            Section::new("timeseries", Body::TimeSeries(sample_time_series()))
+                .with_heading("Timeline MEM"),
+        );
+        let json = Json.render(&report);
+        let parsed = Report::from_json(&json).expect("timeseries JSON must parse");
+        assert_eq!(parsed, report);
+        // Timestamps and values survive as raw reals, not stringified.
+        assert!(json.contains("\"timestamps\":[0.001,0.002,0.003,0.004]"));
+        assert!(json.contains("\"cpu\":1"));
+    }
+
+    #[test]
+    fn time_series_with_mismatched_lengths_renders_without_panicking() {
+        // A hand-written JSON document may carry more (or fewer) values
+        // than timestamps; every renderer must tolerate it.
+        let ts = TimeSeries {
+            timestamps: vec![0.1, 0.2],
+            series: vec![
+                Series::new("long", 0, vec![1.0, 2.0, 3.0]),
+                Series::new("short", 1, vec![4.0]),
+            ],
+        };
+        let mut report = Report::new("tl");
+        report.push(Section::new("timeseries", Body::TimeSeries(ts)));
+        let text = Ascii.render(&report);
+        assert!(text.contains("long core 0"));
+        assert!(text.contains("short core 1"));
+        let csv = Csv.render(&report);
+        assert!(csv.contains("0.1,short,1,4\n"));
+        assert!(!csv.contains("0.2,short"), "short series has no second value");
+        let parsed = Report::from_json(&Json.render(&report)).expect("still round-trips");
+        assert_eq!(parsed.sections.len(), 1);
+    }
+
+    #[test]
+    fn time_series_sparkline_handles_degenerate_series() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[5.0]), "▄");
+        assert_eq!(sparkline(&[1.0, f64::NAN, 2.0]), "▁ █");
+        assert_eq!(sparkline(&[0.0, 3.5, 7.0]), "▁▅█");
     }
 
     #[test]

@@ -144,6 +144,11 @@ impl SocketEventRecord {
     pub fn get(&self, kind: HwEventKind) -> u64 {
         self.counts.get(&kind).copied().unwrap_or(0)
     }
+
+    /// Iterate over all non-zero kinds.
+    pub fn iter(&self) -> impl Iterator<Item = (HwEventKind, u64)> + '_ {
+        self.counts.iter().map(|(&k, &v)| (k, v))
+    }
 }
 
 /// A complete sample of simulated hardware activity: what happened on every

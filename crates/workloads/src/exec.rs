@@ -65,6 +65,21 @@ impl ExecutionProfile {
         self.branches[hw] += elements / 8;
         self.branch_misses[hw] += elements / 512;
     }
+
+    /// The profile scaled to `fraction` of its counts (floored; fraction
+    /// 1.0 reproduces the profile exactly). Workload drivers use this to
+    /// spread a run's totals over its progress ticks.
+    pub fn scaled(&self, fraction: f64) -> ExecutionProfile {
+        let scale = |v: &[u64]| v.iter().map(|&x| (x as f64 * fraction).floor() as u64).collect();
+        ExecutionProfile {
+            instructions: scale(&self.instructions),
+            cycles: scale(&self.cycles),
+            simd_packed_double: scale(&self.simd_packed_double),
+            simd_scalar_double: scale(&self.simd_scalar_double),
+            branches: scale(&self.branches),
+            branch_misses: scale(&self.branch_misses),
+        }
+    }
 }
 
 /// Build an [`EventSample`] from cache-simulator statistics and an execution
@@ -200,6 +215,177 @@ pub fn sample_from_simulation(
     sample
 }
 
+/// One progress tick of a workload run: the *cumulative* simulation state
+/// at a virtual timestamp. Workload drivers push ticks while they execute
+/// (after each sweep, pass or pipeline batch); the timeline harness slices
+/// the run at sampling boundaries by interpolating between ticks.
+#[derive(Debug, Clone)]
+pub struct ProgressTick {
+    /// Virtual time since run start, in seconds.
+    pub t_s: f64,
+    /// Cache/memory statistics accumulated from run start through this
+    /// tick.
+    pub stats: NodeStats,
+    /// Execution profile accumulated from run start through this tick.
+    pub profile: ExecutionProfile,
+}
+
+/// The progress trace of one workload run: cumulative ticks in
+/// non-decreasing virtual-time order, the last one covering the full run.
+#[derive(Debug, Clone, Default)]
+pub struct ProgressTrace {
+    /// The recorded ticks.
+    pub ticks: Vec<ProgressTick>,
+}
+
+impl ProgressTrace {
+    /// Record a cumulative tick. Timestamps must be non-decreasing.
+    pub fn record(&mut self, t_s: f64, stats: NodeStats, profile: ExecutionProfile) {
+        debug_assert!(
+            self.ticks.last().map(|t| t.t_s <= t_s).unwrap_or(true),
+            "progress ticks must advance in time"
+        );
+        self.ticks.push(ProgressTick { t_s, stats, profile });
+    }
+
+    /// Total virtual runtime covered by the trace.
+    pub fn runtime_s(&self) -> f64 {
+        self.ticks.last().map(|t| t.t_s).unwrap_or(0.0)
+    }
+}
+
+/// Linear interpolation of one event record between two cumulative
+/// snapshots at fraction `alpha`, floored to whole counts. Floor of a
+/// monotone interpolant is monotone and hits both endpoints exactly, so
+/// deltas between consecutive boundaries telescope to the total.
+fn lerp_pairs(
+    prev_pairs: &[(HwEventKind, u64)],
+    next_pairs: &[(HwEventKind, u64)],
+    alpha: f64,
+    mut set: impl FnMut(HwEventKind, u64),
+) {
+    let prev_of = |kind: HwEventKind| {
+        prev_pairs.iter().find(|(k, _)| *k == kind).map(|(_, v)| *v).unwrap_or(0)
+    };
+    for &(kind, next_v) in next_pairs {
+        let prev_v = prev_of(kind);
+        let value = prev_v + ((next_v.saturating_sub(prev_v)) as f64 * alpha).floor() as u64;
+        set(kind, value);
+    }
+    // Kinds present only in the earlier snapshot keep their value (a
+    // consistent cumulative trace never loses a kind, but stay safe).
+    for &(kind, prev_v) in prev_pairs {
+        if !next_pairs.iter().any(|(k, _)| *k == kind) {
+            set(kind, prev_v);
+        }
+    }
+}
+
+/// The cumulative event sample at fraction `alpha` between two cumulative
+/// samples.
+fn lerp_sample(prev: &EventSample, next: &EventSample, alpha: f64) -> EventSample {
+    let mut out = EventSample::new(next.threads.len(), next.sockets.len());
+    for (cpu, next_rec) in next.threads.iter().enumerate() {
+        let prev_pairs: Vec<(HwEventKind, u64)> =
+            prev.threads.get(cpu).map(|r| r.iter().collect()).unwrap_or_default();
+        let next_pairs: Vec<(HwEventKind, u64)> = next_rec.iter().collect();
+        let slot = &mut out.threads[cpu];
+        lerp_pairs(&prev_pairs, &next_pairs, alpha, |k, v| {
+            slot.set(k, v);
+        });
+    }
+    for (socket, next_rec) in next.sockets.iter().enumerate() {
+        let prev_pairs: Vec<(HwEventKind, u64)> =
+            prev.sockets.get(socket).map(|r| r.iter().collect()).unwrap_or_default();
+        let next_pairs: Vec<(HwEventKind, u64)> = next_rec.iter().collect();
+        let slot = &mut out.sockets[socket];
+        lerp_pairs(&prev_pairs, &next_pairs, alpha, |k, v| {
+            slot.set(k, v);
+        });
+    }
+    out
+}
+
+/// The per-count difference of two cumulative samples (`next - prev`).
+fn diff_sample(prev: &EventSample, next: &EventSample) -> EventSample {
+    let mut out = EventSample::new(next.threads.len(), next.sockets.len());
+    for (cpu, next_rec) in next.threads.iter().enumerate() {
+        for (kind, v) in next_rec.iter() {
+            let prev_v = prev.threads.get(cpu).map(|r| r.get(kind)).unwrap_or(0);
+            out.threads[cpu].set(kind, v.saturating_sub(prev_v));
+        }
+    }
+    for (socket, next_rec) in next.sockets.iter().enumerate() {
+        for (kind, v) in next_rec.iter() {
+            let prev_v = prev.sockets.get(socket).map(|r| r.get(kind)).unwrap_or(0);
+            out.sockets[socket].set(kind, v.saturating_sub(prev_v));
+        }
+    }
+    out
+}
+
+/// Slice a progress trace into timeline intervals of (at most)
+/// `interval_s` seconds of virtual time: returns `(t_start, t_end,
+/// slice sample)` triples whose samples sum — count by count — exactly to
+/// the sample of the full run (the last tick). Sampling points that fall
+/// between two ticks interpolate the cumulative counts linearly, so even a
+/// single-tick (constant-rate) trace yields mid-run sampling points.
+pub fn slice_samples(
+    machine: &SimMachine,
+    trace: &ProgressTrace,
+    interval_s: f64,
+) -> Vec<(f64, f64, EventSample)> {
+    assert!(interval_s > 0.0, "interval must be positive");
+    let cumulative: Vec<(f64, EventSample)> = trace
+        .ticks
+        .iter()
+        .map(|tick| (tick.t_s, sample_from_simulation(machine, &tick.stats, &tick.profile)))
+        .collect();
+    let runtime = trace.runtime_s();
+    let num_threads = machine.num_hw_threads();
+    let num_sockets = machine.topology().sockets as usize;
+    let empty = EventSample::new(num_threads, num_sockets);
+
+    // Cumulative sample at virtual time `t`.
+    let at = |t: f64| -> EventSample {
+        if cumulative.is_empty() {
+            return empty.clone();
+        }
+        let mut prev_t = 0.0;
+        let mut prev_sample = &empty;
+        for (tick_t, sample) in &cumulative {
+            if t <= *tick_t {
+                let span = tick_t - prev_t;
+                let alpha = if span > 0.0 { ((t - prev_t) / span).clamp(0.0, 1.0) } else { 1.0 };
+                return lerp_sample(prev_sample, sample, alpha);
+            }
+            prev_t = *tick_t;
+            prev_sample = sample;
+        }
+        cumulative.last().map(|(_, s)| s.clone()).unwrap_or(empty.clone())
+    };
+
+    // Walk boundaries until the runtime is covered instead of
+    // pre-computing `ceil(runtime/interval)`: float rounding of the ratio
+    // must never produce a trailing zero-length slice.
+    let mut out = Vec::new();
+    let mut prev_boundary = empty.clone();
+    let mut t0 = 0.0;
+    let mut i = 0usize;
+    loop {
+        let t1 = ((i + 1) as f64 * interval_s).min(runtime);
+        let boundary = at(t1);
+        out.push((t0, t1, diff_sample(&prev_boundary, &boundary)));
+        prev_boundary = boundary;
+        t0 = t1;
+        i += 1;
+        if t1 >= runtime {
+            break;
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -252,6 +438,79 @@ mod tests {
         assert_eq!(sample.threads[2].get(HwEventKind::InstructionsRetired), 500);
         assert_eq!(sample.threads[2].get(HwEventKind::SimdPackedDouble), 16);
         assert_eq!(sample.threads[0].get(HwEventKind::LoadsRetired), 0);
+    }
+
+    #[test]
+    fn slice_samples_telescope_exactly_to_the_full_run() {
+        let machine = SimMachine::new(MachinePreset::NehalemEp2S);
+        let cfg = HierarchyConfig::from_machine(&machine, NumaPolicy::SingleNode { socket: 0 });
+        let mut sys = NodeCacheSystem::new(cfg);
+        for i in 0..5000u64 {
+            sys.access(0, Access::load(i * 64));
+            if i % 2 == 0 {
+                sys.access(1, Access::store((1 << 24) + i * 64));
+            }
+        }
+        let mut profile = ExecutionProfile::new(machine.num_hw_threads());
+        profile.cycles[0] = 1_000_003; // deliberately not divisible by the slices
+        profile.instructions[0] = 777_777;
+        profile.cycles[1] = 999_999;
+        let stats = sys.stats();
+        let total = sample_from_simulation(&machine, &stats, &profile);
+
+        let mut trace = ProgressTrace::default();
+        trace.record(1e-3, stats, profile);
+        // 7 intervals over a single-tick (constant-rate) trace: sampling
+        // points are interpolated mid-tick, and the slice deltas must sum
+        // count-by-count to the full-run sample.
+        let slices = slice_samples(&machine, &trace, 1e-3 / 7.0);
+        assert_eq!(slices.len(), 7);
+        let mut summed = EventSample::new(total.threads.len(), total.sockets.len());
+        for (t0, t1, sample) in &slices {
+            assert!(t1 > t0);
+            summed.merge(sample);
+        }
+        assert_eq!(summed, total, "slice samples must telescope to the total");
+        // Interior slices actually carry activity (not everything lumped
+        // into one interval).
+        let mid_cycles = slices[3].2.threads[0].get(HwEventKind::CoreCycles);
+        assert!(mid_cycles > 0, "mid-run sampling points exist");
+    }
+
+    #[test]
+    fn slice_samples_follow_multi_tick_phase_structure() {
+        // Two ticks: all activity in the first half, nothing in the second.
+        let machine = SimMachine::new(MachinePreset::Core2Quad);
+        let cfg = HierarchyConfig::from_machine(&machine, NumaPolicy::SingleNode { socket: 0 });
+        let mut sys = NodeCacheSystem::new(cfg);
+        for i in 0..1000u64 {
+            sys.access(0, Access::load(i * 64));
+        }
+        let stats = sys.stats();
+        let mut profile = ExecutionProfile::new(machine.num_hw_threads());
+        profile.cycles[0] = 500_000;
+        let mut trace = ProgressTrace::default();
+        trace.record(1e-3, stats.clone(), profile.clone());
+        profile.cycles[0] = 1_000_000;
+        trace.record(2e-3, stats, profile); // same stats: an idle phase
+        let slices = slice_samples(&machine, &trace, 5e-4);
+        assert_eq!(slices.len(), 4);
+        let loads = |s: &EventSample| s.threads[0].get(HwEventKind::LoadsRetired);
+        assert!(loads(&slices[0].2) > 0 && loads(&slices[1].2) > 0);
+        assert_eq!(loads(&slices[2].2), 0, "the idle phase moves no data");
+        assert_eq!(loads(&slices[3].2), 0);
+        assert!(slices[3].2.threads[0].get(HwEventKind::CoreCycles) > 0, "but burns cycles");
+    }
+
+    #[test]
+    fn scaled_profile_is_exact_at_unity() {
+        let mut profile = ExecutionProfile::new(2);
+        profile.cycles[0] = 12345;
+        profile.instructions[1] = 999;
+        assert_eq!(profile.scaled(1.0).cycles, profile.cycles);
+        assert_eq!(profile.scaled(1.0).instructions, profile.instructions);
+        assert_eq!(profile.scaled(0.5).cycles[0], 6172);
+        assert_eq!(profile.scaled(0.0).instructions[1], 0);
     }
 
     #[test]

@@ -13,13 +13,15 @@
 //! builder.
 
 use likwid::marker::MarkerApi;
-use likwid::perfctr::{MeasurementSpec, PerfCtr, PerfCtrConfig, PerfCtrResults};
+use likwid::perfctr::{
+    MeasurementSpec, PerfCtr, PerfCtrConfig, PerfCtrResults, TimelineResult, TimelineSession,
+};
 use likwid_perf_events::EventEngine;
 use likwid_x86_machine::{MachinePreset, SimMachine};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::exec::sample_from_simulation;
+use crate::exec::{sample_from_simulation, slice_samples, ProgressTrace};
 use crate::openmp::{CompilerPersonality, OpenMpRuntime, PlacementPolicy};
 use crate::stats::BoxStats;
 use crate::workload::{Placement, Workload, WorkloadRun};
@@ -44,6 +46,7 @@ pub struct Experiment {
     samples: usize,
     seed: u64,
     counters: Option<MeasurementSpec>,
+    timeline: Option<f64>,
 }
 
 impl Experiment {
@@ -58,6 +61,7 @@ impl Experiment {
             samples: 1,
             seed: 0,
             counters: None,
+            timeline: None,
         }
     }
 
@@ -106,6 +110,18 @@ impl Experiment {
         self.counters(MeasurementSpec::Group(kind))
     }
 
+    /// Measure the first sample time-resolved: sample the counter state
+    /// every `interval_s` seconds of *virtual* time while the workload
+    /// runs, yielding a [`TimelineResult`] with per-interval deltas and
+    /// derived metrics next to the aggregate. Requires
+    /// [`Experiment::counters`]; unlike aggregate mode, a multiplexed
+    /// group list is allowed — the groups rotate across intervals and the
+    /// aggregates are extrapolated by schedule coverage.
+    pub fn timeline(mut self, interval_s: f64) -> Self {
+        self.timeline = Some(interval_s);
+        self
+    }
+
     fn resolved_threads(&self) -> usize {
         match self.threads {
             Some(n) => n,
@@ -126,12 +142,21 @@ impl Experiment {
         if matches!(&self.policy, PlacementPolicy::LikwidPin(list) if list.is_empty()) {
             return Err(likwid::LikwidError::Usage("empty pin list".into()));
         }
-        // The harness measures exactly one group per run; a multiplexed
-        // group list would silently report only the active group.
-        if matches!(&self.counters, Some(MeasurementSpec::Groups(kinds)) if kinds.len() > 1) {
+        if self.timeline.is_some() && self.counters.is_none() {
             return Err(likwid::LikwidError::Usage(
-                "the experiment harness measures one event group per run; multiplexed group \
-                 lists are only supported by the likwid-perfctr session API"
+                "timeline mode requires a counter specification (-g)".into(),
+            ));
+        }
+        // Aggregate mode measures exactly one group per run; a multiplexed
+        // group list would silently report only the active group. Timeline
+        // mode rotates the groups across intervals, so the list is allowed
+        // there.
+        if self.timeline.is_none()
+            && matches!(&self.counters, Some(MeasurementSpec::Groups(kinds)) if kinds.len() > 1)
+        {
+            return Err(likwid::LikwidError::Usage(
+                "the experiment harness measures one event group per aggregate run; multiplexed \
+                 group lists are supported in timeline mode and by the likwid-perfctr session API"
                     .into(),
             ));
         }
@@ -143,6 +168,7 @@ impl Experiment {
         let mut runs = Vec::with_capacity(self.samples);
         let mut placements = Vec::with_capacity(self.samples);
         let mut counters = None;
+        let mut timeline = None;
         let mut measured_cpus = Vec::new();
 
         for i in 0..self.samples {
@@ -150,6 +176,42 @@ impl Experiment {
             let placement = runtime.resolve_placement(topo, threads, &self.policy, &mut rng);
 
             let run = match (&self.counters, i) {
+                (Some(spec), 0) if self.timeline.is_some() => {
+                    let interval_s = self.timeline.expect("checked above");
+                    let cpus = placement.measured_cpus();
+                    let mut session = TimelineSession::new(
+                        &machine,
+                        PerfCtrConfig { cpus: cpus.clone(), spec: spec.clone() },
+                        interval_s,
+                    )?;
+                    session.start()?;
+                    let mut trace = ProgressTrace::default();
+                    let run = workload.run_traced(&machine, &placement, &mut trace);
+                    let estimated = (trace.runtime_s() / interval_s).ceil();
+                    if estimated > likwid::perfctr::timeline::MAX_INTERVALS as f64 {
+                        return Err(likwid::LikwidError::Usage(format!(
+                            "interval {interval_s} s yields {estimated:.0} sampling points over \
+                             a {} s run (max {})",
+                            trace.runtime_s(),
+                            likwid::perfctr::timeline::MAX_INTERVALS
+                        )));
+                    }
+                    let engine = EventEngine::new(&machine);
+                    for (t0, t1, sample) in slice_samples(&machine, &trace, interval_s) {
+                        engine.apply(&machine, &sample);
+                        session.tick(t1 - t0)?;
+                    }
+                    let result = session.finish()?;
+                    // Single-group timelines expose their aggregate through
+                    // the familiar counters field too; multiplexed lists
+                    // live in the timeline result only.
+                    if result.group_names.len() == 1 {
+                        counters = Some(result.aggregate_results[0].clone());
+                    }
+                    timeline = Some(result);
+                    measured_cpus = cpus;
+                    run
+                }
                 (Some(spec), 0) => {
                     let cpus = placement.measured_cpus();
                     let mut session = PerfCtr::new(
@@ -185,6 +247,7 @@ impl Experiment {
             runs,
             placements,
             counters,
+            timeline,
             measured_cpus,
         })
     }
@@ -203,8 +266,12 @@ pub struct ExperimentResult {
     /// The resolved placement of each sample.
     pub placements: Vec<Placement>,
     /// `likwid-perfctr` results of the measured sample (sample 0), when
-    /// counters were configured.
+    /// counters were configured (for timeline runs: the aggregate of the
+    /// single measured group; empty for multiplexed timeline lists).
     pub counters: Option<PerfCtrResults>,
+    /// The time-resolved measurement of sample 0, when
+    /// [`Experiment::timeline`] was configured.
+    pub timeline: Option<TimelineResult>,
     /// The hardware threads the counter session measured.
     pub measured_cpus: Vec<usize>,
 }
@@ -311,6 +378,89 @@ mod tests {
         let sim_reads = result.first().stats.memory.iter().map(|m| m.bytes_read).sum::<u64>() / 64;
         assert_eq!(reads, sim_reads, "counter reads match the simulated line reads");
         assert!(counters.metric("Memory bandwidth [MBytes/s]", 0).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn timeline_mode_produces_interval_series_that_sum_to_the_aggregate() {
+        let kernel = StreamingKernel::triad(8 << 20, 1);
+        let probe = Experiment::on(MachinePreset::NehalemEp2S)
+            .placement(PlacementPolicy::LikwidPin(vec![0, 1]))
+            .run(&kernel)
+            .unwrap();
+        let dt = probe.first().runtime_s / 6.0;
+        let result = Experiment::on(MachinePreset::NehalemEp2S)
+            .placement(PlacementPolicy::LikwidPin(vec![0, 1]))
+            .group(EventGroupKind::MEM)
+            .timeline(dt)
+            .run(&kernel)
+            .unwrap();
+        let timeline = result.timeline.as_ref().expect("timeline was configured");
+        assert_eq!(timeline.intervals.len(), 6);
+        for ei in 0..timeline.aggregate[0].len() {
+            for ci in 0..timeline.cpus.len() {
+                let summed: u64 = timeline.intervals.iter().map(|iv| iv.counts[ei][ci]).sum();
+                assert_eq!(summed, timeline.aggregate[0][ei][ci], "event {ei} cpu {ci}");
+            }
+        }
+        // The familiar counters field carries the single group's aggregate,
+        // and it matches a plain aggregate-mode run of the same kernel.
+        let counters = result.counters.as_ref().expect("single group");
+        let plain = Experiment::on(MachinePreset::NehalemEp2S)
+            .placement(PlacementPolicy::LikwidPin(vec![0, 1]))
+            .group(EventGroupKind::MEM)
+            .run(&kernel)
+            .unwrap();
+        assert_eq!(
+            counters.event_count("UNC_QMC_NORMAL_READS_ANY", 0),
+            plain.counters.unwrap().event_count("UNC_QMC_NORMAL_READS_ANY", 0),
+            "timeline slicing must not change the measured totals"
+        );
+    }
+
+    #[test]
+    fn timeline_mode_allows_multiplexed_group_lists() {
+        let kernel = StreamingKernel::daxpy(4 << 20, 2);
+        let result = Experiment::on(MachinePreset::WestmereEp2S)
+            .placement(PlacementPolicy::LikwidPin(vec![0]))
+            .counters(MeasurementSpec::Groups(vec![EventGroupKind::FLOPS_DP, EventGroupKind::MEM]))
+            .timeline(1e-4)
+            .run(&kernel)
+            .unwrap();
+        let timeline = result.timeline.as_ref().expect("timeline result");
+        assert_eq!(timeline.group_names, vec!["FLOPS_DP", "MEM"]);
+        assert!(result.counters.is_none(), "multiplexed aggregates live in the timeline result");
+        let groups_seen: std::collections::HashSet<usize> =
+            timeline.intervals.iter().map(|iv| iv.group).collect();
+        assert_eq!(groups_seen.len(), 2, "both groups get intervals");
+    }
+
+    #[test]
+    fn timeline_mode_rejects_bad_intervals_and_missing_counters() {
+        let kernel = StreamingKernel::copy(1 << 20, 1);
+        for bad in [0.0, -1.0, f64::NAN] {
+            let err = Experiment::on(MachinePreset::Core2Quad)
+                .placement(PlacementPolicy::LikwidPin(vec![0]))
+                .group(EventGroupKind::FLOPS_DP)
+                .timeline(bad)
+                .run(&kernel)
+                .unwrap_err();
+            assert!(matches!(err, likwid::LikwidError::Usage(_)), "{bad}: {err:?}");
+        }
+        let err = Experiment::on(MachinePreset::Core2Quad)
+            .placement(PlacementPolicy::LikwidPin(vec![0]))
+            .timeline(1e-3)
+            .run(&kernel)
+            .unwrap_err();
+        assert!(matches!(err, likwid::LikwidError::Usage(_)), "timeline needs counters: {err:?}");
+        // An absurdly small interval is rejected instead of slicing the
+        // run into millions of samples.
+        let err = Experiment::on(MachinePreset::Core2Quad)
+            .placement(PlacementPolicy::LikwidPin(vec![0]))
+            .group(EventGroupKind::FLOPS_DP)
+            .timeline(1e-15)
+            .run(&kernel)
+            .unwrap_err();
+        assert!(matches!(err, likwid::LikwidError::Usage(_)), "tiny interval: {err:?}");
     }
 
     #[test]

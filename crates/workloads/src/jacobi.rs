@@ -22,7 +22,7 @@
 use likwid_cache_sim::{HierarchyConfig, NodeCacheSystem, NodeStats, NumaPolicy};
 use likwid_x86_machine::{MachinePreset, SimMachine};
 
-use crate::exec::ExecutionProfile;
+use crate::exec::{ExecutionProfile, ProgressTrace};
 use crate::workload::{Placement, Workload, WorkloadRun};
 
 /// The Jacobi variant to run.
@@ -126,6 +126,20 @@ impl<'m> Jacobi<'m> {
     /// Run one configuration: simulate the address streams, then apply the
     /// performance model.
     pub fn run(&self, config: &JacobiConfig) -> JacobiResult {
+        self.run_traced(config, None)
+    }
+
+    /// Run one configuration, optionally recording a progress trace for
+    /// time-resolved measurement. The threaded variants tick after every
+    /// sweep *and* after every fork/join barrier (the barrier moves no
+    /// memory, so the timeline shows the alternating sweep/boundary phase
+    /// structure); the wavefront variant ticks after every pipeline plane
+    /// batch.
+    pub fn run_traced(
+        &self,
+        config: &JacobiConfig,
+        trace: Option<&mut ProgressTrace>,
+    ) -> JacobiResult {
         assert!(!config.placement.is_empty(), "at least one worker thread is required");
         let line = 64u64;
         let n = config.size as u64;
@@ -146,16 +160,27 @@ impl<'m> Jacobi<'m> {
         );
         let mut sys = NodeCacheSystem::new(hierarchy);
 
+        let mut snapshots: Option<Vec<NodeStats>> = trace.as_ref().map(|_| Vec::new());
         match config.variant {
-            JacobiVariant::Threaded | JacobiVariant::ThreadedNt => {
-                self.run_threaded(config, &mut sys, src_base, dst_base, lines_per_row)
-            }
-            JacobiVariant::Wavefront => {
-                self.run_wavefront(config, &mut sys, src_base, dst_base, lines_per_row)
-            }
+            JacobiVariant::Threaded | JacobiVariant::ThreadedNt => self.run_threaded(
+                config,
+                &mut sys,
+                src_base,
+                dst_base,
+                lines_per_row,
+                snapshots.as_mut(),
+            ),
+            JacobiVariant::Wavefront => self.run_wavefront(
+                config,
+                &mut sys,
+                src_base,
+                dst_base,
+                lines_per_row,
+                snapshots.as_mut(),
+            ),
         }
 
-        self.finish(config, sys)
+        self.finish(config, sys, snapshots, trace)
     }
 
     /// Address of the line `l` of row `j` of plane `k` of the array at `base`.
@@ -174,6 +199,7 @@ impl<'m> Jacobi<'m> {
         src_base: u64,
         dst_base: u64,
         lines_per_row: u64,
+        mut snapshots: Option<&mut Vec<NodeStats>>,
     ) {
         let n = config.size as u64;
         let threads = config.placement.len() as u64;
@@ -213,6 +239,9 @@ impl<'m> Jacobi<'m> {
                 }
             }
             std::mem::swap(&mut src, &mut dst);
+            if let Some(snapshots) = snapshots.as_deref_mut() {
+                snapshots.push(sys.stats());
+            }
         }
     }
 
@@ -230,6 +259,7 @@ impl<'m> Jacobi<'m> {
         src_base: u64,
         dst_base: u64,
         lines_per_row: u64,
+        mut snapshots: Option<&mut Vec<NodeStats>>,
     ) {
         let n = config.size as u64;
         let depth = JacobiConfig::WAVEFRONT_DEPTH.min(config.placement.len());
@@ -314,6 +344,9 @@ impl<'m> Jacobi<'m> {
                             }
                         }
                     }
+                    if let Some(snapshots) = snapshots.as_deref_mut() {
+                        snapshots.push(sys.stats());
+                    }
                 }
                 j0 += rows;
             }
@@ -322,7 +355,13 @@ impl<'m> Jacobi<'m> {
 
     /// Apply the roofline model to the simulated traffic and assemble the
     /// result.
-    fn finish(&self, config: &JacobiConfig, sys: NodeCacheSystem) -> JacobiResult {
+    fn finish(
+        &self,
+        config: &JacobiConfig,
+        sys: NodeCacheSystem,
+        snapshots: Option<Vec<NodeStats>>,
+        trace: Option<&mut ProgressTrace>,
+    ) -> JacobiResult {
         let stats = sys.stats();
         let topo = self.machine.topology();
         let memory = self.machine.memory_system();
@@ -429,6 +468,40 @@ impl<'m> Jacobi<'m> {
             profile.branch_misses[hw] = per_thread_updates / 64;
         }
 
+        // Materialize the progress trace: convert the recorded cumulative
+        // stats snapshots into ticks with virtual timestamps, spreading the
+        // profile linearly over time. The threaded variants insert a
+        // zero-traffic tick after every sweep for the fork/join barrier, so
+        // the timeline shows the sweep/boundary alternation; the wavefront
+        // spreads its plane batches uniformly (its pipeline sync cost is
+        // folded into cycles-per-update).
+        if let (Some(snapshots), Some(trace)) = (snapshots, trace) {
+            let m = snapshots.len().max(1);
+            match config.variant {
+                JacobiVariant::Threaded | JacobiVariant::ThreadedNt => {
+                    let sync_each = sync_time / config.time_steps.max(1) as f64;
+                    let sweep_each = (runtime_s - sync_time) / m as f64;
+                    let mut t = 0.0;
+                    for (i, stats) in snapshots.iter().enumerate() {
+                        t += sweep_each;
+                        trace.record(t, stats.clone(), profile.scaled(t / runtime_s));
+                        t = if i + 1 == m { runtime_s } else { t + sync_each };
+                        trace.record(t, stats.clone(), profile.scaled(t / runtime_s));
+                    }
+                }
+                JacobiVariant::Wavefront => {
+                    for (i, stats) in snapshots.iter().enumerate() {
+                        let t = if i + 1 == m {
+                            runtime_s
+                        } else {
+                            runtime_s * (i + 1) as f64 / m as f64
+                        };
+                        trace.record(t, stats.clone(), profile.scaled(t / runtime_s));
+                    }
+                }
+            }
+        }
+
         JacobiResult {
             mlups,
             runtime_s,
@@ -494,12 +567,35 @@ impl Workload for JacobiWorkload {
     }
 
     fn run(&self, machine: &SimMachine, placement: &Placement) -> WorkloadRun {
-        let result = Jacobi::new(machine).run(&JacobiConfig {
-            size: self.size,
-            time_steps: self.time_steps,
-            placement: placement.compute.clone(),
-            variant: self.variant,
-        });
+        self.traced(machine, placement, None)
+    }
+
+    fn run_traced(
+        &self,
+        machine: &SimMachine,
+        placement: &Placement,
+        trace: &mut ProgressTrace,
+    ) -> WorkloadRun {
+        self.traced(machine, placement, Some(trace))
+    }
+}
+
+impl JacobiWorkload {
+    fn traced(
+        &self,
+        machine: &SimMachine,
+        placement: &Placement,
+        trace: Option<&mut ProgressTrace>,
+    ) -> WorkloadRun {
+        let result = Jacobi::new(machine).run_traced(
+            &JacobiConfig {
+                size: self.size,
+                time_steps: self.time_steps,
+                placement: placement.compute.clone(),
+                variant: self.variant,
+            },
+            trace,
+        );
         WorkloadRun {
             iterations: result.updates,
             runtime_s: result.runtime_s,

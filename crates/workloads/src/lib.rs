@@ -58,6 +58,7 @@ pub mod stats;
 pub mod stream;
 pub mod workload;
 
+pub use exec::{slice_samples, ExecutionProfile, ProgressTick, ProgressTrace};
 pub use experiment::{sample_seed, Experiment, ExperimentResult};
 pub use jacobi::{JacobiConfig, JacobiResult, JacobiVariant, JacobiWorkload};
 pub use kernels::{kernel_by_name, kernel_names, parse_size, PointerChase, StreamingKernel};

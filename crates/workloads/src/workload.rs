@@ -17,7 +17,7 @@
 use likwid_cache_sim::NodeStats;
 use likwid_x86_machine::SimMachine;
 
-use crate::exec::ExecutionProfile;
+use crate::exec::{ExecutionProfile, ProgressTrace};
 
 /// Where a run's threads execute and where its data was first touched.
 ///
@@ -106,6 +106,23 @@ pub trait Workload {
     /// Execute the access streams of the kernel on `machine` with the
     /// application threads at `placement`.
     fn run(&self, machine: &SimMachine, placement: &Placement) -> WorkloadRun;
+
+    /// Execute like [`Workload::run`], additionally recording progress
+    /// ticks with virtual timestamps into `trace` so the timeline harness
+    /// has sampling points mid-run. The default implementation records one
+    /// tick covering the whole run — correct for constant-rate kernels,
+    /// whose cumulative counts interpolate linearly; phase-structured
+    /// workloads (the Jacobi variants) override it with per-phase ticks.
+    fn run_traced(
+        &self,
+        machine: &SimMachine,
+        placement: &Placement,
+        trace: &mut ProgressTrace,
+    ) -> WorkloadRun {
+        let run = self.run(machine, placement);
+        trace.record(run.runtime_s, run.stats.clone(), run.profile.clone());
+        run
+    }
 }
 
 #[cfg(test)]

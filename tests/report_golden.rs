@@ -95,6 +95,26 @@ fn assert_csv_matches_report(csv: &str, report: &Report) {
                 assert_eq!(records[at][0], "text");
                 at += 1;
             }
+            Body::TimeSeries(ts) => {
+                assert_eq!(
+                    records[at],
+                    vec!["time", "metric", "cpu", "value"],
+                    "long-format header of '{}'",
+                    section.id
+                );
+                at += 1;
+                for (j, _) in ts.timestamps.iter().enumerate() {
+                    for series in &ts.series {
+                        if series.values.get(j).is_none() {
+                            continue;
+                        }
+                        assert_eq!(records[at].len(), 4, "timeseries record in '{}'", section.id);
+                        assert_eq!(records[at][1], series.metric);
+                        assert_eq!(records[at][2], series.cpu.to_string());
+                        at += 1;
+                    }
+                }
+            }
         }
     }
     assert_eq!(at, records.len(), "no trailing CSV records");

@@ -1,0 +1,126 @@
+//! Timeline/aggregate consistency: per-interval counter deltas must sum
+//! *exactly* to the aggregate counts of the same run.
+//!
+//! The timeline subsystem slices a workload's simulated activity at
+//! virtual-time boundaries and credits each slice through the counting
+//! engine; nothing may be lost or double-counted at the seams. This
+//! property suite replays every registered `likwid-bench` kernel on two
+//! machine presets, both with a single event group and with a multiplexed
+//! `FLOPS_DP,MEM` group list (where the groups rotate across intervals and
+//! each group owns every second interval), and requires the element-wise
+//! sum of the interval deltas of each group to equal that group's raw
+//! aggregate `GroupCounts`.
+
+use proptest::prelude::*;
+
+use likwid_suite::likwid::perfctr::{EventGroupKind, MeasurementSpec, TimelineResult};
+use likwid_suite::workloads::kernels::{kernel_by_name, kernel_names};
+use likwid_suite::workloads::{Experiment, PlacementPolicy};
+use likwid_suite::x86_machine::MachinePreset;
+
+const PRESETS: [MachinePreset; 2] = [MachinePreset::NehalemEp2S, MachinePreset::Core2Quad];
+
+/// Run one kernel time-resolved with `slices` intervals over its runtime.
+fn run_timeline(
+    kernel_name: &str,
+    preset: MachinePreset,
+    multiplexed: bool,
+    slices: usize,
+) -> TimelineResult {
+    let kernel = kernel_by_name(kernel_name, 2 << 20, 1).expect("registered kernel");
+    let probe = Experiment::on(preset)
+        .placement(PlacementPolicy::LikwidPin(vec![0, 1]))
+        .run(kernel.as_ref())
+        .expect("counter-less probe");
+    let dt = probe.first().runtime_s / slices as f64;
+    let spec = if multiplexed {
+        MeasurementSpec::Groups(vec![EventGroupKind::FLOPS_DP, EventGroupKind::MEM])
+    } else {
+        MeasurementSpec::Group(EventGroupKind::MEM)
+    };
+    Experiment::on(preset)
+        .placement(PlacementPolicy::LikwidPin(vec![0, 1]))
+        .counters(spec)
+        .timeline(dt)
+        .run(kernel.as_ref())
+        .expect("timeline run")
+        .timeline
+        .expect("timeline result")
+}
+
+fn assert_deltas_sum_to_aggregate(
+    timeline: &TimelineResult,
+    context: &str,
+) -> Result<(), TestCaseError> {
+    prop_assert!(!timeline.intervals.is_empty(), "{context}: no intervals recorded");
+    for g in 0..timeline.group_names.len() {
+        let of_group = timeline.intervals_of_group(g);
+        for ei in 0..timeline.aggregate[g].len() {
+            for ci in 0..timeline.cpus.len() {
+                let summed: u64 = of_group.iter().map(|iv| iv.counts[ei][ci]).sum();
+                prop_assert_eq!(
+                    summed,
+                    timeline.aggregate[g][ei][ci],
+                    "{} group {} ({}) event {} cpu {}",
+                    context,
+                    g,
+                    timeline.group_names[g],
+                    ei,
+                    ci
+                );
+            }
+        }
+    }
+    // Interval timestamps tile the run without gaps.
+    let mut t = 0.0;
+    for iv in &timeline.intervals {
+        prop_assert!((iv.t_start_s - t).abs() < 1e-12, "{context}: gap at {t}");
+        prop_assert!(iv.t_end_s >= iv.t_start_s, "{context}: interval runs backwards");
+        t = iv.t_end_s;
+    }
+    prop_assert!((t - timeline.duration_s).abs() < 1e-12, "{context}: duration mismatch");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Interval deltas sum exactly to the aggregate for random kernels,
+    /// presets, slicings and group modes.
+    #[test]
+    fn interval_deltas_sum_exactly_to_the_aggregate(
+        kernel_index in 0usize..6,
+        preset_index in 0usize..2,
+        slices in 2usize..9,
+        multiplexed in 0usize..2,
+    ) {
+        let name = kernel_names()[kernel_index];
+        let preset = PRESETS[preset_index];
+        let timeline = run_timeline(name, preset, multiplexed == 1, slices);
+        let context = format!("{name} on {preset:?} ({slices} slices, multiplexed={multiplexed})");
+        assert_deltas_sum_to_aggregate(&timeline, &context)?;
+    }
+}
+
+/// The deterministic corner the proptest may not always draw: every
+/// registered kernel on both presets, single-group *and* under the
+/// multiplexed `FLOPS_DP,MEM` list.
+#[test]
+fn every_kernel_and_preset_is_exact_in_both_group_modes() {
+    for &name in kernel_names() {
+        for &preset in &PRESETS {
+            for multiplexed in [false, true] {
+                let timeline = run_timeline(name, preset, multiplexed, 5);
+                if multiplexed {
+                    assert_eq!(timeline.group_names, vec!["FLOPS_DP", "MEM"]);
+                    // Rotation across intervals: both groups own intervals.
+                    assert!(!timeline.intervals_of_group(0).is_empty());
+                    assert!(!timeline.intervals_of_group(1).is_empty());
+                }
+                let context = format!("{name} on {preset:?} multiplexed={multiplexed}");
+                assert_deltas_sum_to_aggregate(&timeline, &context)
+                    .unwrap_or_else(|e| panic!("{context}: {e}"));
+            }
+        }
+    }
+}
