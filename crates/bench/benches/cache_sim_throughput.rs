@@ -9,7 +9,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use likwid_cache_sim::{
     Access, AccessKind, HierarchyConfig, NodeCacheSystem, NumaPolicy, PrefetchConfig,
+    ShardedCacheSystem,
 };
+use likwid_workloads::jacobi::Jacobi;
+use likwid_workloads::{JacobiConfig, JacobiVariant, Placement, StoreCoherence};
 use likwid_x86_machine::{MachinePreset, SimMachine};
 
 fn cache_sim(c: &mut Criterion) {
@@ -118,6 +121,64 @@ fn cache_sim(c: &mut Criterion) {
             }
         })
     });
+
+    // The sharded engine on the same store-coherence shape, prebuilt as an
+    // epoch-batched replay queue whose epochs pass the conflict analysis:
+    // both socket shards replay their producer/consumer ring and private
+    // store streams concurrently, and the merge is bit-identical to the
+    // sequential drain whatever the worker count. Worker count 1 measures
+    // the sharding overhead (conflict analysis + merge, no parallelism);
+    // 2 and 4 measure the speedup over `multi_thread_store_coherence`.
+    {
+        let placement = Placement::pinned(vec![0, 1, 4, 5]);
+        let kernel = StoreCoherence::new(1 << 20, 1);
+        let queue = kernel.replay_queue(&machine, &placement);
+        group.throughput(Throughput::Elements(queue.total_accesses()));
+        for workers in [1usize, 2, 4] {
+            group.bench_with_input(
+                BenchmarkId::new("sharded_store_coherence", format!("{workers}w")),
+                &workers,
+                |b, &workers| {
+                    let cfg = HierarchyConfig::from_machine(
+                        &machine,
+                        NumaPolicy::interleave_over(4096, 2),
+                    );
+                    let mut sys = ShardedCacheSystem::with_workers(cfg, workers);
+                    b.iter(|| sys.replay(&queue))
+                },
+            );
+        }
+    }
+
+    // The sharded engine on the Jacobi threaded sweep, split by the
+    // interior/boundary epoch structure of `Jacobi::threaded_replay_queue`:
+    // interior planes shard across the two sockets, the block-boundary
+    // planes serialize through the exact fallback.
+    {
+        let jacobi = Jacobi::new(&machine);
+        let config = JacobiConfig {
+            size: 32,
+            time_steps: 2,
+            placement: vec![0, 1, 4, 5],
+            variant: JacobiVariant::Threaded,
+        };
+        let queue = jacobi.threaded_replay_queue(&config);
+        group.throughput(Throughput::Elements(queue.total_accesses()));
+        for workers in [1usize, 2, 4] {
+            group.bench_with_input(
+                BenchmarkId::new("sharded_jacobi_sweep", format!("{workers}w")),
+                &workers,
+                |b, &workers| {
+                    let cfg = HierarchyConfig::from_machine(
+                        &machine,
+                        NumaPolicy::SingleNode { socket: 0 },
+                    );
+                    let mut sys = ShardedCacheSystem::with_workers(cfg, workers);
+                    b.iter(|| sys.replay(&queue))
+                },
+            );
+        }
+    }
 
     group.finish();
 }

@@ -23,7 +23,9 @@ use likwid::error::{LikwidError, Result};
 use likwid::perfctr::parse_measurement_spec;
 use likwid::report::{Body, KvEntry, Report, Row, Section, Table, Value};
 use likwid_affinity::parse_pin_list_lenient;
-use likwid_workloads::kernels::{kernel_by_name, kernel_description, kernel_names, parse_size};
+use likwid_workloads::kernels::{
+    kernel_by_name_with_workers, kernel_description, kernel_names, parse_size,
+};
 use likwid_workloads::{Experiment, PlacementPolicy};
 
 /// The argument specification of the `likwid-bench` binary.
@@ -36,6 +38,12 @@ pub fn likwid_bench_spec() -> ArgSpec {
         .flag("-g", None, Some("group|EVENT:CTR,..."), "measure the run with this counter group")
         .flag("-i", None, Some("iters"), "passes over the working set (default 1)")
         .flag("-a", None, None, "list the registered kernels")
+        .flag(
+            "-W",
+            None,
+            Some("workers"),
+            "simulation worker threads for sharded kernels (default 1; never changes results)",
+        )
         .flag(
             "-T",
             None,
@@ -75,12 +83,19 @@ pub fn likwid_bench_report(parsed: &ParsedArgs) -> Result<Report> {
             raw.parse().map_err(|_| LikwidError::Usage(format!("bad iteration count '{raw}'")))?
         }
     };
+    let workers: usize = match parsed.value("-W") {
+        None => 1,
+        Some(raw) => match raw.parse() {
+            Ok(w) if w >= 1 => w,
+            _ => return Err(LikwidError::Usage(format!("bad worker count '{raw}'"))),
+        },
+    };
     let preset = parse_machine(parsed)?;
     let topo = preset.topology();
     let pin_expr = parsed.value("-c").unwrap_or("S0:0");
     let cpus = parse_pin_list_lenient(pin_expr, &topo)
         .map_err(|e| LikwidError::Usage(format!("bad pin list '{pin_expr}': {e}")))?;
-    let workload = kernel_by_name(kernel_name, working_set, passes)
+    let workload = kernel_by_name_with_workers(kernel_name, working_set, passes, workers)
         .ok_or_else(|| LikwidError::Usage(format!("unknown kernel '{kernel_name}' (try -a)")))?;
 
     let mut experiment = Experiment::on(preset)
@@ -269,6 +284,32 @@ mod tests {
             report_for(&["-t", "copy", "-w", "8MB", "-c", "S0:0-3", "--machine", "nehalem-ep-2s"])
                 .unwrap();
         assert_eq!(report.value("bench", "Threads").unwrap().as_count(), Some(4));
+    }
+
+    #[test]
+    fn worker_count_parses_and_does_not_change_the_report() {
+        let base = &[
+            "-t",
+            "coherence",
+            "-w",
+            "1MB",
+            "-c",
+            "S0:0-1@S1:0-1",
+            "-g",
+            "MEM",
+            "--machine",
+            "nehalem-ep-2s",
+        ];
+        let reference = report_for(base).unwrap();
+        for workers in ["1", "2", "4"] {
+            let mut with_workers = base.to_vec();
+            with_workers.extend(["-W", workers]);
+            assert_eq!(report_for(&with_workers).unwrap(), reference, "-W {workers}");
+        }
+        for bad in ["0", "many"] {
+            let err = report_for(&["-t", "coherence", "-W", bad]).unwrap_err();
+            assert!(matches!(err, LikwidError::Usage(_)), "'{bad}' gave {err:?}");
+        }
     }
 
     #[test]

@@ -89,12 +89,20 @@ impl SetAssocCache {
         }
     }
 
-    /// Find the way of `set` holding `line_addr`, if present: scan only the
-    /// valid ways, one `trailing_zeros` per candidate.
+    /// Find the way of `set` holding `line_addr`, if present. Short sets in
+    /// the steady state (all ways valid, at most 8 of them) take a straight
+    /// linear compare over the flat tag slab — no bit extraction, trivially
+    /// unrolled and vectorized; sparse or wide sets scan only the valid ways,
+    /// one `trailing_zeros` per candidate. Both paths probe ways in
+    /// ascending order, so they are observationally identical.
     #[inline]
     fn find(&self, set: usize, line_addr: u64) -> Option<usize> {
         let base = set * self.ways;
-        let mut candidates = self.valid[set];
+        let valid = self.valid[set];
+        if self.ways <= 8 && valid == self.full_mask {
+            return self.tags[base..base + self.ways].iter().position(|&tag| tag == line_addr);
+        }
+        let mut candidates = valid;
         while candidates != 0 {
             let way = candidates.trailing_zeros() as usize;
             candidates &= candidates - 1;

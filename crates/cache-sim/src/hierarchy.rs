@@ -100,6 +100,12 @@ pub struct NodeCacheSystem {
     /// False when the node has more than 64 cache instances; coherence then
     /// falls back to the broadcast walk.
     directory_enabled: bool,
+    /// One-entry cache in front of the directory hash map: the page of the
+    /// most recent fill, held outside the map. Streaming fills hit the same
+    /// page 64 lines in a row, so the common directory update is an array
+    /// write with one comparison instead of a hash probe. The hot page is
+    /// logically part of the directory; every query consults it first.
+    hot_page: Option<(u64, Box<DirPage>)>,
     /// `back_inval[l][inst]`: precomputed (inner level, inner instance)
     /// targets of an inclusive eviction, see
     /// [`HierarchyConfig::back_invalidation_map`].
@@ -194,6 +200,7 @@ impl NodeCacheSystem {
             own_path_mask,
             directory: PresenceDirectory::default(),
             directory_enabled,
+            hot_page: None,
             back_inval,
             inner_mask,
             line_shift,
@@ -248,22 +255,34 @@ impl NodeCacheSystem {
     /// The presence mask of `line` (0 when untracked).
     #[inline]
     fn dir_mask(&self, line: u64) -> u64 {
+        let page_key = line / DIR_PAGE_LINES as u64;
+        if let Some((hot_key, page)) = &self.hot_page {
+            if *hot_key == page_key {
+                return page.masks[(line % DIR_PAGE_LINES as u64) as usize];
+            }
+        }
         self.directory
-            .get(&(line / DIR_PAGE_LINES as u64))
+            .get(&page_key)
             .map(|page| page.masks[(line % DIR_PAGE_LINES as u64) as usize])
             .unwrap_or(0)
     }
 
     /// Merge `bits` into `line`'s presence mask; returns the merged mask
     /// (so a store right after its write-allocate fill can reuse it instead
-    /// of looking the line up again).
+    /// of looking the line up again). The line's page becomes the hot page.
     #[inline]
     fn dir_or(&mut self, line: u64, bits: u64) -> u64 {
         if !self.directory_enabled || bits == 0 {
             return 0;
         }
-        let page =
-            self.directory.entry(line / DIR_PAGE_LINES as u64).or_insert_with(DirPage::empty);
+        let page_key = line / DIR_PAGE_LINES as u64;
+        if self.hot_page.as_ref().map_or(true, |(hot_key, _)| *hot_key != page_key) {
+            let page = self.directory.remove(&page_key).unwrap_or_else(DirPage::empty);
+            if let Some((old_key, old_page)) = self.hot_page.replace((page_key, page)) {
+                self.directory.insert(old_key, old_page);
+            }
+        }
+        let (_, page) = self.hot_page.as_mut().expect("hot page just installed");
         let mask = &mut page.masks[(line % DIR_PAGE_LINES as u64) as usize];
         if *mask == 0 {
             page.occupied += 1;
@@ -281,6 +300,23 @@ impl NodeCacheSystem {
             return 0;
         }
         let page_key = line / DIR_PAGE_LINES as u64;
+        if let Some((hot_key, page)) = &mut self.hot_page {
+            if *hot_key == page_key {
+                let mask = &mut page.masks[(line % DIR_PAGE_LINES as u64) as usize];
+                if *mask == 0 {
+                    return 0;
+                }
+                *mask &= !bits;
+                let remaining = *mask;
+                if remaining == 0 {
+                    page.occupied -= 1;
+                    if page.occupied == 0 {
+                        self.hot_page = None;
+                    }
+                }
+                return remaining;
+            }
+        }
         let Some(page) = self.directory.get_mut(&page_key) else {
             return 0;
         };
@@ -785,6 +821,70 @@ impl NodeCacheSystem {
     /// Memory statistics of one socket's controller.
     pub fn memory_stats_of_socket(&self, socket: u32) -> crate::stats::MemoryStats {
         self.memory.get(socket as usize).map(|m| m.stats).unwrap_or_default()
+    }
+
+    /// Whether the exact presence directory is active (64 or fewer cache
+    /// instances). The sharded engine's residency analysis needs it; without
+    /// it every cross-shard store must be treated as a potential conflict.
+    pub fn directory_enabled(&self) -> bool {
+        self.directory_enabled
+    }
+
+    /// Lines per presence-directory page (page key = line / this).
+    pub fn dir_page_lines() -> u64 {
+        DIR_PAGE_LINES as u64
+    }
+
+    /// Whether any line of directory page `page_key` is resident somewhere
+    /// in this node. Meaningless when the directory is disabled.
+    pub fn dir_page_occupied(&self, page_key: u64) -> bool {
+        if let Some((hot_key, _)) = &self.hot_page {
+            if *hot_key == page_key {
+                return true;
+            }
+        }
+        self.directory.contains_key(&page_key)
+    }
+
+    /// Number of occupied directory pages.
+    pub fn dir_page_count(&self) -> usize {
+        self.directory.len() + usize::from(self.hot_page.is_some())
+    }
+
+    /// Keys of all occupied directory pages (unspecified order — callers
+    /// must only use this for order-independent membership queries).
+    pub fn dir_occupied_pages(&self) -> impl Iterator<Item = u64> + '_ {
+        self.hot_page.iter().map(|(key, _)| *key).chain(self.directory.keys().copied())
+    }
+
+    /// Invalidate `line` in **every** instance of this node on behalf of a
+    /// store issued outside it — the cross-shard half of
+    /// [`NodeCacheSystem::invalidate_other_copies`], used by the sharded
+    /// engine's serial fallback. The storing thread lives in another shard,
+    /// so no own-path exclusion applies; invalidated dirty copies are
+    /// dropped without a write-back, exactly like the intra-node walk (the
+    /// store's write-allocate fill supersedes the data).
+    pub fn invalidate_external(&mut self, line: u64) {
+        if self.directory_enabled {
+            let mask = self.dir_mask(line);
+            if mask == 0 {
+                return;
+            }
+            let mut pending = mask;
+            while pending != 0 {
+                let bit = pending.trailing_zeros() as usize;
+                pending &= pending - 1;
+                let (l, inst) = self.bit_instance[bit];
+                self.levels[l as usize][inst as usize].invalidate(line);
+            }
+            self.dir_and_not(line, mask);
+        } else {
+            for level in &mut self.levels {
+                for cache in level {
+                    cache.invalidate(line);
+                }
+            }
+        }
     }
 
     /// Check the directory invariant: every line resident in some cache

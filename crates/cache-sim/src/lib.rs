@@ -34,6 +34,8 @@ pub mod prefetch;
 #[cfg(any(test, feature = "reference"))]
 pub mod reference;
 pub mod replacement;
+pub mod replay;
+pub mod shard;
 pub mod stats;
 
 pub use access::{Access, AccessKind, HitLevel};
@@ -43,4 +45,6 @@ pub use hierarchy::NodeCacheSystem;
 pub use memory::{MemoryController, NumaPolicy};
 pub use prefetch::PrefetchEngine;
 pub use replacement::{FlatReplacement, ReplacementPolicy};
+pub use replay::{ReplayQueue, RunOp};
+pub use shard::ShardedCacheSystem;
 pub use stats::{CacheStats, LevelStats, MemoryStats, NodeStats};

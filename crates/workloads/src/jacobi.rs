@@ -19,7 +19,10 @@
 //! cross-socket memory traffic and performance collapses below the
 //! baseline, which is exactly the effect the simulation reproduces.
 
-use likwid_cache_sim::{HierarchyConfig, NodeCacheSystem, NodeStats, NumaPolicy};
+use likwid_cache_sim::{
+    AccessKind, HierarchyConfig, NodeCacheSystem, NodeStats, NumaPolicy, ReplayQueue, RunOp,
+    ShardedCacheSystem,
+};
 use likwid_x86_machine::{MachinePreset, SimMachine};
 
 use crate::exec::{ExecutionProfile, ProgressTrace};
@@ -180,7 +183,109 @@ impl<'m> Jacobi<'m> {
             ),
         }
 
-        self.finish(config, sys, snapshots, trace)
+        self.finish(config, sys.stats(), snapshots, trace)
+    }
+
+    /// Run a threaded variant through the parallel sharded engine with
+    /// `workers` simulation worker threads. The address stream is emitted as
+    /// an epoch-batched [`ReplayQueue`] (see
+    /// [`Jacobi::threaded_replay_queue`]); results are bit-identical to a
+    /// sequential drain of the same queue whatever the worker count. The
+    /// wavefront variant pipelines every plane through shared ring buffers —
+    /// there is no independent work to shard — so it falls back to the
+    /// sequential path.
+    pub fn run_sharded(&self, config: &JacobiConfig, workers: usize) -> JacobiResult {
+        if config.variant == JacobiVariant::Wavefront {
+            return self.run(config);
+        }
+        assert!(!config.placement.is_empty(), "at least one worker thread is required");
+        let home_socket =
+            self.machine.topology().hw_thread(config.placement[0]).map(|t| t.socket).unwrap_or(0);
+        let hierarchy = HierarchyConfig::from_machine(
+            self.machine,
+            NumaPolicy::SingleNode { socket: home_socket },
+        );
+        let mut sys = ShardedCacheSystem::with_workers(hierarchy, workers);
+        sys.replay(&self.threaded_replay_queue(config));
+        self.finish(config, sys.stats(), None, None)
+    }
+
+    /// The threaded sweep as an epoch-batched replay queue. Each time step
+    /// becomes two epochs: an *interior* epoch whose stores keep a two-plane
+    /// margin to the thread's block boundaries (so each thread's loads stay
+    /// inside its own block and socket shards proceed independently), and a
+    /// *boundary* epoch with the remaining planes, whose stencil loads reach
+    /// into the neighbour blocks and which the sharded engine therefore
+    /// replays serially when the blocks straddle sockets.
+    pub fn threaded_replay_queue(&self, config: &JacobiConfig) -> ReplayQueue {
+        assert!(
+            config.variant != JacobiVariant::Wavefront,
+            "only the threaded variants replay as epochs"
+        );
+        let n = config.size as u64;
+        let lines_per_row = n.div_ceil(8);
+        let plane_bytes = n * n * 8;
+        let src_base = 0u64;
+        let dst_base = plane_bytes * n + (1 << 20);
+        let threads = config.placement.len() as u64;
+        let store_kind = if config.variant == JacobiVariant::ThreadedNt {
+            AccessKind::NonTemporalStore
+        } else {
+            AccessKind::Store
+        };
+
+        let mut queue = ReplayQueue::new(self.machine.topology().num_hw_threads());
+        let mut src = src_base;
+        let mut dst = dst_base;
+        for _step in 0..config.time_steps {
+            // One plane's row sweep: the five stencil load runs, then the
+            // destination store run, exactly as in `run_threaded`.
+            let sweep_plane = |queue: &mut ReplayQueue, hw: usize, k: u64| {
+                for j in 1..n - 1 {
+                    for (kk, jj) in [(k, j), (k, j - 1), (k, j + 1), (k - 1, j), (k + 1, j)] {
+                        queue.push(
+                            hw,
+                            RunOp::load_lines(
+                                Self::line_addr(src, n, lines_per_row, kk, jj, 0),
+                                lines_per_row,
+                            ),
+                        );
+                    }
+                    queue.push(
+                        hw,
+                        RunOp {
+                            base: Self::line_addr(dst, n, lines_per_row, k, j, 0),
+                            stride: 64,
+                            count: lines_per_row,
+                            size: 64,
+                            kind: store_kind,
+                        },
+                    );
+                }
+            };
+
+            queue.begin_epoch();
+            for (t_index, &hw) in config.placement.iter().enumerate() {
+                let k_begin = 1 + (t_index as u64) * (n - 2) / threads;
+                let k_end = 1 + (t_index as u64 + 1) * (n - 2) / threads;
+                for k in (k_begin + 2)..k_end.saturating_sub(2) {
+                    sweep_plane(&mut queue, hw, k);
+                }
+            }
+            queue.begin_epoch();
+            for (t_index, &hw) in config.placement.iter().enumerate() {
+                let k_begin = 1 + (t_index as u64) * (n - 2) / threads;
+                let k_end = 1 + (t_index as u64 + 1) * (n - 2) / threads;
+                for k in k_begin..k_end {
+                    let interior = k >= k_begin + 2 && k + 2 < k_end;
+                    if !interior {
+                        sweep_plane(&mut queue, hw, k);
+                    }
+                }
+            }
+            std::mem::swap(&mut src, &mut dst);
+        }
+        queue
     }
 
     /// Address of the line `l` of row `j` of plane `k` of the array at `base`.
@@ -358,11 +463,10 @@ impl<'m> Jacobi<'m> {
     fn finish(
         &self,
         config: &JacobiConfig,
-        sys: NodeCacheSystem,
+        stats: NodeStats,
         snapshots: Option<Vec<NodeStats>>,
         trace: Option<&mut ProgressTrace>,
     ) -> JacobiResult {
-        let stats = sys.stats();
         let topo = self.machine.topology();
         let memory = self.machine.memory_system();
         let clock = self.machine.clock();
@@ -733,6 +837,61 @@ mod tests {
         assert_eq!(run.runtime_s, direct.runtime_s);
         assert_eq!(run.stats, direct.stats);
         assert!((run.iterations_per_second() / 1e6 - direct.mlups).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sharded_replay_matches_the_sequential_drain_of_the_same_queue() {
+        let machine = nehalem();
+        // Socket-straddling placement on a grid whose planes span two
+        // directory pages, so the interior epochs actually shard.
+        for variant in [JacobiVariant::Threaded, JacobiVariant::ThreadedNt] {
+            let config =
+                JacobiConfig { size: 32, time_steps: 3, placement: vec![0, 1, 4, 5], variant };
+            let jacobi = Jacobi::new(&machine);
+            let queue = jacobi.threaded_replay_queue(&config);
+            let home =
+                machine.topology().hw_thread(config.placement[0]).map(|t| t.socket).unwrap_or(0);
+            let hierarchy =
+                HierarchyConfig::from_machine(&machine, NumaPolicy::SingleNode { socket: home });
+            let mut sequential = NodeCacheSystem::new(hierarchy.clone());
+            sequential.replay(&queue);
+            for workers in [1, 2, 4] {
+                let mut sharded = ShardedCacheSystem::with_workers(hierarchy.clone(), workers);
+                sharded.replay(&queue);
+                assert_eq!(
+                    sharded.stats(),
+                    sequential.stats(),
+                    "{} with {workers} workers",
+                    variant.name()
+                );
+                assert!(
+                    sharded.epochs_parallel() > 0,
+                    "{} interior epochs must shard",
+                    variant.name()
+                );
+            }
+            // The full sharded run agrees with itself at any worker count.
+            let one = jacobi.run_sharded(&config, 1);
+            let four = jacobi.run_sharded(&config, 4);
+            assert_eq!(one.stats, four.stats);
+            assert_eq!(one.mlups, four.mlups);
+        }
+    }
+
+    #[test]
+    fn sharded_wavefront_falls_back_to_the_sequential_run() {
+        let machine = nehalem();
+        let config = JacobiConfig {
+            size: 48,
+            time_steps: 4,
+            placement: vec![0, 1, 2, 3],
+            variant: JacobiVariant::Wavefront,
+        };
+        let jacobi = Jacobi::new(&machine);
+        let direct = jacobi.run(&config);
+        let sharded = jacobi.run_sharded(&config, 4);
+        assert_eq!(sharded.stats, direct.stats);
+        assert_eq!(sharded.mlups, direct.mlups);
     }
 
     #[test]

@@ -19,9 +19,10 @@
 //! | `daxpy` | `y[i] += a*x[i]`      | 2 + 1 (y is both) | 2          |
 //! | `chase` | pointer chase         | 1 dependent load  | 0          |
 
-use likwid_cache_sim::{Access, AccessKind, HierarchyConfig, NodeCacheSystem, NumaPolicy};
+use likwid_cache_sim::{Access, HierarchyConfig, NodeCacheSystem, NumaPolicy, ReplayQueue, RunOp};
 use likwid_x86_machine::SimMachine;
 
+use crate::coherence::StoreCoherence;
 use crate::exec::ExecutionProfile;
 use crate::perfmodel::{BandwidthModel, StreamKernelModel};
 use crate::workload::{Placement, Workload, WorkloadRun};
@@ -114,6 +115,45 @@ impl StreamingKernel {
     fn useful_bytes_per_element(&self) -> f64 {
         8.0 * (self.read_streams + u64::from(self.writes)) as f64
     }
+
+    /// The kernel's whole access stream as an epoch-batched replay queue
+    /// (one epoch per pass), in exactly the order the blocked per-thread
+    /// loop issues it.
+    fn replay_queue(&self, num_hw_threads: usize, threads: &[usize]) -> ReplayQueue {
+        let elems = self.elements_per_array();
+        let lines = elems / 8;
+        let array_bytes = elems * 8;
+        let base_of = |array: u64| array * (array_bytes + ARRAY_GAP);
+        let store_array = if self.store_is_read {
+            // The last read stream is the read-modify-write target.
+            self.read_streams - 1
+        } else {
+            self.read_streams
+        };
+        let num_threads = threads.len() as u64;
+        let chunk = |t: u64| (t * lines / num_threads, (t + 1) * lines / num_threads);
+
+        let mut queue = ReplayQueue::new(num_hw_threads);
+        for _pass in 0..self.passes {
+            queue.begin_epoch();
+            for (t, &hw) in threads.iter().enumerate() {
+                let (l0, l1) = chunk(t as u64);
+                let mut block = l0;
+                while block < l1 {
+                    let count = BLOCK_LINES.min(l1 - block);
+                    for array in 0..self.read_streams {
+                        queue.push(hw, RunOp::load_lines(base_of(array) + block * 64, count));
+                    }
+                    if self.writes {
+                        queue
+                            .push(hw, RunOp::store_lines(base_of(store_array) + block * 64, count));
+                    }
+                    block += count;
+                }
+            }
+        }
+        queue
+    }
 }
 
 impl Workload for StreamingKernel {
@@ -149,14 +189,6 @@ impl Workload for StreamingKernel {
         let topo = machine.topology();
         let elems = self.elements_per_array();
         let lines = elems / 8;
-        let array_bytes = elems * 8;
-        let base_of = |array: u64| array * (array_bytes + ARRAY_GAP);
-        let store_array = if self.store_is_read {
-            // The last read stream is the read-modify-write target.
-            self.read_streams - 1
-        } else {
-            self.read_streams
-        };
 
         // First-touch placement, as in the Jacobi runs: the pages live on
         // the socket of the thread that initialised them.
@@ -164,40 +196,10 @@ impl Workload for StreamingKernel {
         let hierarchy =
             HierarchyConfig::from_machine(machine, NumaPolicy::SingleNode { socket: home_socket });
         let mut sys = NodeCacheSystem::new(hierarchy);
+        sys.replay(&self.replay_queue(topo.num_hw_threads(), threads));
 
         let num_threads = threads.len() as u64;
         let chunk = |t: u64| (t * lines / num_threads, (t + 1) * lines / num_threads);
-        for _pass in 0..self.passes {
-            for (t, &hw) in threads.iter().enumerate() {
-                let (l0, l1) = chunk(t as u64);
-                let mut block = l0;
-                while block < l1 {
-                    let count = BLOCK_LINES.min(l1 - block);
-                    for array in 0..self.read_streams {
-                        sys.access_run(
-                            hw,
-                            base_of(array) + block * 64,
-                            64,
-                            count,
-                            64,
-                            AccessKind::Load,
-                        );
-                    }
-                    if self.writes {
-                        sys.access_run(
-                            hw,
-                            base_of(store_array) + block * 64,
-                            64,
-                            count,
-                            64,
-                            AccessKind::Store,
-                        );
-                    }
-                    block += count;
-                }
-            }
-        }
-
         let stats = sys.stats();
         let iterations = self.passes * elems;
 
@@ -350,7 +352,7 @@ impl Workload for PointerChase {
 
 /// The registered kernel names, in listing order.
 pub fn kernel_names() -> &'static [&'static str] {
-    &["copy", "scale", "add", "triad", "daxpy", "chase"]
+    &["copy", "scale", "add", "triad", "daxpy", "chase", "coherence"]
 }
 
 /// One-line description of a registered kernel.
@@ -362,6 +364,7 @@ pub fn kernel_description(name: &str) -> Option<&'static str> {
         "triad" => Some("STREAM triad: a[i] = b[i] + s*c[i]"),
         "daxpy" => Some("BLAS-1 daxpy: y[i] = y[i] + a*x[i]"),
         "chase" => Some("serial pointer chase (load-to-use latency)"),
+        "coherence" => Some("per-socket producer/consumer ring + private store streams"),
         _ => None,
     }
 }
@@ -373,6 +376,19 @@ pub fn kernel_by_name(
     working_set_bytes: u64,
     passes: u64,
 ) -> Option<Box<dyn Workload>> {
+    kernel_by_name_with_workers(name, working_set_bytes, passes, 1)
+}
+
+/// Instantiate a registered kernel with an explicit simulation worker count
+/// (`likwid-bench -W`). Workers parallelise the sharded replay of kernels
+/// that use it (`coherence`); every other kernel ignores the value, and no
+/// kernel's results depend on it.
+pub fn kernel_by_name_with_workers(
+    name: &str,
+    working_set_bytes: u64,
+    passes: u64,
+    workers: usize,
+) -> Option<Box<dyn Workload>> {
     Some(match name {
         "copy" => Box::new(StreamingKernel::copy(working_set_bytes, passes)),
         "scale" => Box::new(StreamingKernel::scale(working_set_bytes, passes)),
@@ -380,6 +396,9 @@ pub fn kernel_by_name(
         "triad" => Box::new(StreamingKernel::triad(working_set_bytes, passes)),
         "daxpy" => Box::new(StreamingKernel::daxpy(working_set_bytes, passes)),
         "chase" => Box::new(PointerChase::new(working_set_bytes, passes)),
+        "coherence" => {
+            Box::new(StoreCoherence::new(working_set_bytes, passes).with_workers(workers))
+        }
         _ => return None,
     })
 }

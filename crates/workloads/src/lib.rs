@@ -48,6 +48,7 @@
 //! ([`workload`], [`experiment`]), and the glue that turns simulated runs
 //! into hardware-event samples for `likwid-perfctr` ([`exec`]).
 
+pub mod coherence;
 pub mod exec;
 pub mod experiment;
 pub mod jacobi;
@@ -58,10 +59,14 @@ pub mod stats;
 pub mod stream;
 pub mod workload;
 
+pub use coherence::StoreCoherence;
 pub use exec::{slice_samples, ExecutionProfile, ProgressTick, ProgressTrace};
 pub use experiment::{sample_seed, Experiment, ExperimentResult};
 pub use jacobi::{JacobiConfig, JacobiResult, JacobiVariant, JacobiWorkload};
-pub use kernels::{kernel_by_name, kernel_names, parse_size, PointerChase, StreamingKernel};
+pub use kernels::{
+    kernel_by_name, kernel_by_name_with_workers, kernel_names, parse_size, PointerChase,
+    StreamingKernel,
+};
 pub use openmp::{CompilerPersonality, KmpAffinity, OpenMpRuntime, PlacementPolicy};
 pub use perfmodel::{BandwidthModel, StreamKernelModel};
 pub use stats::BoxStats;

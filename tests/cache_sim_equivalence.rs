@@ -14,7 +14,7 @@ use proptest::prelude::*;
 use likwid_suite::cache_sim::reference::ReferenceCacheSystem;
 use likwid_suite::cache_sim::{
     Access, AccessKind, CacheLevelConfig, HierarchyConfig, NodeCacheSystem, NumaPolicy,
-    PrefetchConfig, ReplacementPolicy, WritePolicy,
+    PrefetchConfig, ReplacementPolicy, ReplayQueue, RunOp, ShardedCacheSystem, WritePolicy,
 };
 
 /// A small synthetic two-socket hierarchy with an inclusive shared L3, so
@@ -124,6 +124,40 @@ proptest! {
         prop_assert_eq!(optimized.stats(), reference.stats());
     }
 
+    /// Three-way equivalence on *partitioned* streams (each thread works in
+    /// its own 64 MB region, so most epochs pass the sharded engine's
+    /// conflict analysis and replay in parallel): the reference broadcast
+    /// walk, the sequential flat engine draining the replay queue, and the
+    /// parallel sharded engine at several worker counts must all produce
+    /// bit-identical [`likwid_suite::cache_sim::NodeStats`].
+    #[test]
+    fn sharded_engine_matches_reference_on_partitioned_streams(
+        runs in prop::collection::vec(
+            (0usize..4, prop::bool::ANY, 0u64..4096, 0usize..4, 0u64..48, 0usize..4),
+            1..60,
+        ),
+        prefetch_on in prop::bool::ANY,
+    ) {
+        let queue = partitioned_queue(&runs, |t, offset| ((t as u64 + 1) << 26) + offset * 64);
+        three_way_equivalence(&queue, prefetch_on)?;
+    }
+
+    /// Three-way equivalence on *overlapping* streams: every thread works in
+    /// the same small address window, so stores constantly conflict across
+    /// the socket shards and the sharded engine exercises its exact serial
+    /// fallback (including cross-shard invalidation) on nearly every epoch.
+    #[test]
+    fn sharded_engine_matches_reference_on_overlapping_streams(
+        runs in prop::collection::vec(
+            (0usize..4, prop::bool::ANY, 0u64..512, 0usize..4, 0u64..48, 0usize..4),
+            1..60,
+        ),
+        prefetch_on in prop::bool::ANY,
+    ) {
+        let queue = partitioned_queue(&runs, |_t, offset| offset * 64);
+        three_way_equivalence(&queue, prefetch_on)?;
+    }
+
     /// Mixed workloads on the directory path keep the directory a superset
     /// of the true holders (the invariant coherence correctness rests on).
     #[test]
@@ -137,4 +171,137 @@ proptest! {
         }
         sys.verify_directory_superset();
     }
+}
+
+/// Build a replay queue from drawn run tuples. `base_of(thread, offset)`
+/// decides the address layout — per-thread regions for the partitioned
+/// strategy, one shared window for the overlapping one.
+fn partitioned_queue(
+    runs: &[(usize, bool, u64, usize, u64, usize)],
+    base_of: impl Fn(usize, u64) -> u64,
+) -> ReplayQueue {
+    let strides: [i64; 4] = [64, -64, 8, 192];
+    let sizes: [u32; 4] = [64, 8, 8, 8];
+    let mut queue = ReplayQueue::new(4);
+    for &(thread, epoch_break, offset, stride_sel, count, kind_sel) in runs {
+        if epoch_break {
+            queue.begin_epoch();
+        }
+        queue.push(
+            thread,
+            RunOp {
+                base: base_of(thread, offset),
+                stride: strides[stride_sel],
+                count,
+                size: sizes[stride_sel],
+                kind: kind_of(kind_sel),
+            },
+        );
+    }
+    queue
+}
+
+/// Drain `queue` through the reference broadcast walk (element by element),
+/// the sequential flat engine and the sharded engine at worker counts 1 and
+/// 3, and require bit-identical statistics from all four.
+fn three_way_equivalence(
+    queue: &ReplayQueue,
+    prefetch_on: bool,
+) -> std::result::Result<(), TestCaseError> {
+    let mut reference = ReferenceCacheSystem::new(tiny_hierarchy(prefetch_on));
+    for epoch in queue.epochs() {
+        for &(thread, op) in epoch {
+            for i in 0..op.count {
+                let address = op.base.wrapping_add((i as i64).wrapping_mul(op.stride) as u64);
+                reference.access(thread, Access { address, size: op.size, kind: op.kind });
+            }
+        }
+    }
+    let want = reference.stats();
+
+    let mut sequential = NodeCacheSystem::new(tiny_hierarchy(prefetch_on));
+    sequential.replay(queue);
+    prop_assert_eq!(&sequential.stats(), &want, "sequential flat engine vs reference");
+
+    for workers in [1usize, 3] {
+        let mut sharded = ShardedCacheSystem::with_workers(tiny_hierarchy(prefetch_on), workers);
+        sharded.replay(queue);
+        prop_assert_eq!(
+            &sharded.stats(),
+            &want,
+            "sharded engine ({} workers) vs reference",
+            workers
+        );
+    }
+    Ok(())
+}
+
+/// The same three-way equivalence on a real machine preset: a two-socket
+/// hierarchy with threads straddling both sockets, mixing socket-private
+/// epochs (which shard in parallel) with epochs whose stores land in the
+/// other socket's working set (which serialize). Deterministic, so the
+/// parallel/serial split is asserted exactly.
+fn two_socket_preset_case(preset: likwid_suite::x86_machine::MachinePreset) {
+    use likwid_suite::x86_machine::SimMachine;
+
+    let machine = SimMachine::new(preset);
+    let config = HierarchyConfig::from_machine(&machine, NumaPolicy::interleave_over(4096, 2));
+    // The first two hardware threads of each socket.
+    let topo = machine.topology();
+    let mut threads = Vec::new();
+    for socket in [0u32, 1] {
+        let mut of_socket = (0..topo.num_hw_threads())
+            .filter(|&t| topo.hw_thread(t).map(|h| h.socket) == Ok(socket));
+        threads.push(of_socket.next().expect("socket populated"));
+        threads.push(of_socket.next().expect("two threads per socket"));
+    }
+
+    let mut queue = ReplayQueue::new(config.num_threads);
+    for round in 0..6u64 {
+        // A socket-private epoch: every thread streams its own region.
+        queue.begin_epoch();
+        for (i, &t) in threads.iter().enumerate() {
+            let region = ((i as u64 + 1) << 28) + round * 8192;
+            queue.push(t, RunOp::store_lines(region, 96));
+            queue.push(t, RunOp::load_lines(region, 96));
+        }
+        // A socket-straddling epoch: thread 0 (socket 0) stores the window
+        // thread 4 (socket 1) reads — a genuine cross-socket conflict.
+        queue.begin_epoch();
+        queue.push(threads[0], RunOp::store_lines(1 << 40, 64));
+        queue.push(threads[2], RunOp::load_lines(1 << 40, 64));
+    }
+
+    let mut reference = ReferenceCacheSystem::new(config.clone());
+    for epoch in queue.epochs() {
+        for &(thread, op) in epoch {
+            for i in 0..op.count {
+                let address = op.base.wrapping_add((i as i64).wrapping_mul(op.stride) as u64);
+                reference.access(thread, Access { address, size: op.size, kind: op.kind });
+            }
+        }
+    }
+    let want = reference.stats();
+
+    let mut sequential = NodeCacheSystem::new(config.clone());
+    sequential.replay(&queue);
+    assert_eq!(sequential.stats(), want, "sequential flat engine vs reference");
+
+    for workers in [1usize, 2, 4] {
+        let mut sharded = ShardedCacheSystem::with_workers(config.clone(), workers);
+        sharded.replay(&queue);
+        assert_eq!(sharded.stats(), want, "sharded engine ({workers} workers) vs reference");
+        assert_eq!(sharded.epochs_parallel(), 6, "the private epochs shard");
+        assert_eq!(sharded.epochs_serial(), 6, "the straddling epochs serialize");
+    }
+}
+
+#[test]
+fn sharded_engine_matches_reference_on_the_nehalem_preset() {
+    two_socket_preset_case(likwid_suite::x86_machine::MachinePreset::NehalemEp2S);
+}
+
+#[test]
+fn sharded_engine_matches_reference_on_the_westmere_preset() {
+    two_socket_preset_case(likwid_suite::x86_machine::MachinePreset::WestmereEp2S);
 }

@@ -1,0 +1,77 @@
+//! Determinism regression tests for the parallel sharded simulator.
+//!
+//! The sharded engine's contract is that worker scheduling is invisible:
+//! for a fixed replay queue the merged [`likwid_suite::cache_sim::NodeStats`]
+//! are byte-identical at every worker count, and so is every report derived
+//! from them — down to the `likwid-perfctr`-style ASCII rendering. These
+//! tests pin both layers: the raw engine statistics on a multi-socket
+//! store-coherence scenario, and the full `likwid-bench` report against a
+//! captured golden.
+
+use likwid_bench::microbench::{likwid_bench_report, likwid_bench_spec};
+use likwid_suite::cache_sim::{HierarchyConfig, NumaPolicy, ShardedCacheSystem};
+use likwid_suite::likwid::report::{Ascii, Json, Render, Report};
+use likwid_suite::workloads::{Placement, StoreCoherence};
+use likwid_suite::x86_machine::{MachinePreset, SimMachine};
+
+fn report_for(list: &[&str]) -> Report {
+    let args: Vec<String> = list.iter().map(|s| s.to_string()).collect();
+    likwid_bench_report(&likwid_bench_spec().parse(&args).unwrap()).unwrap()
+}
+
+/// The engine-level contract: a multi-socket store-coherence queue replayed
+/// at 1, 2 and 8 workers produces byte-identical merged statistics and the
+/// same parallel/serial epoch split, and the scenario genuinely exercises
+/// the parallel path.
+#[test]
+fn worker_count_is_invisible_in_the_merged_statistics() {
+    let machine = SimMachine::new(MachinePreset::NehalemEp2S);
+    let placement = Placement::pinned(vec![0, 1, 4, 5]);
+    let kernel = StoreCoherence::new(1 << 20, 2);
+    let queue = kernel.replay_queue(&machine, &placement);
+    let config = HierarchyConfig::from_machine(&machine, NumaPolicy::interleave_over(4096, 2));
+
+    let mut baseline = ShardedCacheSystem::with_workers(config.clone(), 1);
+    baseline.replay(&queue);
+    assert!(baseline.epochs_parallel() > 0, "the scenario must shard");
+
+    for workers in [2usize, 8] {
+        let mut sharded = ShardedCacheSystem::with_workers(config.clone(), workers);
+        sharded.replay(&queue);
+        assert_eq!(sharded.stats(), baseline.stats(), "{workers} workers vs 1");
+        assert_eq!(sharded.epochs_parallel(), baseline.epochs_parallel(), "{workers} workers");
+        assert_eq!(sharded.epochs_serial(), baseline.epochs_serial(), "{workers} workers");
+    }
+}
+
+/// The tool-level contract: the rendered `likwid-bench` report for the
+/// coherence kernel is byte-identical across `-W 1/2/4` and matches the
+/// pinned golden, so a scheduling-dependent divergence anywhere between the
+/// shard workers and the ASCII renderer fails loudly.
+#[test]
+fn coherence_report_is_byte_identical_across_workers_and_matches_the_golden() {
+    let golden = include_str!("golden/likwid_bench_coherence_nehalem-ep-2s.txt");
+    for workers in ["1", "2", "4"] {
+        let report = report_for(&[
+            "-t",
+            "coherence",
+            "-w",
+            "1MB",
+            "-c",
+            "S0:0-1@S1:0-1",
+            "-g",
+            "MEM",
+            "-W",
+            workers,
+            "--machine",
+            "nehalem-ep-2s",
+        ]);
+        assert_eq!(
+            Ascii.render(&report),
+            golden,
+            "-W {workers}: ASCII output must be byte-identical to the captured golden"
+        );
+        let parsed = Report::from_json(&Json.render(&report)).expect("JSON must parse");
+        assert_eq!(&parsed, &report, "-W {workers}: JSON round-trip");
+    }
+}
