@@ -50,6 +50,12 @@ pub fn likwid_bench_spec() -> ArgSpec {
             Some("interval"),
             "timeline: sample the counters every <interval> of virtual time (requires -g)",
         )
+        .flag(
+            "--inject",
+            None,
+            Some("spec"),
+            "inject faults into the MSR substrate (e.g. seed=7,read=0.2x3,stuck=0x186@0)",
+        )
 }
 
 /// Build the report of one `likwid-bench` invocation.
@@ -110,6 +116,11 @@ pub fn likwid_bench_report(parsed: &ParsedArgs) -> Result<Report> {
             return Err(LikwidError::Usage("-T (timeline) requires -g <group>".into()));
         }
         experiment = experiment.timeline(likwid::perfctr::parse_interval(raw)?);
+    }
+    if let Some(spec) = parsed.value("--inject") {
+        let plan = likwid_x86_machine::FaultPlan::parse(spec)
+            .map_err(|e| LikwidError::Usage(format!("bad --inject spec: {e}")))?;
+        experiment = experiment.inject(plan);
     }
     let result = experiment.run(workload.as_ref())?;
     let run = result.first();

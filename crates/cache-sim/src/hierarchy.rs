@@ -398,6 +398,7 @@ impl NodeCacheSystem {
         kind: AccessKind,
     ) -> HitLevel {
         assert!(thread < self.config.num_threads, "no such hardware thread {thread}");
+        assert!(size > 0, "zero-size access run");
         let socket = self.config.thread_socket[thread];
 
         if kind == AccessKind::NonTemporalStore {

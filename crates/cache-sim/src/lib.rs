@@ -46,5 +46,5 @@ pub use memory::{MemoryController, NumaPolicy};
 pub use prefetch::PrefetchEngine;
 pub use replacement::{FlatReplacement, ReplacementPolicy};
 pub use replay::{ReplayQueue, RunOp};
-pub use shard::ShardedCacheSystem;
+pub use shard::{ShardReplayError, ShardedCacheSystem};
 pub use stats::{CacheStats, LevelStats, MemoryStats, NodeStats};

@@ -39,6 +39,7 @@
 //! [`NodeCacheSystem::invalidate_external`] — still bit-identical, just
 //! serial.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
 
@@ -179,6 +180,40 @@ impl ShardPlan {
     }
 }
 
+/// A replay operation panicked inside a shard's simulation engine.
+///
+/// The worker catches the panic, so the pool is not wedged and the shard's
+/// engine is returned instead of being lost with the worker thread. The
+/// failing epoch is completed through the exact sequential path (minus the
+/// one poisoned operation), so the simulator stays usable; only the
+/// poisoned operation's effect is missing, which this error reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardReplayError {
+    /// The shard whose engine panicked.
+    pub shard: usize,
+    /// The panic message of the failing `access_run` call.
+    pub message: String,
+}
+
+impl std::fmt::Display for ShardReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "replay op panicked on shard {}: {}", self.shard, self.message)
+    }
+}
+
+impl std::error::Error for ShardReplayError {}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "non-string panic payload".to_string(),
+        },
+    }
+}
+
 /// One parallel work item: a shard's engine (moved by value) plus its ops.
 struct Job {
     shard: usize,
@@ -186,12 +221,19 @@ struct Job {
     ops: Vec<(usize, RunOp)>,
 }
 
+/// A worker's answer: the worst hit level, or — when an op panicked — the
+/// number of ops that completed before the panic plus the panic message.
+type JobOutcome = Result<HitLevel, (usize, String)>;
+
 /// Persistent worker threads with static shard→worker assignment. Results
 /// carry the shard index, so the collection order cannot influence where
-/// anything lands — determinism is independent of scheduling.
+/// anything lands — determinism is independent of scheduling. A panicking
+/// op is caught inside the worker: the shard's engine travels back to the
+/// pool owner either way, so a poisoned queue cannot wedge the channel or
+/// lose a shard.
 struct WorkerPool {
     senders: Vec<Sender<Job>>,
-    results: Receiver<(usize, Box<NodeCacheSystem>, HitLevel)>,
+    results: Receiver<(usize, Box<NodeCacheSystem>, JobOutcome)>,
     handles: Vec<JoinHandle<()>>,
 }
 
@@ -206,14 +248,22 @@ impl WorkerPool {
             handles.push(std::thread::spawn(move || {
                 while let Ok(Job { shard, mut sys, ops }) = rx.recv() {
                     let mut worst = HitLevel::L1;
-                    for (thread, op) in ops {
-                        let level =
-                            sys.access_run(thread, op.base, op.stride, op.count, op.size, op.kind);
-                        if level > worst {
-                            worst = level;
+                    let mut done = 0usize;
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        for &(thread, op) in &ops {
+                            let level = sys
+                                .access_run(thread, op.base, op.stride, op.count, op.size, op.kind);
+                            if level > worst {
+                                worst = level;
+                            }
+                            done += 1;
                         }
-                    }
-                    if result_tx.send((shard, sys, worst)).is_err() {
+                    }));
+                    let outcome = match outcome {
+                        Ok(()) => Ok(worst),
+                        Err(payload) => Err((done, panic_message(payload))),
+                    };
+                    if result_tx.send((shard, sys, outcome)).is_err() {
                         break;
                     }
                 }
@@ -284,6 +334,21 @@ fn resident_conflict(stores: &[(u64, u64)], sys: &NodeCacheSystem) -> bool {
     } else {
         sys.dir_occupied_pages().any(|page| pages.iter().any(|&(lo, hi)| page >= lo && page <= hi))
     }
+}
+
+/// Run one op on a shard engine, converting an engine panic into a typed
+/// error. Engine panics fire on argument validation, before any state
+/// mutation, so the remaining ops of the epoch still replay exactly.
+fn run_op(
+    sys: &mut NodeCacheSystem,
+    shard: usize,
+    local: usize,
+    op: RunOp,
+) -> Result<HitLevel, ShardReplayError> {
+    catch_unwind(AssertUnwindSafe(|| {
+        sys.access_run(local, op.base, op.stride, op.count, op.size, op.kind)
+    }))
+    .map_err(|payload| ShardReplayError { shard, message: panic_message(payload) })
 }
 
 /// The parallel sharded simulator (see the module docs).
@@ -371,24 +436,44 @@ impl ShardedCacheSystem {
     }
 
     /// Replay a queue. Bit-identical to [`NodeCacheSystem::replay`] on the
-    /// same configuration and queue, for every worker count.
+    /// same configuration and queue, for every worker count. Panics when a
+    /// replay op panics inside the engine; use
+    /// [`ShardedCacheSystem::try_replay`] for the typed-error variant.
     pub fn replay(&mut self, queue: &ReplayQueue) -> HitLevel {
+        self.try_replay(queue).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Replay a queue, surfacing engine panics as a typed error instead of
+    /// wedging the worker pool: the panic is caught on the worker, every
+    /// shard engine travels back, the failing epoch is completed through
+    /// the exact sequential order minus the poisoned op, and the remaining
+    /// epochs replay normally. The first failure is reported; the simulator
+    /// stays fully usable afterwards.
+    pub fn try_replay(&mut self, queue: &ReplayQueue) -> Result<HitLevel, ShardReplayError> {
         assert_eq!(
             queue.num_threads(),
             self.config.num_threads,
             "queue thread count must match the hierarchy"
         );
         let mut worst = HitLevel::L1;
+        let mut failed = None;
         for epoch in queue.epochs() {
-            let level = self.replay_epoch(epoch);
+            let level = self.replay_epoch(epoch, &mut failed);
             if level > worst {
                 worst = level;
             }
         }
-        worst
+        match failed {
+            None => Ok(worst),
+            Some(e) => Err(e),
+        }
     }
 
-    fn replay_epoch(&mut self, epoch: &[(usize, RunOp)]) -> HitLevel {
+    fn replay_epoch(
+        &mut self,
+        epoch: &[(usize, RunOp)],
+        failed: &mut Option<ShardReplayError>,
+    ) -> HitLevel {
         let mut worst = HitLevel::L1;
         if epoch.is_empty() {
             return worst;
@@ -480,26 +565,65 @@ impl ShardedCacheSystem {
                 let mut dispatched = 0;
                 for &s in &active {
                     let sys = self.shards[s].take().expect("shard present");
-                    let ops = std::mem::take(&mut per_shard[s]);
+                    // The ops stay in per_shard too: should the job panic,
+                    // the unfinished tail is completed sequentially below.
+                    let ops = per_shard[s].clone();
                     let worker = s % pool.senders.len();
                     pool.senders[worker].send(Job { shard: s, sys, ops }).expect("worker alive");
                     dispatched += 1;
                 }
                 for _ in 0..dispatched {
-                    let (s, sys, level) = pool.results.recv().expect("worker finished");
+                    let (s, sys, outcome) =
+                        pool.results.recv().expect("worker returns its shard even on a panic");
                     self.shards[s] = Some(sys);
-                    if level > worst {
-                        worst = level;
+                    match outcome {
+                        Ok(level) => {
+                            if level > worst {
+                                worst = level;
+                            }
+                        }
+                        Err((done, message)) => {
+                            if failed.is_none() {
+                                *failed = Some(ShardReplayError { shard: s, message });
+                            }
+                            // Exact sequential completion of everything
+                            // after the poisoned op, on the engine the
+                            // worker handed back. The epoch was proven
+                            // conflict-free, so no cross-shard effects are
+                            // missed.
+                            let sys = self.shards[s].as_mut().expect("shard present");
+                            for &(local, op) in per_shard[s].iter().skip(done + 1) {
+                                match run_op(sys, s, local, op) {
+                                    Ok(level) => {
+                                        if level > worst {
+                                            worst = level;
+                                        }
+                                    }
+                                    Err(e) => {
+                                        if failed.is_none() {
+                                            *failed = Some(e);
+                                        }
+                                    }
+                                }
+                            }
+                        }
                     }
                 }
             } else {
                 for &s in &active {
                     let sys = self.shards[s].as_mut().expect("shard present");
                     for &(local, op) in &per_shard[s] {
-                        let level =
-                            sys.access_run(local, op.base, op.stride, op.count, op.size, op.kind);
-                        if level > worst {
-                            worst = level;
+                        match run_op(sys, s, local, op) {
+                            Ok(level) => {
+                                if level > worst {
+                                    worst = level;
+                                }
+                            }
+                            Err(e) => {
+                                if failed.is_none() {
+                                    *failed = Some(e);
+                                }
+                            }
                         }
                     }
                 }
@@ -511,7 +635,18 @@ impl ShardedCacheSystem {
                 let shard = self.plan.shard_of_thread[thread];
                 let local = self.plan.local_thread[thread];
                 let sys = self.shards[shard].as_mut().expect("shard present");
-                let level = sys.access_run(local, op.base, op.stride, op.count, op.size, op.kind);
+                let level = match run_op(sys, shard, local, op) {
+                    Ok(level) => level,
+                    Err(e) => {
+                        // The op had no effect (engine panics fire on
+                        // argument validation); its invalidations must not
+                        // happen either.
+                        if failed.is_none() {
+                            *failed = Some(e);
+                        }
+                        continue;
+                    }
+                };
                 if level > worst {
                     worst = level;
                 }
@@ -795,6 +930,63 @@ mod tests {
         sharded.set_workers(4);
         sharded.replay(&partitioned_queue_tail(4, 2));
         assert_eq!(sharded.stats(), sequential.stats());
+    }
+
+    #[test]
+    fn a_panicking_replay_op_yields_a_typed_error_not_a_wedged_pool() {
+        // A zero-size access run trips the engine's argument validation —
+        // the deliberately poisoned op. Silence the default panic hook's
+        // backtrace spam for the duration (the panics are expected).
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+
+        // Poisoned op inside a provably parallel epoch: thread 2 (shard 1)
+        // gets size = 0.
+        let mut queue = ReplayQueue::new(4);
+        queue.begin_epoch();
+        for thread in 0..4 {
+            let region = (thread as u64 + 1) << 26;
+            let size = if thread == 2 { 0 } else { 8 };
+            queue.push(
+                thread,
+                RunOp { base: region, stride: 64, count: 8, size, kind: AccessKind::Load },
+            );
+        }
+
+        let mut sharded = ShardedCacheSystem::with_workers(two_socket_config(), 2);
+        let err = sharded.try_replay(&queue).expect_err("poisoned op must surface");
+        assert_eq!(err.shard, 1, "thread 2 lives on the socket-1 shard");
+        assert!(err.message.contains("zero-size"), "got: {}", err.message);
+
+        // The pool is not wedged and no shard was lost: a healthy queue
+        // still replays (in parallel) and matches the sequential engine
+        // that saw the same surviving ops.
+        let good = partitioned_queue(3);
+        assert!(sharded.try_replay(&good).is_ok());
+        let mut sequential = NodeCacheSystem::new(two_socket_config());
+        for epoch in queue.epochs() {
+            for &(thread, op) in epoch {
+                if op.size > 0 {
+                    sequential.access_run(thread, op.base, op.stride, op.count, op.size, op.kind);
+                }
+            }
+        }
+        sequential.replay(&good);
+        assert_eq!(sharded.stats(), sequential.stats(), "poisoned op dropped, rest exact");
+
+        // The serial-fallback path reports the same typed error.
+        let mut conflict_poisoned = ReplayQueue::new(4);
+        conflict_poisoned.begin_epoch();
+        for thread in 0..4 {
+            let kind = if thread < 2 { AccessKind::Store } else { AccessKind::Load };
+            let size = if thread == 0 { 0 } else { 8 };
+            conflict_poisoned.push(thread, RunOp { base: 0, stride: 64, count: 8, size, kind });
+        }
+        let mut serial = ShardedCacheSystem::with_workers(two_socket_config(), 2);
+        let err = serial.try_replay(&conflict_poisoned).expect_err("serial path surfaces too");
+        assert_eq!(err.shard, 0);
+
+        std::panic::set_hook(hook);
     }
 
     /// Epochs `skip..skip + len` of the deterministic partitioned stream —

@@ -74,6 +74,12 @@ impl Tool {
                 None,
                 Some("duration"),
                 "stethoscope mode: measure for <duration> of virtual time and report",
+            )
+            .flag(
+                "--inject",
+                None,
+                Some("spec"),
+                "inject faults into the MSR substrate (e.g. seed=7,read=0.2x3,stuck=0x186@0)",
             ),
             Tool::Pin => ArgSpec::new(
                 "likwid-pin",
@@ -289,6 +295,7 @@ pub fn perfctr_report(args: &[String]) -> Result<Report> {
 
 fn perfctr_report_from(parsed: &ParsedArgs) -> Result<Report> {
     let machine = SimMachine::new(parse_machine(parsed)?);
+    apply_fault_injection(&machine, parsed)?;
 
     if parsed.has("-a") {
         let mut groups = Table::plain(vec!["group", "description"]);
@@ -358,6 +365,18 @@ fn perfctr_report_from(parsed: &ParsedArgs) -> Result<Report> {
         &session.socket_lock_owners(),
     ));
     Ok(report)
+}
+
+/// Apply a `--inject` fault plan to the simulated machine before any MSR
+/// device is opened. The measurement then has to heal or degrade
+/// gracefully; a malformed spec is the only way the flag itself errors.
+fn apply_fault_injection(machine: &SimMachine, parsed: &ParsedArgs) -> Result<()> {
+    if let Some(spec) = parsed.value("--inject") {
+        let plan = likwid_x86_machine::FaultPlan::parse(spec)
+            .map_err(|e| LikwidError::Usage(format!("bad --inject spec: {e}")))?;
+        machine.inject_faults(plan);
+    }
+    Ok(())
 }
 
 /// The `session` key/value section shared by the perfctr modes: machine

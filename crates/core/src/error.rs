@@ -33,6 +33,9 @@ pub enum LikwidError {
     Pin(String),
     /// Marker API misuse (nesting, stopping a region that was not started, …).
     Marker(String),
+    /// Measurement-session misuse (starting twice, reading before start,
+    /// group switching without multiplexing, …).
+    Session(String),
     /// A derived-metric formula failed to parse or evaluate.
     Formula(String),
     /// Command-line usage error.
@@ -60,6 +63,7 @@ impl std::fmt::Display for LikwidError {
             ),
             LikwidError::Pin(e) => write!(f, "pinning failed: {e}"),
             LikwidError::Marker(e) => write!(f, "marker API misuse: {e}"),
+            LikwidError::Session(e) => write!(f, "session misuse: {e}"),
             LikwidError::Formula(e) => write!(f, "metric formula error: {e}"),
             LikwidError::Usage(e) => write!(f, "usage error: {e}"),
             LikwidError::Output(e) => write!(f, "output error: {e}"),
@@ -103,6 +107,8 @@ mod tests {
         let e = LikwidError::GroupUnsupported { group: "MEM".into(), arch: "Core 2".into() };
         assert!(e.to_string().contains("MEM"));
         assert!(e.to_string().contains("Core 2"));
+        let e = LikwidError::Session("start() called twice".into());
+        assert!(e.to_string().starts_with("session misuse: "));
     }
 
     #[test]

@@ -40,7 +40,9 @@ pub use args::{ArgSpec, ParsedArgs};
 pub use error::{LikwidError, Result};
 pub use features::FeaturesTool;
 pub use marker::MarkerApi;
-pub use perfctr::{EventGroupKind, PerfCtr, PerfCtrConfig, PerfCtrResults};
+pub use perfctr::{
+    Diagnostic, EventGroupKind, HealingStats, PerfCtr, PerfCtrConfig, PerfCtrResults,
+};
 pub use pin::{PinConfig, PinTool};
 pub use report::{Ascii, Csv, Json, OutputFormat, Render, Report};
 pub use topology::CpuTopology;

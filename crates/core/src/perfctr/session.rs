@@ -1,10 +1,14 @@
 //! The counter-programming session: from event specification to rendered
 //! result tables.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 
-use likwid_perf_events::{CounterSlot, EventDefinition, EventTable, MultiplexSchedule, PerfMon};
-use likwid_x86_machine::SimMachine;
+use likwid_perf_events::perfmon::slot_registers;
+use likwid_perf_events::{
+    CounterSlot, EventDefinition, EventTable, MultiplexSchedule, PerfMon, PerfMonError,
+};
+use likwid_x86_machine::{MachineError, SimMachine};
 
 use crate::error::{LikwidError, Result};
 use crate::perfctr::formula::Formula;
@@ -135,6 +139,87 @@ impl ResolvedGroup {
 /// Raw counts of one group: `counts[event_index][cpu_index]`.
 pub type GroupCounts = Vec<Vec<u64>>;
 
+/// One degradation recorded by the self-healing session: what was dropped
+/// or corrected, and why. Rendered as the `diagnostics` section of the
+/// report, so a partially broken machine still produces a complete run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// What degraded (`cpu 3`, `PMC0 (EVENT) on cpu 1`, …).
+    pub subject: String,
+    /// Why, and what the session did about it.
+    pub reason: String,
+}
+
+/// Healing effort spent by a session. Deliberately not part of
+/// [`PerfCtrResults`]: retries, backoff and reprogramming never change
+/// measured values, so results under transient faults stay bit-identical
+/// to a fault-free run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HealingStats {
+    /// Individual MSR accesses that had to be repeated (transient EIO).
+    pub msr_retries: u64,
+    /// Deterministic exponential-backoff units spent between attempts.
+    pub backoff_units: u64,
+    /// Counters reprogrammed after a verify-after-write mismatch.
+    pub reprograms: u64,
+    /// Counters or cpus dropped from the session (permanent faults).
+    pub degradations: usize,
+}
+
+/// Per-slot wraparound and liveness tracking.
+#[derive(Debug, Clone, Default)]
+struct SlotHeal {
+    /// Last raw (width-masked) counter value seen.
+    last_raw: u64,
+    /// Last machine-side wide (unwrapped) value seen, for multi-wrap
+    /// detection.
+    last_wide: u64,
+    /// Wrap-corrected cumulative count since the slot was last programmed.
+    unwrapped: u64,
+    /// The slot was dropped (stuck register); it reads as frozen zeros.
+    dead: bool,
+    /// A multi-wrap diagnostic was already recorded for this slot.
+    wrap_warned: bool,
+}
+
+/// Mutable healing state of a session, behind a `RefCell` because
+/// [`PerfCtr::read_counts`] must stay `&self` (the marker API reads through
+/// a shared reference).
+#[derive(Debug, Default)]
+struct HealState {
+    /// Tracking per `[group][event][cpu position]`.
+    slots: Vec<Vec<Vec<SlotHeal>>>,
+    /// Cpus whose MSR device failed permanently; their counts freeze.
+    dead_cpus: Vec<usize>,
+    /// Everything that degraded, in occurrence order.
+    diagnostics: Vec<Diagnostic>,
+    /// Counters reprogrammed after a verify mismatch.
+    reprograms: u64,
+}
+
+impl HealState {
+    fn cpu_is_dead(&self, cpu: usize) -> bool {
+        self.dead_cpus.contains(&cpu)
+    }
+
+    fn mark_cpu_dead(&mut self, cpu: usize, err: &PerfMonError) {
+        if !self.cpu_is_dead(cpu) {
+            self.dead_cpus.push(cpu);
+            self.diagnostics.push(Diagnostic {
+                subject: format!("cpu {cpu}"),
+                reason: format!("dropped from the measurement: {err}"),
+            });
+        }
+    }
+}
+
+/// Whether a counter-programming error is a permanently failing MSR access.
+/// Transient EIO is already retried away inside [`PerfMon`], so an I/O error
+/// escaping it means the device is gone for good (a dead cpu).
+fn is_permanent_io(e: &PerfMonError) -> bool {
+    matches!(e, PerfMonError::Msr(MachineError::MsrIo { .. }))
+}
+
 /// A measurement session over one machine.
 ///
 /// The session opens one MSR device per measured hardware thread, resolves
@@ -154,7 +239,14 @@ pub struct PerfCtr<'m> {
     schedule: MultiplexSchedule,
     /// Accumulated raw counts per group (multiplex mode).
     accumulated: Vec<GroupCounts>,
+    /// `(counter register, width mask)` per `[group][event]`, for
+    /// wraparound-correct delta computation.
+    slot_meta: Vec<Vec<(u32, u64)>>,
+    /// Wraparound/degradation tracking (interior mutability: reads heal).
+    heal: RefCell<HealState>,
     running: bool,
+    /// Whether the session was ever started (reads before that are misuse).
+    started: bool,
 }
 
 impl<'m> PerfCtr<'m> {
@@ -212,6 +304,30 @@ impl<'m> PerfCtr<'m> {
         let accumulated =
             groups.iter().map(|g| vec![vec![0u64; config.cpus.len()]; g.events.len()]).collect();
 
+        let vendor = machine.vendor();
+        let slot_meta: Vec<Vec<(u32, u64)>> = groups
+            .iter()
+            .map(|g| {
+                g.events
+                    .iter()
+                    .map(|(_, slot, _)| {
+                        let (_, counter) = slot_registers(vendor, *slot);
+                        let bits = table.counter_bits(*slot);
+                        let mask =
+                            if bits == 0 || bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+                        (counter, mask)
+                    })
+                    .collect()
+            })
+            .collect();
+        let heal = RefCell::new(HealState {
+            slots: groups
+                .iter()
+                .map(|g| vec![vec![SlotHeal::default(); config.cpus.len()]; g.events.len()])
+                .collect(),
+            ..HealState::default()
+        });
+
         let mut session = PerfCtr {
             machine,
             cpus: config.cpus,
@@ -221,7 +337,10 @@ impl<'m> PerfCtr<'m> {
             active_group: 0,
             schedule: MultiplexSchedule::new(num_groups),
             accumulated,
+            slot_meta,
+            heal,
             running: false,
+            started: false,
         };
         session.program_group(0)?;
         Ok(session)
@@ -254,59 +373,209 @@ impl<'m> PerfCtr<'m> {
     }
 
     /// Program all counters of group `index` (does not start them).
+    ///
+    /// Every programmed counter is verified by reading its state back; a
+    /// mismatch (e.g. a stuck PERFEVTSEL) is answered by reprogramming, and
+    /// a counter that still does not hold its state after three rounds is
+    /// dropped from the session with a diagnostic instead of failing the
+    /// run. A cpu whose MSR device fails permanently (EIO surviving the
+    /// per-access retries inside [`PerfMon`]) is dropped entirely.
     fn program_group(&mut self, index: usize) -> Result<()> {
+        const MAX_PROGRAM_ATTEMPTS: u32 = 3;
         let group = &self.groups[index];
-        for &cpu in &self.cpus {
-            for (_, slot, def) in &group.events {
+        let msr_file = self.machine.msr_file();
+        let mut heal = self.heal.borrow_mut();
+        'cpus: for (ci, &cpu) in self.cpus.iter().enumerate() {
+            if heal.cpu_is_dead(cpu) {
+                continue;
+            }
+            for (ei, (name, slot, def)) in group.events.iter().enumerate() {
                 if slot.is_uncore() && !self.owns_socket_lock(cpu) {
                     continue;
                 }
-                self.perfmon.setup(cpu, *slot, def)?;
+                // Fresh wrap tracking for this programming cycle; dead slots
+                // stay dead and contribute frozen zeros from here on.
+                let was_dead = heal.slots[index][ei][ci].dead;
+                heal.slots[index][ei][ci] = SlotHeal { dead: was_dead, ..SlotHeal::default() };
+                if was_dead {
+                    continue;
+                }
+                let mut programmed = false;
+                for _ in 0..MAX_PROGRAM_ATTEMPTS {
+                    match self.perfmon.setup(cpu, *slot, def) {
+                        Ok(()) => {}
+                        Err(e) if is_permanent_io(&e) => {
+                            heal.mark_cpu_dead(cpu, &e);
+                            continue 'cpus;
+                        }
+                        Err(e) => return Err(e.into()),
+                    }
+                    match self.perfmon.verify(cpu, *slot, def) {
+                        Ok(true) => {
+                            programmed = true;
+                            break;
+                        }
+                        Ok(false) => heal.reprograms += 1,
+                        Err(e) if is_permanent_io(&e) => {
+                            heal.mark_cpu_dead(cpu, &e);
+                            continue 'cpus;
+                        }
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+                if programmed {
+                    // The counter was just zeroed; resynchronise the wide
+                    // (machine-side, unwrapped) baseline used for multi-wrap
+                    // detection.
+                    let (reg, _) = self.slot_meta[index][ei];
+                    heal.slots[index][ei][ci].last_wide =
+                        msr_file.wide_value(cpu, reg).unwrap_or(0);
+                } else {
+                    heal.slots[index][ei][ci].dead = true;
+                    heal.diagnostics.push(Diagnostic {
+                        subject: format!("{} ({name}) on cpu {cpu}", slot.name()),
+                        reason: format!(
+                            "programmed state did not stick after \
+                             {MAX_PROGRAM_ATTEMPTS} attempts; counter dropped"
+                        ),
+                    });
+                }
             }
         }
+        drop(heal);
         self.active_group = index;
         Ok(())
     }
 
     /// Start counting on all measured hardware threads.
     pub fn start(&mut self) -> Result<()> {
-        for &cpu in &self.cpus {
-            self.perfmon.start(cpu)?;
+        if self.running {
+            return Err(LikwidError::Session(
+                "start() called while the session is already counting (stop() it first)".into(),
+            ));
         }
+        let mut heal = self.heal.borrow_mut();
+        for &cpu in &self.cpus {
+            if heal.cpu_is_dead(cpu) {
+                continue;
+            }
+            match self.perfmon.start(cpu) {
+                Ok(()) => {}
+                Err(e) if is_permanent_io(&e) => heal.mark_cpu_dead(cpu, &e),
+                Err(e) => return Err(e.into()),
+            }
+        }
+        drop(heal);
         self.running = true;
+        self.started = true;
         Ok(())
     }
 
     /// Stop counting on all measured hardware threads.
     pub fn stop(&mut self) -> Result<()> {
+        let mut heal = self.heal.borrow_mut();
         for &cpu in &self.cpus {
-            self.perfmon.stop(cpu)?;
+            if heal.cpu_is_dead(cpu) {
+                continue;
+            }
+            match self.perfmon.stop(cpu) {
+                Ok(()) => {}
+                Err(e) if is_permanent_io(&e) => heal.mark_cpu_dead(cpu, &e),
+                Err(e) => return Err(e.into()),
+            }
         }
+        drop(heal);
         self.running = false;
         Ok(())
     }
 
-    /// Read the current raw counts of the active group:
+    /// Read the current counts of the active group:
     /// `counts[event][cpu_position]`. Uncore events are attributed to the
     /// socket-lock owner; other cpus read 0 for them.
+    ///
+    /// Counts are wraparound-corrected against the implemented counter width
+    /// (40/48-bit PMCs, 44-bit fixed counters): a raw value below the last
+    /// one seen is one wrap, not a negative delta. A counter that advances a
+    /// full wrap period or more between two reads cannot be corrected from
+    /// the raw values alone; that case is detected against the machine-side
+    /// wide shadow and reported as a diagnostic rather than silently
+    /// mis-corrected. Dead cpus/counters return their last good (frozen)
+    /// value.
     pub fn read_counts(&self) -> Result<GroupCounts> {
+        if !self.started {
+            return Err(LikwidError::Session(
+                "read_counts() called before the session was ever start()ed".into(),
+            ));
+        }
         let group = &self.groups[self.active_group];
+        let msr_file = self.machine.msr_file();
         let mut counts = vec![vec![0u64; self.cpus.len()]; group.events.len()];
+        let mut heal = self.heal.borrow_mut();
+        let heal = &mut *heal;
         for (ei, (_, slot, _)) in group.events.iter().enumerate() {
+            let (reg, mask) = self.slot_meta[self.active_group][ei];
             for (ci, &cpu) in self.cpus.iter().enumerate() {
                 if slot.is_uncore() && !self.owns_socket_lock(cpu) {
                     continue;
                 }
-                counts[ei][ci] = self.perfmon.read(cpu, *slot)?;
+                if heal.cpu_is_dead(cpu) || heal.slots[self.active_group][ei][ci].dead {
+                    counts[ei][ci] = heal.slots[self.active_group][ei][ci].unwrapped;
+                    continue;
+                }
+                let raw = match self.perfmon.read(cpu, *slot) {
+                    Ok(raw) => raw,
+                    Err(e) if is_permanent_io(&e) => {
+                        heal.mark_cpu_dead(cpu, &e);
+                        counts[ei][ci] = heal.slots[self.active_group][ei][ci].unwrapped;
+                        continue;
+                    }
+                    Err(e) => return Err(e.into()),
+                };
+                let track = &mut heal.slots[self.active_group][ei][ci];
+                let delta = raw.wrapping_sub(track.last_raw) & mask;
+                track.last_raw = raw;
+                track.unwrapped = track.unwrapped.wrapping_add(delta);
+                counts[ei][ci] = track.unwrapped;
+                // Multi-wrap guard: the machine side keeps an unwrapped
+                // shadow of every counter; a disagreement with the
+                // width-corrected delta means at least one full wrap period
+                // was lost inside this read interval.
+                if let Ok(wide) = msr_file.wide_value(cpu, reg) {
+                    let wide_delta = wide.wrapping_sub(track.last_wide);
+                    track.last_wide = wide;
+                    if wide_delta != delta && !track.wrap_warned {
+                        track.wrap_warned = true;
+                        let lost = wide_delta.wrapping_sub(delta);
+                        heal.diagnostics.push(Diagnostic {
+                            subject: format!("{} on cpu {cpu}", slot.name()),
+                            reason: format!(
+                                "counter wrapped more than once within one read \
+                                 interval ({lost} counts lost; read more often)"
+                            ),
+                        });
+                    }
+                }
             }
         }
         Ok(counts)
+    }
+
+    /// A zero counts matrix shaped like the active group — the baseline
+    /// right after programming (setup zeroes every counter, so no device
+    /// access is needed and no start-state is required).
+    pub fn zero_counts(&self) -> GroupCounts {
+        vec![vec![0u64; self.cpus.len()]; self.groups[self.active_group].events.len()]
     }
 
     /// Multiplexing: accumulate the active group's counts, rotate to the next
     /// group, reprogram and keep running. Mirrors the round-robin counter
     /// reassignment of the real tool.
     pub fn switch_group(&mut self) -> Result<usize> {
+        if self.groups.len() < 2 {
+            return Err(LikwidError::Session(
+                "switch_group() needs at least two groups (multiplexing mode)".into(),
+            ));
+        }
         let was_running = self.running;
         if was_running {
             self.stop()?;
@@ -363,6 +632,24 @@ impl<'m> PerfCtr<'m> {
     /// The name of a group by index.
     pub fn group_name(&self, group: usize) -> &str {
         &self.groups[group].name
+    }
+
+    /// Everything that degraded so far (empty on a healthy machine).
+    pub fn diagnostics(&self) -> Vec<Diagnostic> {
+        self.heal.borrow().diagnostics.clone()
+    }
+
+    /// The healing effort spent so far: MSR retries, backoff units,
+    /// reprogrammed counters and recorded degradations.
+    pub fn healing_stats(&self) -> HealingStats {
+        let heal = self.heal.borrow();
+        let msr = self.perfmon.retry_stats();
+        HealingStats {
+            msr_retries: msr.retries,
+            backoff_units: msr.backoff_units,
+            reprograms: heal.reprograms,
+            degradations: heal.diagnostics.len(),
+        }
     }
 
     /// Compute results (event table + derived metrics) for the active group
@@ -439,6 +726,7 @@ impl<'m> PerfCtr<'m> {
                 .map(|(ei, (name, slot, _))| (name.clone(), *slot, counts[ei].clone()))
                 .collect(),
             metrics,
+            diagnostics: self.diagnostics(),
         })
     }
 
@@ -469,6 +757,10 @@ pub struct PerfCtrResults {
     pub events: Vec<(String, CounterSlot, Vec<u64>)>,
     /// `(metric name, per-cpu values)`.
     pub metrics: Vec<(String, Vec<f64>)>,
+    /// Degradations recorded by the session (empty on a healthy machine;
+    /// transient faults are healed without a trace so faulted and fault-free
+    /// results compare equal).
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 impl PerfCtrResults {
@@ -512,6 +804,19 @@ impl PerfCtrResults {
                 metrics_table.push(Row::new(row));
             }
             report.push(Section::new("metrics", Body::Table(metrics_table)));
+        }
+
+        if !self.diagnostics.is_empty() {
+            let mut table = Table::bordered(vec!["Degraded".to_string(), "Reason".to_string()]);
+            for d in &self.diagnostics {
+                table.push(Row::new(vec![
+                    Value::Str(d.subject.clone()),
+                    Value::Str(d.reason.clone()),
+                ]));
+            }
+            report.push(
+                Section::new("diagnostics", Body::Table(table)).with_boxed_heading("Diagnostics"),
+            );
         }
         report
     }
@@ -809,6 +1114,214 @@ mod tests {
         let results1 = session.results_for_group(1, &l2).unwrap();
         let repl = results1.event_count("L1D_REPL", 0).unwrap();
         assert!((repl as i64 - 2000).abs() <= 10, "extrapolated L1D_REPL ~2000, got {repl}");
+    }
+
+    #[test]
+    fn session_misuse_yields_typed_errors() {
+        let machine = SimMachine::new(MachinePreset::Core2Quad);
+        let config =
+            PerfCtrConfig { cpus: vec![0], spec: MeasurementSpec::Group(EventGroupKind::FLOPS_DP) };
+        let mut session = PerfCtr::new(&machine, config).unwrap();
+
+        // Reading before the session was ever started is a misuse.
+        assert!(matches!(session.read_counts(), Err(LikwidError::Session(_))));
+        // A single-group session cannot multiplex.
+        assert!(matches!(session.switch_group(), Err(LikwidError::Session(_))));
+
+        session.start().unwrap();
+        // Starting an already-counting session is a misuse.
+        assert!(matches!(session.start(), Err(LikwidError::Session(_))));
+
+        session.stop().unwrap();
+        // After a stop the counts stay readable (finish() relies on this),
+        // and the session can be restarted.
+        assert!(session.read_counts().is_ok());
+        session.start().unwrap();
+        session.stop().unwrap();
+    }
+
+    #[test]
+    fn transient_msr_faults_heal_without_a_trace() {
+        use likwid_x86_machine::FaultPlan;
+
+        let run = |plan: Option<FaultPlan>| {
+            let machine = SimMachine::new(MachinePreset::Core2Quad);
+            if let Some(plan) = plan {
+                machine.inject_faults(plan);
+            }
+            let config = PerfCtrConfig {
+                cpus: vec![0, 1],
+                spec: MeasurementSpec::Group(EventGroupKind::FLOPS_DP),
+            };
+            let mut session = PerfCtr::new(&machine, config).unwrap();
+            session.start().unwrap();
+            apply_activity(
+                &machine,
+                &[
+                    (0, HwEventKind::SimdPackedDouble, 5000),
+                    (0, HwEventKind::CoreCycles, 90_000),
+                    (0, HwEventKind::InstructionsRetired, 40_000),
+                    (1, HwEventKind::SimdScalarDouble, 77),
+                ],
+                &[],
+            );
+            session.stop().unwrap();
+            let counts = session.read_counts().unwrap();
+            let stats = session.healing_stats();
+            (session.results(&counts).unwrap(), stats)
+        };
+
+        let (clean, clean_stats) = run(None);
+        assert_eq!(clean_stats.msr_retries, 0);
+        let plan = FaultPlan::parse("seed=42,read=0.4x3,write=0.4x3").unwrap();
+        let (faulted, stats) = run(Some(plan));
+        // Retries happened, but the results are bit-identical and free of
+        // diagnostics: transient faults heal without a trace.
+        assert!(stats.msr_retries > 0, "a 40% fault rate must trigger retries");
+        assert!(stats.backoff_units > 0);
+        assert!(faulted.diagnostics.is_empty());
+        assert_eq!(clean, faulted);
+    }
+
+    #[test]
+    fn stuck_registers_degrade_to_diagnostics_not_errors() {
+        use likwid_x86_machine::{msr::Msr, FaultPlan};
+
+        let machine = SimMachine::new(MachinePreset::Core2Quad);
+        // PERFEVTSEL0 on cpu 0 is stuck: programming it silently does
+        // nothing, which only verify-after-write can detect.
+        machine.inject_faults(FaultPlan {
+            stuck: vec![(0, Msr::IA32_PERFEVTSEL0)],
+            ..FaultPlan::default()
+        });
+        let config = PerfCtrConfig {
+            cpus: vec![0, 1],
+            spec: MeasurementSpec::Group(EventGroupKind::FLOPS_DP),
+        };
+        let mut session = PerfCtr::new(&machine, config).unwrap();
+        session.start().unwrap();
+        apply_activity(
+            &machine,
+            &[(0, HwEventKind::SimdPackedDouble, 1000), (1, HwEventKind::SimdPackedDouble, 2000)],
+            &[],
+        );
+        session.stop().unwrap();
+        let counts = session.read_counts().unwrap();
+        let results = session.results(&counts).unwrap();
+
+        // The stuck slot is dropped (frozen at zero) with a diagnostic; the
+        // healthy cpu still measures.
+        assert_eq!(results.event_count("SIMD_COMP_INST_RETIRED_PACKED_DOUBLE", 0), Some(0));
+        assert_eq!(results.event_count("SIMD_COMP_INST_RETIRED_PACKED_DOUBLE", 1), Some(2000));
+        assert_eq!(results.diagnostics.len(), 1);
+        assert!(results.diagnostics[0].subject.contains("PMC0"));
+        assert!(results.diagnostics[0].subject.contains("cpu 0"));
+        let rendered = results.render();
+        assert!(rendered.contains("Diagnostics"));
+        assert!(rendered.contains("Degraded"));
+        assert!(session.healing_stats().degradations >= 1);
+    }
+
+    #[test]
+    fn a_dying_cpu_freezes_its_counts_instead_of_failing_the_run() {
+        use likwid_x86_machine::FaultPlan;
+
+        let machine = SimMachine::new(MachinePreset::Core2Quad);
+        // Cpu 1's MSR device dies after a handful of accesses, partway
+        // through counter programming.
+        machine.inject_faults(FaultPlan { dead: vec![(1, 10)], ..FaultPlan::default() });
+        let config = PerfCtrConfig {
+            cpus: vec![0, 1],
+            spec: MeasurementSpec::Group(EventGroupKind::FLOPS_DP),
+        };
+        let mut session = PerfCtr::new(&machine, config).unwrap();
+        session.start().unwrap();
+        apply_activity(
+            &machine,
+            &[(0, HwEventKind::SimdPackedDouble, 4444), (1, HwEventKind::SimdPackedDouble, 5555)],
+            &[],
+        );
+        session.stop().unwrap();
+        let counts = session.read_counts().unwrap();
+        let results = session.results(&counts).unwrap();
+
+        // The healthy cpu's data survives; the dead cpu is reported.
+        assert_eq!(results.event_count("SIMD_COMP_INST_RETIRED_PACKED_DOUBLE", 0), Some(4444));
+        assert!(results.diagnostics.iter().any(|d| d.subject == "cpu 1"));
+    }
+
+    /// A single-group Westmere session with one 48-bit PMC event and one
+    /// 44-bit fixed-counter event, for driving raw counter values directly.
+    fn wrap_session(machine: &SimMachine) -> PerfCtr<'_> {
+        let table = likwid_perf_events::tables::for_arch(machine.arch());
+        let spec =
+            parse_event_spec("FP_COMP_OPS_EXE_SSE_FP_PACKED:PMC0,INSTR_RETIRED_ANY:FIXC0", &table)
+                .unwrap();
+        let config = PerfCtrConfig { cpus: vec![0], spec: MeasurementSpec::Custom(spec) };
+        PerfCtr::new(machine, config).unwrap()
+    }
+
+    #[test]
+    fn a_delta_across_exactly_one_wrap_is_corrected_exactly() {
+        // Westmere: PMCs are 48 bits wide, fixed counters 44. Drive the raw
+        // registers directly through the hardware-side MSR file so that the
+        // wrap point is hit deterministically.
+        let machine = SimMachine::new(MachinePreset::WestmereEp2S);
+        let mut session = wrap_session(&machine);
+        let msr = machine.msr_file();
+        let (_, pmc_reg) = slot_registers(machine.vendor(), CounterSlot::Pmc(0));
+        let (_, fix_reg) = slot_registers(machine.vendor(), CounterSlot::Fixed(0));
+
+        session.start().unwrap();
+        // Move both counters to just below their overflow boundary …
+        msr.increment(0, pmc_reg, (1u64 << 48) - 100).unwrap();
+        msr.increment(0, fix_reg, (1u64 << 44) - 7).unwrap();
+        session.read_counts().unwrap();
+        // … then across it: each raw register wraps exactly once.
+        msr.increment(0, pmc_reg, 300).unwrap();
+        msr.increment(0, fix_reg, 20).unwrap();
+        session.stop().unwrap();
+        let counts = session.read_counts().unwrap();
+        let results = session.results(&counts).unwrap();
+
+        // The wrap-corrected totals are exact (and beyond the raw width).
+        assert_eq!(
+            results.event_count("FP_COMP_OPS_EXE_SSE_FP_PACKED", 0),
+            Some((1u64 << 48) + 200)
+        );
+        assert_eq!(results.event_count("INSTR_RETIRED_ANY", 0), Some((1u64 << 44) + 13));
+        // One wrap per interval is business as usual, not a degradation.
+        assert!(results.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn two_wraps_within_one_interval_raise_a_diagnostic_not_a_fixup() {
+        let machine = SimMachine::new(MachinePreset::WestmereEp2S);
+        let mut session = wrap_session(&machine);
+        let msr = machine.msr_file();
+        let (_, pmc_reg) = slot_registers(machine.vendor(), CounterSlot::Pmc(0));
+
+        session.start().unwrap();
+        // More than two full counter periods between consecutive reads: the
+        // masked delta cannot represent this, and silently "correcting" it
+        // from the wide shadow would forge data no real PMU could produce.
+        msr.increment(0, pmc_reg, 2 * (1u64 << 48) + 50).unwrap();
+        session.stop().unwrap();
+        let counts = session.read_counts().unwrap();
+        let results = session.results(&counts).unwrap();
+
+        // The reported count is the honest masked delta …
+        assert_eq!(results.event_count("FP_COMP_OPS_EXE_SSE_FP_PACKED", 0), Some(50));
+        // … and the lost periods are called out as a diagnostic.
+        let diag = results
+            .diagnostics
+            .iter()
+            .find(|d| d.reason.contains("wrapped more than once"))
+            .expect("a multi-wrap interval must be diagnosed");
+        assert!(diag.subject.contains("PMC0"));
+        assert!(diag.reason.contains(&format!("{}", 2 * (1u64 << 48))), "reason: {}", diag.reason);
+        // The guard fires once per slot, not once per read.
+        assert_eq!(results.diagnostics.len(), 1);
     }
 
     #[test]

@@ -104,7 +104,9 @@ impl<'m> TimelineSession<'m> {
             )));
         }
         let session = PerfCtr::new(machine, config)?;
-        let snapshot = session.read_counts()?;
+        // Counters were just programmed (and thereby zeroed); the baseline
+        // snapshot is all zeros without touching the devices again.
+        let snapshot = session.zero_counts();
         Ok(TimelineSession { session, interval_s, elapsed_s: 0.0, snapshot, intervals: Vec::new() })
     }
 
@@ -149,7 +151,7 @@ impl<'m> TimelineSession<'m> {
             // accumulator and reprograms (= zeroes) the next group's
             // counters.
             self.session.switch_group()?;
-            self.snapshot = self.session.read_counts()?;
+            self.snapshot = self.session.zero_counts();
         } else {
             self.snapshot = current;
         }

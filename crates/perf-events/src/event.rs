@@ -101,11 +101,27 @@ pub struct EventTable {
     pub num_fixed: usize,
     /// Number of general-purpose uncore counters.
     pub num_uncore_pmc: usize,
+    /// Implemented bits of the general-purpose core counters (40 or 48).
+    pub pmc_bits: u32,
+    /// Implemented bits of the fixed-function counters (44; 0 when absent).
+    pub fixed_bits: u32,
+    /// Implemented bits of the uncore counters (48; 0 when absent).
+    pub uncore_bits: u32,
     /// All documented events.
     pub events: Vec<EventDefinition>,
 }
 
 impl EventTable {
+    /// Implemented width in bits of the counter backing `slot` — the width
+    /// the session layer uses for wraparound-correct delta computation.
+    pub fn counter_bits(&self, slot: CounterSlot) -> u32 {
+        match slot {
+            CounterSlot::Pmc(_) => self.pmc_bits,
+            CounterSlot::Fixed(_) => self.fixed_bits,
+            CounterSlot::UncorePmc(_) | CounterSlot::UncoreFixed => self.uncore_bits,
+        }
+    }
+
     /// Look up an event by its documented name.
     pub fn find(&self, name: &str) -> Option<&EventDefinition> {
         self.events.iter().find(|e| e.name == name)
@@ -161,6 +177,9 @@ mod tests {
             num_pmc: 2,
             num_fixed: 3,
             num_uncore_pmc: 8,
+            pmc_bits: 48,
+            fixed_bits: 44,
+            uncore_bits: 48,
             events: vec![
                 event("EVENT_A", 0x10, 0x01, HwEventKind::LoadsRetired),
                 event("EVENT_B", 0x10, 0x02, HwEventKind::StoresRetired),
@@ -225,6 +244,15 @@ mod tests {
         );
         assert_eq!(t.allowed_slots(t.find("FIXED_INSTR").unwrap()), vec![CounterSlot::Fixed(0)]);
         assert_eq!(t.allowed_slots(t.find("UNC_EVENT").unwrap()).len(), 8);
+    }
+
+    #[test]
+    fn counter_bits_follow_the_slot_class() {
+        let t = table();
+        assert_eq!(t.counter_bits(CounterSlot::Pmc(1)), 48);
+        assert_eq!(t.counter_bits(CounterSlot::Fixed(0)), 44);
+        assert_eq!(t.counter_bits(CounterSlot::UncorePmc(3)), 48);
+        assert_eq!(t.counter_bits(CounterSlot::UncoreFixed), 48);
     }
 
     #[test]

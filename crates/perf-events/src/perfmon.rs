@@ -6,9 +6,30 @@
 //! [`MsrDevice`], i.e. through exactly the `rdmsr`/`wrmsr` traffic the real
 //! tool generates through `/dev/cpu/<N>/msr`.
 
-use likwid_x86_machine::{MachineError, Msr, MsrDevice, MsrPermission, SimMachine, Vendor};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use likwid_x86_machine::{
+    MachineError, Msr, MsrDevice, MsrPermission, SimMachine, Vendor, MAX_CONSECUTIVE_LIMIT,
+};
 
 use crate::event::{CounterSlot, EventDefinition};
+
+/// Attempts per MSR access before a transient `EIO` is treated as permanent.
+/// A transient fault channel never fails one register more than
+/// [`MAX_CONSECUTIVE_LIMIT`] times in a row, so this bound guarantees that
+/// every access under a transient-only fault plan eventually succeeds.
+pub const MSR_RETRY_LIMIT: u32 = MAX_CONSECUTIVE_LIMIT + 2;
+
+/// Retry accounting of one [`PerfMon`]: how often accesses were retried and
+/// how many deterministic backoff units (2^attempt, capped) were spent.
+/// Purely informational — retries never change measured values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MsrRetryStats {
+    /// Individual MSR accesses that had to be repeated.
+    pub retries: u64,
+    /// Sum of the exponential backoff units spent waiting between attempts.
+    pub backoff_units: u64,
+}
 
 /// Errors from counter programming.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -110,14 +131,29 @@ pub fn slot_registers(vendor: Vendor, slot: CounterSlot) -> (Option<u32>, u32) {
     }
 }
 
+/// Treat an absent register as success; propagate every other failure.
+fn ignore_unknown(result: Result<(), PerfMonError>) -> Result<(), PerfMonError> {
+    match result {
+        Ok(()) | Err(PerfMonError::Msr(MachineError::UnknownMsr { .. })) => Ok(()),
+        Err(e) => Err(e),
+    }
+}
+
 /// Counter programming for the hardware threads of one machine.
 ///
 /// A `PerfMon` owns one read-write MSR device per hardware thread it
 /// measures, mirroring the real tool which opens one `/dev/cpu/<N>/msr` file
 /// descriptor per measured core.
+///
+/// Every MSR access is retried up to [`MSR_RETRY_LIMIT`] times with
+/// deterministic exponential backoff on transient `EIO` failures, so an
+/// `MsrIo` error escaping a `PerfMon` method means the register is
+/// *permanently* unreachable (e.g. the cpu dropped out mid-run).
 pub struct PerfMon {
     vendor: Vendor,
     devices: Vec<(usize, MsrDevice)>,
+    retries: AtomicU64,
+    backoff_units: AtomicU64,
 }
 
 impl PerfMon {
@@ -127,7 +163,55 @@ impl PerfMon {
         for &cpu in cpus {
             devices.push((cpu, machine.msr(cpu, MsrPermission::ReadWrite)?));
         }
-        Ok(PerfMon { vendor: machine.vendor(), devices })
+        Ok(PerfMon {
+            vendor: machine.vendor(),
+            devices,
+            retries: AtomicU64::new(0),
+            backoff_units: AtomicU64::new(0),
+        })
+    }
+
+    /// Retry accounting since this monitor was created.
+    pub fn retry_stats(&self) -> MsrRetryStats {
+        MsrRetryStats {
+            retries: self.retries.load(Ordering::Relaxed),
+            backoff_units: self.backoff_units.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Account one repeated attempt; returns whether another try is allowed.
+    fn note_retry(&self, attempt: u32) -> bool {
+        if attempt + 1 >= MSR_RETRY_LIMIT {
+            return false;
+        }
+        self.retries.fetch_add(1, Ordering::Relaxed);
+        // Deterministic exponential backoff, capped: 2, 4, 8, ... units. The
+        // simulator does not sleep; the units are accounted so callers can
+        // report how much backoff a real run would have spent.
+        self.backoff_units.fetch_add(1u64 << (attempt + 1).min(10), Ordering::Relaxed);
+        true
+    }
+
+    /// `rdmsr` with bounded retry on transient EIO.
+    fn rd(&self, dev: &MsrDevice, address: u32) -> Result<u64, PerfMonError> {
+        let mut attempt = 0;
+        loop {
+            match dev.read(address) {
+                Err(MachineError::MsrIo { .. }) if self.note_retry(attempt) => attempt += 1,
+                other => return Ok(other?),
+            }
+        }
+    }
+
+    /// `wrmsr` with bounded retry on transient EIO.
+    fn wr(&self, dev: &MsrDevice, address: u32, value: u64) -> Result<(), PerfMonError> {
+        let mut attempt = 0;
+        loop {
+            match dev.write(address, value) {
+                Err(MachineError::MsrIo { .. }) if self.note_retry(attempt) => attempt += 1,
+                other => return Ok(other?),
+            }
+        }
     }
 
     /// The hardware threads this monitor controls.
@@ -156,23 +240,55 @@ impl PerfMon {
         match slot {
             CounterSlot::Fixed(n) => {
                 // Fixed counters are controlled by IA32_FIXED_CTR_CTRL: 4 bits
-                // per counter, bits 0/1 enable OS/USR counting.
-                let ctrl = dev.read(Msr::IA32_FIXED_CTR_CTRL)?;
+                // per counter, bits 0/1 enable OS/USR counting. Replace the
+                // whole field rather than OR-ing so that dirty state left by
+                // another tool cannot survive in this counter's bits.
+                let ctrl = self.rd(dev, Msr::IA32_FIXED_CTR_CTRL)?;
                 let shift = 4 * n as u32;
-                dev.write(Msr::IA32_FIXED_CTR_CTRL, ctrl | (0b011 << shift))?;
-                dev.write(counter, 0)?;
+                self.wr(
+                    dev,
+                    Msr::IA32_FIXED_CTR_CTRL,
+                    (ctrl & !(0xF << shift)) | (0b011 << shift),
+                )?;
+                self.wr(dev, counter, 0)?;
             }
             CounterSlot::UncoreFixed => {
-                dev.write(Msr::MSR_UNCORE_FIXED_CTR_CTRL, 1)?;
-                dev.write(counter, 0)?;
+                self.wr(dev, Msr::MSR_UNCORE_FIXED_CTR_CTRL, 1)?;
+                self.wr(dev, counter, 0)?;
             }
             _ => {
                 let select = select.expect("PMC slots have a select register");
-                dev.write(select, encode_evtsel(event, false))?;
-                dev.write(counter, 0)?;
+                self.wr(dev, select, encode_evtsel(event, false))?;
+                self.wr(dev, counter, 0)?;
             }
         }
         Ok(())
+    }
+
+    /// Verify that the registers backing `slot` still hold the state
+    /// [`PerfMon::setup`] wrote for `event`: the disabled select encoding
+    /// and a zeroed counter. A mismatch means the write was lost (stuck
+    /// register) or foreign state survived — the caller should reprogram.
+    pub fn verify(
+        &self,
+        cpu: usize,
+        slot: CounterSlot,
+        event: &EventDefinition,
+    ) -> Result<bool, PerfMonError> {
+        let dev = self.device(cpu)?;
+        let (select, counter) = slot_registers(self.vendor, slot);
+        let select_ok = match slot {
+            CounterSlot::Fixed(n) => {
+                let ctrl = self.rd(dev, Msr::IA32_FIXED_CTR_CTRL)?;
+                (ctrl >> (4 * n as u32)) & 0xF == 0b011
+            }
+            CounterSlot::UncoreFixed => self.rd(dev, Msr::MSR_UNCORE_FIXED_CTR_CTRL)? == 1,
+            _ => {
+                let select = select.expect("PMC slots have a select register");
+                self.rd(dev, select)? == encode_evtsel(event, false)
+            }
+        };
+        Ok(select_ok && self.rd(dev, counter)? == 0)
     }
 
     /// Enable counting on all programmed counters of `cpu`.
@@ -184,32 +300,35 @@ impl PerfMon {
                 // global enable mask for PMCs and fixed counters.
                 for n in 0..8u32 {
                     let addr = Msr::IA32_PERFEVTSEL0 + n;
-                    match dev.read(addr) {
-                        Ok(v) if v != 0 => dev.write(addr, v | evtsel::ENABLE)?,
+                    match self.rd(dev, addr) {
+                        Ok(v) if v != 0 => self.wr(dev, addr, v | evtsel::ENABLE)?,
                         Ok(_) => continue,
-                        Err(_) => break,
+                        Err(PerfMonError::Msr(MachineError::UnknownMsr { .. })) => break,
+                        Err(e) => return Err(e),
                     }
                 }
                 // The global and uncore control registers do not exist on all
-                // generations (Pentium M has neither); ignore their absence.
+                // generations (Pentium M has neither); ignore their absence —
+                // but only their absence, real I/O failures must surface.
                 let global = 0xF | (0x7 << 32);
-                let _ = dev.write(Msr::IA32_PERF_GLOBAL_CTRL, global);
-                let _ = dev.write(Msr::MSR_UNCORE_PERF_GLOBAL_CTRL, (1 << 32) | 0xFF);
+                ignore_unknown(self.wr(dev, Msr::IA32_PERF_GLOBAL_CTRL, global))?;
+                ignore_unknown(self.wr(dev, Msr::MSR_UNCORE_PERF_GLOBAL_CTRL, (1 << 32) | 0xFF))?;
                 for n in 0..8u32 {
                     let addr = Msr::MSR_UNCORE_PERFEVTSEL0 + n;
-                    if let Ok(v) = dev.read(addr) {
-                        if v != 0 {
-                            dev.write(addr, v | evtsel::ENABLE)?;
-                        }
+                    match self.rd(dev, addr) {
+                        Ok(v) if v != 0 => self.wr(dev, addr, v | evtsel::ENABLE)?,
+                        Ok(_) => continue,
+                        Err(PerfMonError::Msr(MachineError::UnknownMsr { .. })) => break,
+                        Err(e) => return Err(e),
                     }
                 }
             }
             Vendor::Amd => {
                 for n in 0..4u32 {
                     let addr = Msr::AMD_PERFEVTSEL0 + n;
-                    let v = dev.read(addr)?;
+                    let v = self.rd(dev, addr)?;
                     if v != 0 {
-                        dev.write(addr, v | evtsel::ENABLE)?;
+                        self.wr(dev, addr, v | evtsel::ENABLE)?;
                     }
                 }
             }
@@ -222,31 +341,33 @@ impl PerfMon {
         let dev = self.device(cpu)?;
         match self.vendor {
             Vendor::Intel => {
-                let _ = dev.write(Msr::IA32_PERF_GLOBAL_CTRL, 0);
-                let _ = dev.write(Msr::MSR_UNCORE_PERF_GLOBAL_CTRL, 0);
+                ignore_unknown(self.wr(dev, Msr::IA32_PERF_GLOBAL_CTRL, 0))?;
+                ignore_unknown(self.wr(dev, Msr::MSR_UNCORE_PERF_GLOBAL_CTRL, 0))?;
                 for n in 0..8u32 {
                     let addr = Msr::IA32_PERFEVTSEL0 + n;
-                    match dev.read(addr) {
-                        Ok(v) if v != 0 => dev.write(addr, v & !evtsel::ENABLE)?,
+                    match self.rd(dev, addr) {
+                        Ok(v) if v != 0 => self.wr(dev, addr, v & !evtsel::ENABLE)?,
                         Ok(_) => continue,
-                        Err(_) => break,
+                        Err(PerfMonError::Msr(MachineError::UnknownMsr { .. })) => break,
+                        Err(e) => return Err(e),
                     }
                 }
                 for n in 0..8u32 {
                     let addr = Msr::MSR_UNCORE_PERFEVTSEL0 + n;
-                    if let Ok(v) = dev.read(addr) {
-                        if v != 0 {
-                            dev.write(addr, v & !evtsel::ENABLE)?;
-                        }
+                    match self.rd(dev, addr) {
+                        Ok(v) if v != 0 => self.wr(dev, addr, v & !evtsel::ENABLE)?,
+                        Ok(_) => continue,
+                        Err(PerfMonError::Msr(MachineError::UnknownMsr { .. })) => break,
+                        Err(e) => return Err(e),
                     }
                 }
             }
             Vendor::Amd => {
                 for n in 0..4u32 {
                     let addr = Msr::AMD_PERFEVTSEL0 + n;
-                    let v = dev.read(addr)?;
+                    let v = self.rd(dev, addr)?;
                     if v != 0 {
-                        dev.write(addr, v & !evtsel::ENABLE)?;
+                        self.wr(dev, addr, v & !evtsel::ENABLE)?;
                     }
                 }
             }
@@ -258,14 +379,14 @@ impl PerfMon {
     pub fn read(&self, cpu: usize, slot: CounterSlot) -> Result<u64, PerfMonError> {
         let dev = self.device(cpu)?;
         let (_, counter) = slot_registers(self.vendor, slot);
-        Ok(dev.read(counter)?)
+        self.rd(dev, counter)
     }
 
     /// Reset a counter slot to zero on `cpu`.
     pub fn reset(&self, cpu: usize, slot: CounterSlot) -> Result<(), PerfMonError> {
         let dev = self.device(cpu)?;
         let (_, counter) = slot_registers(self.vendor, slot);
-        Ok(dev.write(counter, 0)?)
+        self.wr(dev, counter, 0)
     }
 }
 

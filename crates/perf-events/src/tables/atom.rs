@@ -72,7 +72,16 @@ pub fn table() -> EventTable {
         ),
         ev("DATA_TLB_MISSES_DTLB_MISS", 0x08, 0x07, CounterClass::AnyPmc, HwEventKind::DtlbMisses),
     ]);
-    EventTable { arch_name: "Intel Atom", num_pmc: 2, num_fixed: 3, num_uncore_pmc: 0, events }
+    EventTable {
+        arch_name: "Intel Atom",
+        num_pmc: 2,
+        num_fixed: 3,
+        num_uncore_pmc: 0,
+        pmc_bits: 40,
+        fixed_bits: 44,
+        uncore_bits: 0,
+        events,
+    }
 }
 
 #[cfg(test)]

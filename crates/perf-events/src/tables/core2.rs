@@ -81,7 +81,16 @@ pub fn table() -> EventTable {
         // TLB (TLB group).
         ev("DTLB_MISSES_ANY", 0x08, 0x01, CounterClass::AnyPmc, HwEventKind::DtlbMisses),
     ]);
-    EventTable { arch_name: "Intel Core 2", num_pmc: 2, num_fixed: 3, num_uncore_pmc: 0, events }
+    EventTable {
+        arch_name: "Intel Core 2",
+        num_pmc: 2,
+        num_fixed: 3,
+        num_uncore_pmc: 0,
+        pmc_bits: 40,
+        fixed_bits: 44,
+        uncore_bits: 0,
+        events,
+    }
 }
 
 #[cfg(test)]

@@ -93,7 +93,16 @@ pub fn table() -> EventTable {
         // TLB.
         ev("DTLB_L2_MISS_ALL", 0x46, 0x07, CounterClass::AnyPmc, HwEventKind::DtlbMisses),
     ];
-    EventTable { arch_name: "AMD K10", num_pmc: 4, num_fixed: 0, num_uncore_pmc: 0, events }
+    EventTable {
+        arch_name: "AMD K10",
+        num_pmc: 4,
+        num_fixed: 0,
+        num_uncore_pmc: 0,
+        pmc_bits: 48,
+        fixed_bits: 0,
+        uncore_bits: 0,
+        events,
+    }
 }
 
 #[cfg(test)]

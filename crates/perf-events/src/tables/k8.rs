@@ -72,7 +72,16 @@ pub fn table() -> EventTable {
         ),
         ev("DTLB_L2_MISS", 0x46, 0x00, CounterClass::AnyPmc, HwEventKind::DtlbMisses),
     ];
-    EventTable { arch_name: "AMD K8", num_pmc: 4, num_fixed: 0, num_uncore_pmc: 0, events }
+    EventTable {
+        arch_name: "AMD K8",
+        num_pmc: 4,
+        num_fixed: 0,
+        num_uncore_pmc: 0,
+        pmc_bits: 48,
+        fixed_bits: 0,
+        uncore_bits: 0,
+        events,
+    }
 }
 
 #[cfg(test)]

@@ -124,6 +124,33 @@ mod tests {
     }
 
     #[test]
+    fn counter_widths_match_the_msr_register_map() {
+        // The session layer corrects wraparound using the widths advertised
+        // here, so they must agree with the widths the MSR substrate
+        // actually wraps at.
+        use likwid_x86_machine::msr::{register_map, Msr};
+        for &arch in Microarch::all() {
+            let table = for_arch(arch);
+            let map = register_map(arch);
+            let width_of = |address: u32| {
+                map.iter().find(|d| d.address == address).map(|d| d.width).unwrap_or(0)
+            };
+            let pmc0 = match arch {
+                Microarch::K8 | Microarch::K10 => Msr::AMD_PMC0,
+                _ => Msr::IA32_PMC0,
+            };
+            assert_eq!(table.pmc_bits, width_of(pmc0), "{arch:?} PMC width");
+            assert_eq!(table.fixed_bits, width_of(Msr::IA32_FIXED_CTR0), "{arch:?} fixed width");
+            assert_eq!(table.uncore_bits, width_of(Msr::MSR_UNCORE_PMC0), "{arch:?} uncore width");
+            assert_eq!(
+                table.uncore_bits,
+                width_of(Msr::MSR_UNCORE_FIXED_CTR0),
+                "{arch:?} uncore fixed width"
+            );
+        }
+    }
+
+    #[test]
     fn the_papers_core2_events_exist() {
         let t = for_arch(Microarch::Core2);
         for name in [

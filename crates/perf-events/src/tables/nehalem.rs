@@ -20,6 +20,9 @@ pub fn table() -> EventTable {
         num_pmc: 4,
         num_fixed: 3,
         num_uncore_pmc: 8,
+        pmc_bits: 48,
+        fixed_bits: 44,
+        uncore_bits: 48,
         events,
     }
 }

@@ -58,7 +58,16 @@ pub fn table() -> EventTable {
         ),
         ev("DTLB_MISS", 0x49, 0x00, CounterClass::AnyPmc, HwEventKind::DtlbMisses),
     ];
-    EventTable { arch_name: "Intel Pentium M", num_pmc: 2, num_fixed: 0, num_uncore_pmc: 0, events }
+    EventTable {
+        arch_name: "Intel Pentium M",
+        num_pmc: 2,
+        num_fixed: 0,
+        num_uncore_pmc: 0,
+        pmc_bits: 40,
+        fixed_bits: 0,
+        uncore_bits: 0,
+        events,
+    }
 }
 
 #[cfg(test)]

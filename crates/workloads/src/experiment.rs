@@ -17,7 +17,7 @@ use likwid::perfctr::{
     MeasurementSpec, PerfCtr, PerfCtrConfig, PerfCtrResults, TimelineResult, TimelineSession,
 };
 use likwid_perf_events::EventEngine;
-use likwid_x86_machine::{MachinePreset, SimMachine};
+use likwid_x86_machine::{FaultPlan, MachinePreset, SimMachine};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -47,6 +47,7 @@ pub struct Experiment {
     seed: u64,
     counters: Option<MeasurementSpec>,
     timeline: Option<f64>,
+    inject: Option<FaultPlan>,
 }
 
 impl Experiment {
@@ -62,6 +63,7 @@ impl Experiment {
             seed: 0,
             counters: None,
             timeline: None,
+            inject: None,
         }
     }
 
@@ -122,6 +124,14 @@ impl Experiment {
         self
     }
 
+    /// Attach a fault-injection plan to the machine before any MSR device
+    /// is opened (robustness testing: the measurement session must heal or
+    /// degrade gracefully, the workload itself is unaffected).
+    pub fn inject(mut self, plan: FaultPlan) -> Self {
+        self.inject = Some(plan);
+        self
+    }
+
     fn resolved_threads(&self) -> usize {
         match self.threads {
             Some(n) => n,
@@ -161,6 +171,9 @@ impl Experiment {
             ));
         }
         let machine = SimMachine::new(self.preset);
+        if let Some(plan) = &self.inject {
+            machine.inject_faults(plan.clone());
+        }
         let runtime = OpenMpRuntime::new(self.personality, self.preset);
         let topo = machine.topology();
         let threads = self.resolved_threads();

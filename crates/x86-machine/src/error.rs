@@ -15,11 +15,15 @@ pub enum MachineError {
     /// The MSR address is not implemented on this microarchitecture.
     UnknownMsr { cpu: usize, address: u32 },
     /// The MSR exists but is read-only (e.g. fixed hardware identification).
-    ReadOnlyMsr { address: u32 },
+    ReadOnlyMsr { cpu: usize, address: u32 },
     /// The MSR device was opened without write permission.
-    PermissionDenied { address: u32 },
+    PermissionDenied { cpu: usize, address: u32 },
     /// A reserved bit was set in a register that checks reserved bits.
-    ReservedBits { address: u32, value: u64, reserved_mask: u64 },
+    ReservedBits { cpu: usize, address: u32, value: u64, reserved_mask: u64 },
+    /// A transient or permanent I/O failure injected by a fault plan — the
+    /// analogue of the `EIO` the real msr module returns under register or
+    /// device trouble. Transient instances succeed when retried.
+    MsrIo { cpu: usize, address: u32, write: bool },
     /// A cpuid leaf outside the supported range was requested.
     UnsupportedLeaf { leaf: u32, subleaf: u32 },
     /// Topology construction was given inconsistent parameters.
@@ -35,16 +39,23 @@ impl fmt::Display for MachineError {
             MachineError::UnknownMsr { cpu, address } => {
                 write!(f, "rdmsr/wrmsr on cpu {cpu}: unknown MSR {address:#x}")
             }
-            MachineError::ReadOnlyMsr { address } => {
-                write!(f, "MSR {address:#x} is read-only")
+            MachineError::ReadOnlyMsr { cpu, address } => {
+                write!(f, "wrmsr on cpu {cpu}: MSR {address:#x} is read-only")
             }
-            MachineError::PermissionDenied { address } => {
-                write!(f, "MSR device not opened for writing (MSR {address:#x})")
-            }
-            MachineError::ReservedBits { address, value, reserved_mask } => write!(
+            MachineError::PermissionDenied { cpu, address } => write!(
                 f,
-                "write of {value:#x} to MSR {address:#x} touches reserved bits {reserved_mask:#x}"
+                "wrmsr on cpu {cpu}: MSR {address:#x} denied \
+                 (device opened with read-only permission)"
             ),
+            MachineError::ReservedBits { cpu, address, value, reserved_mask } => write!(
+                f,
+                "wrmsr on cpu {cpu}: write of {value:#x} to MSR {address:#x} \
+                 touches reserved bits {reserved_mask:#x}"
+            ),
+            MachineError::MsrIo { cpu, address, write } => {
+                let op = if *write { "wrmsr" } else { "rdmsr" };
+                write!(f, "{op} on cpu {cpu}: MSR {address:#x} failed with EIO (injected fault)")
+            }
             MachineError::UnsupportedLeaf { leaf, subleaf } => {
                 write!(f, "cpuid leaf {leaf:#x} subleaf {subleaf:#x} not supported")
             }
@@ -71,8 +82,40 @@ mod tests {
         let e = MachineError::UnknownMsr { cpu: 1, address: 0x186 };
         assert!(e.to_string().contains("0x186"));
 
-        let e = MachineError::ReservedBits { address: 0x38d, value: 0xff, reserved_mask: 0xf0 };
+        let e =
+            MachineError::ReservedBits { cpu: 3, address: 0x38d, value: 0xff, reserved_mask: 0xf0 };
         assert!(e.to_string().contains("0x38d"));
+    }
+
+    #[test]
+    fn msr_failures_render_cpu_register_and_permission() {
+        // Every MSR read/write failure names the cpu, the register address
+        // and — where relevant — the device permission, mirroring the
+        // strerror context a real tool would log.
+        let e = MachineError::ReadOnlyMsr { cpu: 5, address: 0x38E };
+        assert_eq!(e.to_string(), "wrmsr on cpu 5: MSR 0x38e is read-only");
+
+        let e = MachineError::PermissionDenied { cpu: 2, address: 0x186 };
+        assert_eq!(
+            e.to_string(),
+            "wrmsr on cpu 2: MSR 0x186 denied (device opened with read-only permission)"
+        );
+
+        let e = MachineError::ReservedBits {
+            cpu: 1,
+            address: 0x186,
+            value: 0x1_0000_0000,
+            reserved_mask: 0xFFFF_FFFF_0000_0000,
+        };
+        let text = e.to_string();
+        assert!(text.contains("cpu 1"), "{text}");
+        assert!(text.contains("0x186"), "{text}");
+        assert!(text.contains("reserved bits"), "{text}");
+
+        let e = MachineError::MsrIo { cpu: 7, address: 0xC1, write: false };
+        assert_eq!(e.to_string(), "rdmsr on cpu 7: MSR 0xc1 failed with EIO (injected fault)");
+        let e = MachineError::MsrIo { cpu: 7, address: 0xC1, write: true };
+        assert!(e.to_string().starts_with("wrmsr on cpu 7"));
     }
 
     #[test]

@@ -21,6 +21,7 @@ pub mod cache;
 pub mod clock;
 pub mod cpuid;
 pub mod error;
+pub mod fault;
 pub mod features;
 pub mod machine;
 pub mod msr;
@@ -32,6 +33,7 @@ pub use cache::{CacheKind, CacheSpec};
 pub use clock::ClockDomain;
 pub use cpuid::{CpuidLeaf, CpuidResult};
 pub use error::{MachineError, Result};
+pub use fault::{FaultPlan, TransientSpec, MAX_CONSECUTIVE_LIMIT};
 pub use features::{CpuFeature, FeatureState, MiscEnable, Prefetcher};
 pub use machine::SimMachine;
 pub use msr::{Msr, MsrDevice, MsrFile, MsrPermission};

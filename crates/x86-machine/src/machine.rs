@@ -8,6 +8,7 @@ use crate::cache::CacheSpec;
 use crate::clock::ClockDomain;
 use crate::cpuid::{CpuidResult, CpuidSource};
 use crate::error::Result;
+use crate::fault::FaultPlan;
 use crate::features::Prefetcher;
 use crate::msr::{Msr, MsrDevice, MsrFile, MsrPermission, MsrSpace};
 use crate::presets::{MachinePreset, MemorySystemSpec};
@@ -144,6 +145,19 @@ impl SimMachine {
     /// Internal register file used by the counting engine and the clock.
     pub fn msr_file(&self) -> MsrFile {
         MsrFile::new(Arc::clone(&self.msr_space))
+    }
+
+    /// Attach a fault scenario to the MSR device interface. Dirty state is
+    /// scribbled immediately; transient/stuck/dead behaviour applies to all
+    /// subsequent device accesses. The machine-internal [`MsrFile`] path is
+    /// never affected.
+    pub fn inject_faults(&self, plan: FaultPlan) {
+        self.msr_space.write().attach_faults(plan);
+    }
+
+    /// The fault plan attached to this machine, if any.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.msr_space.read().fault_plan().cloned()
     }
 
     /// Whether a prefetcher is currently enabled on the core owning `cpu`

@@ -21,6 +21,7 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use crate::error::{MachineError, Result};
+use crate::fault::{dirty_value, FaultPlan, FaultState};
 use crate::topology::TopologySpec;
 use crate::vendor::Microarch;
 
@@ -132,10 +133,17 @@ pub struct MsrSpace {
     /// Storage: for each MSR address, a vector indexed by the scope-instance
     /// number (thread index, global core index, or socket index).
     values: HashMap<u32, Vec<u64>>,
+    /// Full-64-bit shadow of every register: counters wrap at their
+    /// architectural width in `values`, while the shadow accumulates the
+    /// true total — the wide-counter reference that overflow-correction
+    /// tests and multi-wrap diagnostics compare against.
+    wide: HashMap<u32, Vec<u64>>,
     /// For mapping hardware threads to scope instances.
     thread_core: Vec<usize>,
     thread_socket: Vec<usize>,
     num_threads: usize,
+    /// Active fault scenario for device-mediated accesses, if any.
+    faults: Option<FaultState>,
 }
 
 impl MsrSpace {
@@ -154,9 +162,11 @@ impl MsrSpace {
         let mut space = MsrSpace {
             descriptors: HashMap::new(),
             values: HashMap::new(),
+            wide: HashMap::new(),
             thread_core,
             thread_socket,
             num_threads,
+            faults: None,
         };
         for desc in register_map(arch) {
             let instances = match desc.scope {
@@ -165,6 +175,7 @@ impl MsrSpace {
                 MsrScope::Package => num_sockets,
             };
             space.values.insert(desc.address, vec![desc.reset_value; instances]);
+            space.wide.insert(desc.address, vec![desc.reset_value; instances]);
             space.descriptors.insert(desc.address, desc);
         }
         space
@@ -197,10 +208,11 @@ impl MsrSpace {
         let desc =
             self.descriptors.get(&address).ok_or(MachineError::UnknownMsr { cpu, address })?;
         if !desc.writable {
-            return Err(MachineError::ReadOnlyMsr { address });
+            return Err(MachineError::ReadOnlyMsr { cpu, address });
         }
         if value & desc.reserved_mask != 0 {
             return Err(MachineError::ReservedBits {
+                cpu,
                 address,
                 value,
                 reserved_mask: desc.reserved_mask,
@@ -211,7 +223,89 @@ impl MsrSpace {
         if let Some(slot) = self.values.get_mut(&address).and_then(|v| v.get_mut(idx)) {
             *slot = value & mask;
         }
+        if let Some(slot) = self.wide.get_mut(&address).and_then(|v| v.get_mut(idx)) {
+            *slot = value & mask;
+        }
         Ok(())
+    }
+
+    /// Device-mediated read (`rdmsr` through `/dev/cpu/<N>/msr`): subject to
+    /// the attached fault plan, unlike the machine-internal
+    /// [`MsrSpace::read`] path used by the counting engine and the clock.
+    pub fn device_read(&self, cpu: usize, address: u32) -> Result<u64> {
+        if let Some(faults) = &self.faults {
+            faults.check(cpu, address, false)?;
+        }
+        self.read(cpu, address)
+    }
+
+    /// Device-mediated write: subject to the attached fault plan. Writes to
+    /// a stuck register are accepted but silently lost, exactly the failure
+    /// mode verify-after-write programming exists to catch.
+    pub fn device_write(&mut self, cpu: usize, address: u32, value: u64) -> Result<()> {
+        if let Some(faults) = &self.faults {
+            faults.check(cpu, address, true)?;
+            if faults.is_stuck(cpu, address) {
+                // Validate as usual so stuck registers do not also change
+                // the error surface, then drop the value on the floor.
+                if cpu >= self.num_threads {
+                    return Err(MachineError::NoSuchCpu { cpu, available: self.num_threads });
+                }
+                let desc = self
+                    .descriptors
+                    .get(&address)
+                    .ok_or(MachineError::UnknownMsr { cpu, address })?;
+                if !desc.writable {
+                    return Err(MachineError::ReadOnlyMsr { cpu, address });
+                }
+                return Ok(());
+            }
+        }
+        self.write(cpu, address, value)
+    }
+
+    /// Attach a fault scenario: scribble dirty state if the plan asks for
+    /// it, then perturb every subsequent device access per the plan.
+    pub fn attach_faults(&mut self, plan: FaultPlan) {
+        if plan.dirty {
+            let seed = plan.seed;
+            for (&address, desc) in &self.descriptors {
+                if !desc.writable || !is_perf_register(address) {
+                    continue;
+                }
+                let mask = desc.value_mask() & !desc.reserved_mask;
+                if let Some(values) = self.values.get_mut(&address) {
+                    for (instance, slot) in values.iter_mut().enumerate() {
+                        *slot = dirty_value(seed, address, instance) & mask;
+                    }
+                }
+                if let Some(wide) = self.wide.get_mut(&address) {
+                    for (instance, slot) in wide.iter_mut().enumerate() {
+                        *slot = dirty_value(seed, address, instance) & mask;
+                    }
+                }
+            }
+        }
+        self.faults = Some(FaultState::new(plan));
+    }
+
+    /// The attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref().map(|f| f.plan())
+    }
+
+    /// The full-64-bit shadow value of a register as seen from `cpu`: what a
+    /// hypothetical width-unlimited counter would hold. Never subject to
+    /// faults — this is the machine-side ground truth that wraparound
+    /// corrections are validated against.
+    pub fn wide_value(&self, cpu: usize, address: u32) -> Result<u64> {
+        if cpu >= self.num_threads {
+            return Err(MachineError::NoSuchCpu { cpu, available: self.num_threads });
+        }
+        let desc =
+            self.descriptors.get(&address).ok_or(MachineError::UnknownMsr { cpu, address })?;
+        let idx = self.instance(desc, cpu);
+        Ok(self.wide[&address][idx])
     }
 
     /// Whether an MSR address is implemented.
@@ -239,8 +333,32 @@ impl MsrSpace {
         if let Some(slot) = self.values.get_mut(&address).and_then(|v| v.get_mut(idx)) {
             *slot = (*slot).wrapping_add(delta) & mask;
         }
+        if let Some(slot) = self.wide.get_mut(&address).and_then(|v| v.get_mut(idx)) {
+            *slot = (*slot).wrapping_add(delta);
+        }
         Ok(())
     }
+}
+
+/// Whether an address belongs to the performance-counting register blocks
+/// (counters, event selects, counter control) — the registers a `dirty`
+/// fault plan scribbles, mirroring state left behind by another tool.
+fn is_perf_register(address: u32) -> bool {
+    let in_block = |base: u32, len: u32| address >= base && address < base + len;
+    in_block(Msr::IA32_PMC0, 8)
+        || in_block(Msr::IA32_PERFEVTSEL0, 8)
+        || in_block(Msr::IA32_FIXED_CTR0, 3)
+        || address == Msr::IA32_FIXED_CTR_CTRL
+        || address == Msr::IA32_PERF_GLOBAL_CTRL
+        || address == Msr::IA32_PERF_GLOBAL_OVF_CTRL
+        || address == Msr::MSR_UNCORE_PERF_GLOBAL_CTRL
+        || address == Msr::MSR_UNCORE_PERF_GLOBAL_OVF_CTRL
+        || address == Msr::MSR_UNCORE_FIXED_CTR0
+        || address == Msr::MSR_UNCORE_FIXED_CTR_CTRL
+        || in_block(Msr::MSR_UNCORE_PMC0, 8)
+        || in_block(Msr::MSR_UNCORE_PERFEVTSEL0, 8)
+        || in_block(Msr::AMD_PERFEVTSEL0, 4)
+        || in_block(Msr::AMD_PMC0, 4)
 }
 
 /// A handle to the MSR device of one hardware thread, mirroring an open
@@ -264,17 +382,19 @@ impl MsrDevice {
         self.cpu
     }
 
-    /// `rdmsr`: read the register at `address`.
+    /// `rdmsr`: read the register at `address`. Subject to any fault plan
+    /// attached to the machine.
     pub fn read(&self, address: u32) -> Result<u64> {
-        self.space.read().read(self.cpu, address)
+        self.space.read().device_read(self.cpu, address)
     }
 
-    /// `wrmsr`: write the register at `address`.
+    /// `wrmsr`: write the register at `address`. Subject to any fault plan
+    /// attached to the machine.
     pub fn write(&self, address: u32, value: u64) -> Result<()> {
         if self.permission == MsrPermission::ReadOnly {
-            return Err(MachineError::PermissionDenied { address });
+            return Err(MachineError::PermissionDenied { cpu: self.cpu, address });
         }
-        self.space.write().write(self.cpu, address, value)
+        self.space.write().device_write(self.cpu, address, value)
     }
 
     /// Read-modify-write helper: set the bits in `set` and clear the bits in
@@ -313,6 +433,13 @@ impl MsrFile {
     /// Hardware-side counter increment.
     pub fn increment(&self, cpu: usize, address: u32, delta: u64) -> Result<()> {
         self.space.write().hardware_increment(cpu, address, delta)
+    }
+
+    /// The width-unlimited shadow value of a counter register — the
+    /// machine-side ground truth for wraparound diagnostics (see
+    /// [`MsrSpace::wide_value`]).
+    pub fn wide_value(&self, cpu: usize, address: u32) -> Result<u64> {
+        self.space.read().wide_value(cpu, address)
     }
 
     /// Shared space handle (for constructing devices).
@@ -392,7 +519,9 @@ pub fn register_map(arch: Microarch) -> Vec<MsrDescriptor> {
                         scope: MsrScope::Thread,
                         writable: true,
                         reserved_mask: 0,
-                        width: 48,
+                        // Fixed-function counters are narrower than the
+                        // PMCs: 44 implemented bits, wrapping earlier.
+                        width: 44,
                         reset_value: 0,
                     });
                 }
@@ -648,6 +777,91 @@ mod tests {
         space.write(0, Msr::IA32_PMC0, max48).unwrap();
         space.hardware_increment(0, Msr::IA32_PMC0, 1).unwrap();
         assert_eq!(space.read(0, Msr::IA32_PMC0).unwrap(), 0, "48-bit counter wraps to zero");
+    }
+
+    #[test]
+    fn fixed_counters_wrap_at_44_bits() {
+        let mut space = westmere_space();
+        let max44 = (1u64 << 44) - 1;
+        space.write(0, Msr::IA32_FIXED_CTR0, max44).unwrap();
+        space.hardware_increment(0, Msr::IA32_FIXED_CTR0, 1).unwrap();
+        assert_eq!(space.read(0, Msr::IA32_FIXED_CTR0).unwrap(), 0, "44-bit counter wraps");
+    }
+
+    #[test]
+    fn wide_shadow_tracks_the_unwrapped_total() {
+        let mut space = westmere_space();
+        let max48 = (1u64 << 48) - 1;
+        space.hardware_increment(0, Msr::IA32_PMC0, max48).unwrap();
+        space.hardware_increment(0, Msr::IA32_PMC0, 10).unwrap();
+        assert_eq!(space.read(0, Msr::IA32_PMC0).unwrap(), 9, "narrow value wrapped");
+        assert_eq!(space.wide_value(0, Msr::IA32_PMC0).unwrap(), max48 + 10, "shadow did not");
+        // A device write resets both views.
+        space.write(0, Msr::IA32_PMC0, 0).unwrap();
+        assert_eq!(space.wide_value(0, Msr::IA32_PMC0).unwrap(), 0);
+    }
+
+    #[test]
+    fn fault_plan_perturbs_devices_but_not_the_machine_side() {
+        use crate::fault::{FaultPlan, TransientSpec};
+        let mut space = westmere_space();
+        space.attach_faults(FaultPlan {
+            seed: 3,
+            read: Some(TransientSpec { probability: 0.95, max_consecutive: 3 }),
+            ..FaultPlan::default()
+        });
+        let space = Arc::new(RwLock::new(space));
+        let dev = MsrDevice::new(0, MsrPermission::ReadWrite, Arc::clone(&space));
+        let mut faulted = 0;
+        for _ in 0..50 {
+            if dev.read(Msr::IA32_PMC0).is_err() {
+                faulted += 1;
+            }
+        }
+        assert!(faulted > 0, "a 95% plan must fault the device path");
+        // The machine-internal path (counting engine, clock) never faults.
+        let file = MsrFile::new(Arc::clone(&space));
+        for _ in 0..50 {
+            assert!(file.read(0, Msr::IA32_PMC0).is_ok());
+        }
+    }
+
+    #[test]
+    fn stuck_registers_silently_drop_device_writes() {
+        use crate::fault::FaultPlan;
+        let mut space = westmere_space();
+        space.write(0, Msr::IA32_PMC0, 0xBAD).unwrap();
+        space.attach_faults(FaultPlan { stuck: vec![(0, Msr::IA32_PMC0)], ..FaultPlan::default() });
+        let space = Arc::new(RwLock::new(space));
+        let dev = MsrDevice::new(0, MsrPermission::ReadWrite, Arc::clone(&space));
+        dev.write(Msr::IA32_PMC0, 0).unwrap();
+        assert_eq!(dev.read(Msr::IA32_PMC0).unwrap(), 0xBAD, "write was dropped");
+        // Other registers and other cpus are unaffected.
+        dev.write(Msr::IA32_PMC0 + 1, 7).unwrap();
+        assert_eq!(dev.read(Msr::IA32_PMC0 + 1).unwrap(), 7);
+        let dev1 = MsrDevice::new(1, MsrPermission::ReadWrite, space);
+        dev1.write(Msr::IA32_PMC0, 5).unwrap();
+        assert_eq!(dev1.read(Msr::IA32_PMC0).unwrap(), 5);
+    }
+
+    #[test]
+    fn dirty_plans_scribble_perf_registers_only() {
+        use crate::fault::FaultPlan;
+        let mut space = westmere_space();
+        let misc_before = space.read(0, Msr::IA32_MISC_ENABLE).unwrap();
+        space.attach_faults(FaultPlan { dirty: true, seed: 11, ..FaultPlan::default() });
+        assert_ne!(space.read(0, Msr::IA32_PMC0).unwrap(), 0, "counter state is dirty");
+        assert_ne!(space.read(0, Msr::IA32_PERFEVTSEL0).unwrap(), 0, "select state is dirty");
+        assert_eq!(
+            space.read(0, Msr::IA32_MISC_ENABLE).unwrap(),
+            misc_before,
+            "feature state is untouched"
+        );
+        assert_eq!(space.read(0, Msr::IA32_TIME_STAMP_COUNTER).unwrap(), 0, "TSC untouched");
+        // The scribble respects reserved bits, so reprogramming never trips
+        // the reserved-bit check.
+        let sel = space.read(0, Msr::IA32_PERFEVTSEL0).unwrap();
+        assert_eq!(sel & 0xFFFF_FFFF_0000_0000, 0);
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! Equivalence under transient faults: a measurement session retried
+//! against a transient-only [`FaultPlan`] must produce **bit-identical**
+//! results to a fault-free run.
+//!
+//! The substrate guarantees a transient channel never fails one register
+//! more than `MAX_CONSECUTIVE_LIMIT` times in a row, and the session layer
+//! retries every MSR access more often than that — so for arbitrary seeds,
+//! probabilities and streak bounds, healing must be invisible: same event
+//! counts, same derived metrics, same timeline intervals, and an empty
+//! diagnostics list. Any divergence means a retry path leaked state.
+
+use proptest::prelude::*;
+
+use likwid_suite::likwid::perfctr::{EventGroupKind, MeasurementSpec};
+use likwid_suite::workloads::kernels::kernel_by_name;
+use likwid_suite::workloads::{Experiment, ExperimentResult, PlacementPolicy};
+use likwid_suite::x86_machine::{FaultPlan, MachinePreset, TransientSpec};
+
+/// Small but non-trivial working set: enough activity to cross counter
+/// programming, reading and (for the timeline variant) group switching.
+const WORKING_SET: u64 = 1 << 16;
+
+fn measured_run(
+    preset: MachinePreset,
+    spec: MeasurementSpec,
+    plan: Option<FaultPlan>,
+    timeline_dt: Option<f64>,
+) -> ExperimentResult {
+    let kernel = kernel_by_name("daxpy", WORKING_SET, 1).expect("daxpy is registered");
+    let mut experiment =
+        Experiment::on(preset).placement(PlacementPolicy::LikwidPin(vec![0, 1])).counters(spec);
+    if let Some(dt) = timeline_dt {
+        experiment = experiment.timeline(dt);
+    }
+    if let Some(plan) = plan {
+        experiment = experiment.inject(plan);
+    }
+    experiment.run(kernel.as_ref()).expect("a transient-only plan must never fail the run")
+}
+
+/// The interval length that slices the daxpy run into ~4 timeline samples.
+fn quarter_runtime(preset: MachinePreset) -> f64 {
+    let kernel = kernel_by_name("daxpy", WORKING_SET, 1).expect("daxpy is registered");
+    let probe = Experiment::on(preset)
+        .placement(PlacementPolicy::LikwidPin(vec![0, 1]))
+        .run(kernel.as_ref())
+        .expect("counter-less probe");
+    probe.first().runtime_s / 4.0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Aggregate mode: counts, metrics and diagnostics of a faulted run
+    /// equal the fault-free run for arbitrary transient-only plans.
+    #[test]
+    fn transient_only_plans_are_invisible_in_aggregate_results(
+        seed in 0u64..1_000_000,
+        read_p in 0.0..0.75f64,
+        read_k in 1u32..7,
+        write_p in 0.0..0.75f64,
+        write_k in 1u32..7,
+        dirty in prop::bool::ANY,
+    ) {
+        let plan = FaultPlan {
+            seed,
+            read: Some(TransientSpec { probability: read_p, max_consecutive: read_k }),
+            write: Some(TransientSpec { probability: write_p, max_consecutive: write_k }),
+            dirty,
+            ..FaultPlan::default()
+        };
+        prop_assert!(plan.is_transient_only());
+
+        let spec = MeasurementSpec::Group(EventGroupKind::FLOPS_DP);
+        let clean = measured_run(MachinePreset::NehalemEp2S, spec.clone(), None, None);
+        let faulted = measured_run(MachinePreset::NehalemEp2S, spec, Some(plan), None);
+
+        let clean = clean.counters.expect("counters requested");
+        let faulted = faulted.counters.expect("counters requested");
+        prop_assert!(faulted.diagnostics.is_empty(),
+            "transient faults must heal without a trace, got {:?}", faulted.diagnostics);
+        prop_assert_eq!(clean, faulted);
+    }
+
+    /// Timeline mode with multiplexed groups: every interval's counts and
+    /// the per-group aggregates are bit-identical too — healing must not
+    /// shift a single count across an interval or group boundary.
+    #[test]
+    fn transient_only_plans_are_invisible_in_timeline_results(
+        seed in 0u64..1_000_000,
+        read_p in 0.0..0.6f64,
+        write_p in 0.0..0.6f64,
+        streak in 1u32..7,
+    ) {
+        let plan = FaultPlan {
+            seed,
+            read: Some(TransientSpec { probability: read_p, max_consecutive: streak }),
+            write: Some(TransientSpec { probability: write_p, max_consecutive: streak }),
+            ..FaultPlan::default()
+        };
+        let spec = MeasurementSpec::Groups(vec![EventGroupKind::FLOPS_DP, EventGroupKind::MEM]);
+        let dt = quarter_runtime(MachinePreset::NehalemEp2S);
+
+        let clean = measured_run(MachinePreset::NehalemEp2S, spec.clone(), None, Some(dt));
+        let faulted = measured_run(MachinePreset::NehalemEp2S, spec, Some(plan), Some(dt));
+
+        let clean = clean.timeline.expect("timeline requested");
+        let faulted = faulted.timeline.expect("timeline requested");
+        prop_assert_eq!(&clean.group_names, &faulted.group_names);
+        prop_assert_eq!(&clean.cpus, &faulted.cpus);
+        prop_assert_eq!(&clean.intervals, &faulted.intervals);
+        prop_assert_eq!(&clean.aggregate, &faulted.aggregate);
+    }
+}
+
+/// One deliberately hostile (but still transient-only) deterministic case,
+/// pinned outside the property loop: every channel at its worst allowed
+/// streak, plus dirty registers at attach time.
+#[test]
+fn worst_case_transient_storm_still_heals_bit_identically() {
+    let plan = FaultPlan::parse("seed=13,read=0.9x6,write=0.9x6,dirty").unwrap();
+    assert!(plan.is_transient_only());
+    let spec = MeasurementSpec::Group(EventGroupKind::FLOPS_DP);
+    let clean = measured_run(MachinePreset::Core2Quad, spec.clone(), None, None);
+    let faulted = measured_run(MachinePreset::Core2Quad, spec, Some(plan), None);
+    assert_eq!(clean.counters.unwrap(), faulted.counters.unwrap());
+}

@@ -1,0 +1,129 @@
+//! The fault matrix: every fault class of the substrate driven through the
+//! real tool entry points (`likwid-perfctr --inject`, `likwid-bench
+//! --inject`), pinning the public degradation contract:
+//!
+//! * transient-only plans (including `dirty`) are **invisible** — the
+//!   rendered tool output is byte-identical to a fault-free invocation;
+//! * permanent faults (stuck registers, dead cpus) **degrade** — the run
+//!   completes successfully and reports what was dropped in a Diagnostics
+//!   section, pinned by an ASCII golden;
+//! * a malformed `--inject` spec is a usage error, the only way the flag
+//!   itself fails.
+
+use likwid_bench::microbench::{likwid_bench_report, likwid_bench_spec};
+use likwid_suite::likwid::cli;
+use likwid_suite::likwid::report::{Ascii, Json, Render, Report};
+
+fn args(list: &[&str]) -> Vec<String> {
+    list.iter().map(|s| s.to_string()).collect()
+}
+
+fn bench_report(list: &[&str]) -> Report {
+    likwid_bench_report(&likwid_bench_spec().parse(&args(list)).unwrap()).unwrap()
+}
+
+#[test]
+fn permanent_faults_degrade_to_the_pinned_diagnostics_golden() {
+    // A stuck PERFEVTSEL0 on cpu 0 plus cpu 1 dying after 25 device
+    // accesses: the stethoscope run must still complete and render exactly
+    // the captured golden — healthy counters measured, both casualties
+    // itemized under "Diagnostics".
+    let argv = args(&[
+        "--machine",
+        "core2-quad",
+        "-c",
+        "0,1",
+        "-g",
+        "FLOPS_DP",
+        "-S",
+        "10ms",
+        "--inject",
+        "seed=5,stuck=0x186@0,dead=1@25",
+    ]);
+    let golden = include_str!("golden/perfctr_inject_core2-quad.txt");
+    assert_eq!(cli::run_perfctr(&argv).unwrap(), golden);
+
+    // The typed document round-trips through JSON like every other report.
+    let report = cli::perfctr_report(&argv).unwrap();
+    let parsed = Report::from_json(&Json.render(&report)).expect("JSON must parse back");
+    assert_eq!(parsed, report);
+    assert!(
+        report.sections.iter().any(|s| s.id.ends_with("diagnostics")),
+        "a degraded run must carry a diagnostics section"
+    );
+}
+
+#[test]
+fn transient_injection_leaves_the_perfctr_output_byte_identical() {
+    let base = &["--machine", "westmere-ep-2s", "-c", "0-3", "-g", "FLOPS_DP", "-t", "2ms"];
+    let clean = cli::run_perfctr(&args(base)).unwrap();
+    // Transient read/write faults at the worst allowed streak, plus dirty
+    // register state at attach: all healed, nothing visible.
+    let mut injected = base.to_vec();
+    injected.extend_from_slice(&["--inject", "seed=99,read=0.8x6,write=0.8x6,dirty"]);
+    let faulted = cli::run_perfctr(&args(&injected)).unwrap();
+    assert_eq!(clean, faulted);
+    assert!(!faulted.contains("Diagnostics"), "transient faults must not be diagnosed");
+}
+
+#[test]
+fn malformed_inject_specs_are_usage_errors() {
+    for bad in ["read=1.5", "wibble", "dead=0", "stuck=0x186"] {
+        let argv = args(&["--machine", "core2-quad", "-c", "0", "-g", "FLOPS_DP", "--inject", bad]);
+        let err = cli::run_perfctr(&argv).unwrap_err();
+        assert!(
+            err.to_string().contains("bad --inject spec"),
+            "'{bad}' must be rejected as usage, got: {err}"
+        );
+    }
+}
+
+#[test]
+fn likwid_bench_heals_transient_faults_without_a_trace() {
+    let base = &[
+        "-t",
+        "daxpy",
+        "-w",
+        "1MB",
+        "-c",
+        "0-1",
+        "-g",
+        "FLOPS_DP",
+        "-i",
+        "1",
+        "--machine",
+        "nehalem-ep-2s",
+    ];
+    let clean = bench_report(base);
+    let mut injected = base.to_vec();
+    injected.extend_from_slice(&["--inject", "seed=3,read=0.6x4,write=0.6x4,dirty"]);
+    let faulted = bench_report(&injected);
+    assert_eq!(
+        Ascii.render(&clean),
+        Ascii.render(&faulted),
+        "a transient-only plan must not change likwid-bench output"
+    );
+}
+
+#[test]
+fn likwid_bench_survives_a_dying_cpu_and_reports_it() {
+    let report = bench_report(&[
+        "-t",
+        "daxpy",
+        "-w",
+        "1MB",
+        "-c",
+        "0-1",
+        "-g",
+        "FLOPS_DP",
+        "-i",
+        "1",
+        "--machine",
+        "nehalem-ep-2s",
+        "--inject",
+        "dead=1@30",
+    ]);
+    let ascii = Ascii.render(&report);
+    assert!(ascii.contains("Diagnostics"), "the dead cpu must be reported:\n{ascii}");
+    assert!(ascii.contains("cpu 1"), "the diagnostic names the casualty:\n{ascii}");
+}
