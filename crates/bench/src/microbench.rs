@@ -111,11 +111,11 @@ pub fn likwid_bench_report(parsed: &ParsedArgs) -> Result<Report> {
         let event_table = likwid_perf_events::tables::for_arch(preset.arch());
         experiment = experiment.counters(parse_measurement_spec(group_arg, &event_table)?);
     }
-    if let Some(raw) = parsed.value("-T") {
+    if let Some(interval) = parsed.interval("-T")? {
         if parsed.value("-g").is_none() {
             return Err(LikwidError::Usage("-T (timeline) requires -g <group>".into()));
         }
-        experiment = experiment.timeline(likwid::perfctr::parse_interval(raw)?);
+        experiment = experiment.timeline(interval);
     }
     if let Some(spec) = parsed.value("--inject") {
         let plan = likwid_x86_machine::FaultPlan::parse(spec)

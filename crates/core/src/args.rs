@@ -245,6 +245,24 @@ impl ParsedArgs {
         }
     }
 
+    /// Parse an interval/duration-valued flag (`likwid-perfctr -t`/`-S`,
+    /// `likwid-bench -T`): `Ok(None)` when the flag is absent, the value in
+    /// seconds when it parses, and a [`LikwidError::Usage`] error naming
+    /// the flag for zero, negative or unparsable values. The single
+    /// validation authority is [`crate::perfctr::parse_interval`], which
+    /// the `likwid-perfctrd` protocol routes its `interval`/`duration`
+    /// fields through as well.
+    pub fn interval(&self, flag: &str) -> Result<Option<f64>> {
+        match self.value(flag) {
+            None => Ok(None),
+            Some(raw) => match crate::perfctr::parse_interval(raw) {
+                Ok(value) => Ok(Some(value)),
+                Err(LikwidError::Usage(msg)) => Err(LikwidError::Usage(format!("{flag}: {msg}"))),
+                Err(e) => Err(e),
+            },
+        }
+    }
+
     /// The effective output target: format from `-O`, falling back to the
     /// `-o` file extension, falling back to ASCII.
     pub fn output(&self) -> Result<OutputTarget> {
@@ -444,6 +462,22 @@ mod tests {
         assert!(help.contains("-h, --help"));
         let parsed = spec().parse(&args(&["-h"])).unwrap();
         assert!(parsed.help_requested());
+    }
+
+    #[test]
+    fn interval_flags_share_one_validator() {
+        let s = ArgSpec::new("t", "t").flag("-t", None, Some("interval"), "sampling interval");
+        assert_eq!(s.parse(&args(&[])).unwrap().interval("-t").unwrap(), None);
+        assert_eq!(s.parse(&args(&["-t", "1ms"])).unwrap().interval("-t").unwrap(), Some(1e-3));
+        assert_eq!(s.parse(&args(&["-t", "250us"])).unwrap().interval("-t").unwrap(), Some(250e-6));
+        for bad in ["0", "0ms", "bogus", "", "nan", "inf"] {
+            let err = s.parse(&args(&["-t", bad])).unwrap().interval("-t").unwrap_err();
+            assert!(matches!(err, LikwidError::Usage(_)), "'{bad}' gave {err:?}");
+            assert!(err.to_string().contains("-t"), "error must name the flag: {err}");
+        }
+        // A leading dash never reaches the validator: the arg parser itself
+        // rejects "-1ms" as an unknown flag.
+        assert!(s.parse(&args(&["-t", "-1ms"])).is_err());
     }
 
     #[test]

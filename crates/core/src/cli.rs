@@ -329,8 +329,7 @@ fn perfctr_report_from(parsed: &ParsedArgs) -> Result<Report> {
     if parsed.has("-t") && parsed.has("-S") {
         return Err(LikwidError::Usage("choose one of -t (timeline) and -S (stethoscope)".into()));
     }
-    if let Some(raw) = parsed.value("-t") {
-        let interval = crate::perfctr::parse_interval(raw)?;
+    if let Some(interval) = parsed.interval("-t")? {
         let config = crate::perfctr::PerfCtrConfig { cpus: cpus.clone(), spec };
         let result = crate::perfctr::timeline::run_demo_timeline(
             &machine,
@@ -343,8 +342,7 @@ fn perfctr_report_from(parsed: &ParsedArgs) -> Result<Report> {
         report.extend(result.report());
         return Ok(report);
     }
-    if let Some(raw) = parsed.value("-S") {
-        let duration = crate::perfctr::parse_interval(raw)?;
+    if let Some(duration) = parsed.interval("-S")? {
         let config = crate::perfctr::PerfCtrConfig { cpus: cpus.clone(), spec };
         let result = crate::perfctr::timeline::run_demo_stethoscope(&machine, config, duration)?;
         let mut report = Report::new("likwid-perfctr");

@@ -40,6 +40,11 @@ pub enum LikwidError {
     Formula(String),
     /// Command-line usage error.
     Usage(String),
+    /// A malformed or unsatisfiable daemon-protocol request (unknown
+    /// preset, unknown group, malformed pin list, oversized cpu set, bad
+    /// interval). Always answered with a structured error frame; the
+    /// session broker stays healthy.
+    Protocol(String),
     /// Writing the rendered output failed.
     Output(String),
     /// The feature is not available on this CPU (e.g. prefetcher control on AMD).
@@ -66,6 +71,7 @@ impl std::fmt::Display for LikwidError {
             LikwidError::Session(e) => write!(f, "session misuse: {e}"),
             LikwidError::Formula(e) => write!(f, "metric formula error: {e}"),
             LikwidError::Usage(e) => write!(f, "usage error: {e}"),
+            LikwidError::Protocol(e) => write!(f, "protocol error: {e}"),
             LikwidError::Output(e) => write!(f, "output error: {e}"),
             LikwidError::Unsupported(e) => write!(f, "not supported: {e}"),
         }
@@ -109,6 +115,8 @@ mod tests {
         assert!(e.to_string().contains("Core 2"));
         let e = LikwidError::Session("start() called twice".into());
         assert!(e.to_string().starts_with("session misuse: "));
+        let e = LikwidError::Protocol("unknown machine 'pdp11'".into());
+        assert!(e.to_string().starts_with("protocol error: "));
     }
 
     #[test]

@@ -247,6 +247,11 @@ pub struct PerfCtr<'m> {
     running: bool,
     /// Whether the session was ever started (reads before that are misuse).
     started: bool,
+    /// Whether the session currently yields the hardware to other sessions
+    /// (between [`PerfCtr::suspend`] and [`PerfCtr::resume`]). While
+    /// suspended, the counter registers may hold foreign sessions' state and
+    /// must not be folded into this session's accumulators.
+    suspended: bool,
 }
 
 impl<'m> PerfCtr<'m> {
@@ -341,6 +346,7 @@ impl<'m> PerfCtr<'m> {
             heal,
             running: false,
             started: false,
+            suspended: false,
         };
         session.program_group(0)?;
         Ok(session)
@@ -448,18 +454,26 @@ impl<'m> PerfCtr<'m> {
     }
 
     /// Start counting on all measured hardware threads.
+    ///
+    /// Enables exactly the active group's counter slots (not every
+    /// programmed select register on the cpu): under the `likwid-perfctrd`
+    /// broker other sessions leave their selects programmed-but-disabled
+    /// across a suspend, and blanket-enabling them would count this
+    /// session's activity into a foreign session's registers.
     pub fn start(&mut self) -> Result<()> {
         if self.running {
             return Err(LikwidError::Session(
                 "start() called while the session is already counting (stop() it first)".into(),
             ));
         }
+        let slots: Vec<CounterSlot> =
+            self.groups[self.active_group].events.iter().map(|(_, slot, _)| *slot).collect();
         let mut heal = self.heal.borrow_mut();
         for &cpu in &self.cpus {
             if heal.cpu_is_dead(cpu) {
                 continue;
             }
-            match self.perfmon.start(cpu) {
+            match self.perfmon.start_slots(cpu, &slots) {
                 Ok(()) => {}
                 Err(e) if is_permanent_io(&e) => heal.mark_cpu_dead(cpu, &e),
                 Err(e) => return Err(e.into()),
@@ -602,6 +616,12 @@ impl<'m> PerfCtr<'m> {
     /// intervals correspond to the completed measurement slices, which is
     /// what the extrapolation divides by.
     pub fn finish(&mut self) -> Result<()> {
+        if self.suspended {
+            // A suspended session already folded everything it measured (and
+            // zeroed its counters) at suspend time; whatever the registers
+            // hold now was put there by another session borrowing them.
+            return Ok(());
+        }
         if self.running {
             self.stop()?;
         }
@@ -613,6 +633,65 @@ impl<'m> PerfCtr<'m> {
             }
         }
         Ok(())
+    }
+
+    /// Yield the hardware between cross-session time slices (the
+    /// `likwid-perfctrd` broker multiplexes counter programming *between*
+    /// sessions sharing cpus, extending the in-session group rotation of
+    /// [`PerfCtr::switch_group`] across session boundaries): stop counting,
+    /// fold the live counts of the active group into its accumulator, and
+    /// reprogram the group. Reprogramming zeroes every counter, so a later
+    /// [`PerfCtr::finish`] cannot double-count the folded values — and a
+    /// foreign session may borrow the registers in between without
+    /// corrupting this session's state.
+    pub fn suspend(&mut self) -> Result<()> {
+        if self.running {
+            self.stop()?;
+        }
+        let counts = self.read_counts()?;
+        let active = self.active_group;
+        for (ei, per_cpu) in counts.iter().enumerate() {
+            for (ci, &v) in per_cpu.iter().enumerate() {
+                self.accumulated[active][ei][ci] += v;
+            }
+        }
+        self.program_group(active)?;
+        self.suspended = true;
+        Ok(())
+    }
+
+    /// Reclaim the hardware after [`PerfCtr::suspend`]: reprogram the
+    /// active group (another session may have owned the registers in
+    /// between, so the stored configuration cannot be trusted) and start
+    /// counting from zero.
+    pub fn resume(&mut self) -> Result<()> {
+        if self.running {
+            return Err(LikwidError::Session(
+                "resume() called while the session is counting (suspend() it first)".into(),
+            ));
+        }
+        self.program_group(self.active_group)?;
+        self.suspended = false;
+        self.start()
+    }
+
+    /// The `(event name, counter slot)` list of a group, in programming
+    /// order (the row order of the events table).
+    pub fn group_events(&self, group: usize) -> Vec<(String, CounterSlot)> {
+        self.groups[group].events.iter().map(|(name, slot, _)| (name.clone(), *slot)).collect()
+    }
+
+    /// The derived-metric names of a group, in definition order (empty for
+    /// custom event lists).
+    pub fn metric_names(&self, group: usize) -> Vec<String> {
+        self.groups[group].metrics.iter().map(|(name, _)| name.clone()).collect()
+    }
+
+    /// Whether any group of this session programs socket-level (uncore)
+    /// counters — the sessions that need the daemon's per-socket uncore
+    /// arbitration.
+    pub fn uses_uncore(&self) -> bool {
+        self.groups.iter().any(|g| g.events.iter().any(|(_, slot, _)| slot.is_uncore()))
     }
 
     /// The extrapolated counts of a group after a multiplexed run.

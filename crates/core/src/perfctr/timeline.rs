@@ -128,8 +128,10 @@ impl<'m> TimelineSession<'m> {
     /// Close the current interval after `dt_s` seconds of virtual time:
     /// record the active group's count deltas and — in multiplexing mode —
     /// rotate to the next group (the rotation reprograms and zeroes the
-    /// counters, so the next interval starts from a clean slate).
-    pub fn tick(&mut self, dt_s: f64) -> Result<()> {
+    /// counters, so the next interval starts from a clean slate). Returns
+    /// the recorded interval, so streaming consumers (the `likwid-perfctrd`
+    /// broker) can forward the deltas while the run is still in flight.
+    pub fn tick(&mut self, dt_s: f64) -> Result<TimelineInterval> {
         if !dt_s.is_finite() || dt_s < 0.0 {
             return Err(LikwidError::Usage(format!("timeline tick of {dt_s} seconds")));
         }
@@ -139,12 +141,13 @@ impl<'m> TimelineSession<'m> {
             .zip(&self.snapshot)
             .map(|(cur, prev)| cur.iter().zip(prev).map(|(&c, &p)| c.saturating_sub(p)).collect())
             .collect();
-        self.intervals.push(TimelineInterval {
+        let interval = TimelineInterval {
             t_start_s: self.elapsed_s,
             t_end_s: self.elapsed_s + dt_s,
             group: self.session.active_group(),
             counts,
-        });
+        };
+        self.intervals.push(interval.clone());
         self.elapsed_s += dt_s;
         if self.session.num_groups() > 1 {
             // switch_group folds the live counts into the group's
@@ -155,6 +158,26 @@ impl<'m> TimelineSession<'m> {
         } else {
             self.snapshot = current;
         }
+        Ok(interval)
+    }
+
+    /// Yield the hardware between cross-session time slices (see
+    /// [`PerfCtr::suspend`]): the live counts are folded into the session's
+    /// accumulator and the counters are released in a zeroed state, so the
+    /// `likwid-perfctrd` broker can hand the registers to another session
+    /// sharing the same cpus.
+    pub fn suspend(&mut self) -> Result<()> {
+        self.session.suspend()?;
+        self.snapshot = self.session.zero_counts();
+        Ok(())
+    }
+
+    /// Reclaim the hardware for the next time slice: reprogram (another
+    /// session may have owned the registers in between), zero the baseline
+    /// snapshot and start counting.
+    pub fn resume(&mut self) -> Result<()> {
+        self.session.resume()?;
+        self.snapshot = self.session.zero_counts();
         Ok(())
     }
 
@@ -164,7 +187,23 @@ impl<'m> TimelineSession<'m> {
     /// results with the total-runtime `time` binding, and one
     /// [`TimeSeries`] per group with the per-interval derived metrics
     /// (`time` bound to each interval's dt).
-    pub fn finish(mut self) -> Result<TimelineResult> {
+    pub fn finish(self) -> Result<TimelineResult> {
+        self.finish_scaled(1.0)
+    }
+
+    /// [`TimelineSession::finish`] with a cross-session coverage factor:
+    /// `time_scale` is the wall-to-measured virtual-time ratio of a daemon
+    /// session that was time-sliced against other sessions sharing its
+    /// cpus, and scales the extrapolated aggregates (and the metrics
+    /// derived from them) the same way the in-session multiplex schedule
+    /// scales per-group coverage. A solo session passes exactly `1.0`,
+    /// which is the identity — bit-identical to [`TimelineSession::finish`].
+    pub fn finish_scaled(mut self, time_scale: f64) -> Result<TimelineResult> {
+        if !time_scale.is_finite() || time_scale < 1.0 {
+            return Err(LikwidError::Session(format!(
+                "coverage time scale must be a finite ratio >= 1, got {time_scale}"
+            )));
+        }
         self.session.finish()?;
         let num_groups = self.session.num_groups();
         let multiplexed = num_groups > 1;
@@ -173,15 +212,26 @@ impl<'m> TimelineSession<'m> {
         let group_names: Vec<String> =
             (0..num_groups).map(|g| self.session.group_name(g).to_string()).collect();
 
+        let scale = |counts: GroupCounts| -> GroupCounts {
+            if time_scale == 1.0 {
+                return counts;
+            }
+            counts
+                .into_iter()
+                .map(|per_cpu| {
+                    per_cpu.into_iter().map(|v| (v as f64 * time_scale).round() as u64).collect()
+                })
+                .collect()
+        };
         let aggregate: Vec<GroupCounts> =
             (0..num_groups).map(|g| self.session.accumulated_counts(g)).collect();
         let extrapolated: Vec<GroupCounts> = (0..num_groups)
             .map(|g| {
-                if multiplexed {
+                scale(if multiplexed {
                     self.session.extrapolated_counts(g)
                 } else {
                     aggregate[g].clone()
-                }
+                })
             })
             .collect();
         let aggregate_results = (0..num_groups)
@@ -747,6 +797,80 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, LikwidError::Usage(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn suspend_resume_between_intervals_is_invisible_in_the_result() {
+        // The daemon broker suspends every session between intervals so
+        // another session may borrow the counter registers. For a solo
+        // session the suspend/resume cycle must be invisible: identical
+        // per-interval deltas, aggregates and rendered report.
+        use crate::report::{Ascii, Render};
+        let reference = {
+            let machine = SimMachine::new(MachinePreset::WestmereEp2S);
+            run_demo_timeline(
+                &machine,
+                config(MeasurementSpec::Group(EventGroupKind::MEM), vec![0, 1]),
+                1e-3,
+                DEMO_DURATION_S,
+            )
+            .unwrap()
+        };
+        let machine = SimMachine::new(MachinePreset::WestmereEp2S);
+        let mut session = TimelineSession::new(
+            &machine,
+            config(MeasurementSpec::Group(EventGroupKind::MEM), vec![0, 1]),
+            1e-3,
+        )
+        .unwrap();
+        let cpus = session.session().cpus().to_vec();
+        let engine = EventEngine::new(&machine);
+        let mut t0 = 0.0;
+        for i in 0..10 {
+            session.resume().unwrap();
+            let t1 = ((i + 1) as f64 * 1e-3).min(DEMO_DURATION_S);
+            engine.apply(&machine, &demo_slice(&machine, &cpus, t0, t1));
+            session.tick(t1 - t0).unwrap();
+            session.suspend().unwrap();
+            t0 = t1;
+        }
+        let sliced = session.finish().unwrap();
+        assert_eq!(sliced.intervals, reference.intervals);
+        assert_eq!(sliced.aggregate, reference.aggregate);
+        assert_eq!(sliced.extrapolated, reference.extrapolated);
+        assert_eq!(Ascii.render(&sliced.report()), Ascii.render(&reference.report()));
+    }
+
+    #[test]
+    fn finish_scaled_extrapolates_by_wall_to_measured_ratio() {
+        let machine = SimMachine::new(MachinePreset::WestmereEp2S);
+        let mut session = TimelineSession::new(
+            &machine,
+            config(MeasurementSpec::Group(EventGroupKind::MEM), vec![0]),
+            1e-3,
+        )
+        .unwrap();
+        let engine = EventEngine::new(&machine);
+        session.start().unwrap();
+        engine.apply(&machine, &demo_slice(&machine, &[0], 0.0, 1e-3));
+        session.tick(1e-3).unwrap();
+        let result = session.finish_scaled(2.0).unwrap();
+        // Raw aggregates keep the measured counts; extrapolation doubles.
+        assert_eq!(result.intervals[0].counts, result.aggregate[0]);
+        for (ei, per_cpu) in result.extrapolated[0].iter().enumerate() {
+            assert_eq!(per_cpu[0], 2 * result.aggregate[0][ei][0], "event {ei}");
+        }
+        // Sub-unity and non-finite scales are session misuse.
+        let machine2 = SimMachine::new(MachinePreset::WestmereEp2S);
+        for bad in [0.5, 0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let s = TimelineSession::new(
+                &machine2,
+                config(MeasurementSpec::Group(EventGroupKind::MEM), vec![0]),
+                1e-3,
+            )
+            .unwrap();
+            assert!(matches!(s.finish_scaled(bad), Err(LikwidError::Session(_))), "{bad}");
+        }
     }
 
     #[test]

@@ -21,6 +21,8 @@
 
 use crate::output;
 
+pub mod stream;
+
 /// A typed scalar in a report.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Value {

@@ -1,0 +1,646 @@
+//! The session broker: admission, arbitration and multiplexing of many
+//! concurrent measurement sessions over one simulated machine.
+//!
+//! # Arbitration model
+//!
+//! Counter registers are per-cpu, so two sessions conflict exactly when
+//! their cpu sets intersect (plus the per-socket uncore units, handled
+//! separately). The broker's invariant is simple: **between any two
+//! intervals, no session's counters are live**. Every session suspends its
+//! counters (folding the live counts into its accumulator and releasing the
+//! registers zeroed) at the end of each interval, and resumes (reprogram +
+//! zero + start) at the start of the next. Any inter-interval machine state
+//! is therefore safe for any session to reprogram; a session that never
+//! shares a cpu measures bit-identically to a standalone
+//! [`TimelineSession`] run.
+//!
+//! *Core turn-taking* uses monotonic tickets: each admitted session holds a
+//! ticket, renewed (strictly increasing) after every interval. A session
+//! may run an interval when no other admitted, unfinished session sharing
+//! one of its cpus holds a smaller ticket. The globally smallest ticket is
+//! always runnable, so the schedule is deadlock-free; renewal makes it
+//! round-robin fair; sessions with disjoint cpu sets never wait for each
+//! other.
+//!
+//! *Uncore units* are per-socket and stay programmed for a session's whole
+//! lifetime, so sessions whose groups touch uncore counters acquire a
+//! per-socket lock at admission and hold it until they finish or abort.
+//! Waiters queue in arrival order per socket; a waiter is granted when it
+//! heads every queue it is in and no holder remains on any needed socket
+//! (all-or-wait, so multi-socket sessions cannot interleave into a
+//! deadlock). While waiting for uncore locks a session holds no ticket and
+//! blocks nobody's turn. A dropped client releases its locks and its queue
+//! positions ([`SessionHandle`] aborts on drop).
+//!
+//! # Coverage extrapolation
+//!
+//! A session time-sliced against others sharing its cpus measures only part
+//! of its wall (virtual) lifetime. The broker charges every interval's
+//! length to the *other* running sessions that conflict with it; at finish,
+//! a session's aggregate is extrapolated by `(measured + foreign) /
+//! measured` — exactly `1.0` for a session that was never sliced against,
+//! preserving bit-identical solo results.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::{Condvar, Mutex};
+
+use likwid::perfctr::timeline::MAX_INTERVALS;
+use likwid::perfctr::{
+    parse_interval, parse_measurement_spec, MeasurementSpec, PerfCtrConfig, TimelineResult,
+    TimelineSession,
+};
+use likwid::{LikwidError, Result};
+use likwid_affinity::parse_pin_list;
+use likwid_perf_events::{EventEngine, EventSample};
+use likwid_x86_machine::{MachinePreset, SimMachine};
+
+use crate::protocol::{
+    DoneFrame, GroupSchema, IntervalFrame, OpenRequest, OpenedFrame, ResultsFrame,
+};
+
+/// Where a session's per-interval activity comes from.
+pub enum ActivitySource {
+    /// The synthetic demo application of `likwid-perfctr -t` (alternating
+    /// memory- and compute-bound phases on the virtual clock).
+    Demo,
+    /// Pre-sliced samples, one per interval, in order — the
+    /// `Experiment::via_daemon` path replays a traced workload.
+    Replay(VecDeque<EventSample>),
+}
+
+/// A validated, admitted session configuration.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Hardware threads to measure.
+    pub cpus: Vec<usize>,
+    /// What to measure.
+    pub spec: MeasurementSpec,
+    /// Sampling interval in seconds.
+    pub interval_s: f64,
+    /// Measurement duration in seconds.
+    pub duration_s: f64,
+}
+
+/// Lifecycle phase of an admitted session inside the broker.
+enum Phase {
+    /// Queued for per-socket uncore locks; holds no ticket, blocks no turn.
+    WaitingUncore,
+    /// Holding a turn ticket.
+    Running(u64),
+    /// Measurement complete, result not yet collected: holds no ticket,
+    /// blocks no turn, accrues no foreign wall time. Without this state a
+    /// finished-but-uncollected session's stale (small) ticket would block
+    /// every conflicting session forever.
+    Parked,
+}
+
+struct Slot {
+    cpus: Vec<usize>,
+    /// Sockets whose uncore locks the session holds (or waits for).
+    sockets: Vec<u32>,
+    phase: Phase,
+    /// Foreign virtual time charged by conflicting sessions' intervals.
+    wall_extra: f64,
+}
+
+#[derive(Default)]
+struct BrokerState {
+    next_id: u64,
+    next_ticket: u64,
+    slots: HashMap<u64, Slot>,
+    /// socket -> session currently holding its uncore lock.
+    uncore_holders: HashMap<u32, u64>,
+    /// socket -> sessions waiting for its uncore lock, in arrival order.
+    uncore_queues: HashMap<u32, VecDeque<u64>>,
+    opened: u64,
+    finished: u64,
+    aborted: u64,
+    peak_live: usize,
+}
+
+/// Broker counters exposed for tests and the daemon's own diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BrokerStats {
+    /// Sessions admitted since start.
+    pub opened: u64,
+    /// Sessions that ran to completion.
+    pub finished: u64,
+    /// Sessions released by an abort (client drop, handle drop).
+    pub aborted: u64,
+    /// Currently admitted sessions.
+    pub live: usize,
+    /// Highest concurrent session count seen.
+    pub peak_live: usize,
+    /// Uncore socket locks currently held.
+    pub uncore_locks_held: usize,
+    /// Sessions currently queued for uncore locks.
+    pub uncore_waiters: usize,
+}
+
+/// The measurement daemon core: one simulated machine, one event engine,
+/// and the session broker state. Shared across server connection handlers
+/// by reference; all synchronisation is internal.
+pub struct Daemon<'m> {
+    machine: &'m SimMachine,
+    engine: EventEngine,
+    state: Mutex<BrokerState>,
+    turn: Condvar,
+    /// Serializes the live window of an interval (resume → credit → tick
+    /// → suspend) machine-wide. Turn tickets already exclude sessions
+    /// *sharing* cpus; this lock additionally keeps a disjoint session's
+    /// activity credit out of another session's live window — uncore
+    /// counters are per-socket, so without it a core-only session's
+    /// credit could leak into a concurrent uncore session's registers
+    /// between its tick and its suspend, breaking the telescoping
+    /// invariant.
+    credit: Mutex<()>,
+}
+
+impl<'m> Daemon<'m> {
+    /// A daemon over a simulated machine. The caller owns the machine (and
+    /// may have armed fault injection on it); every session measures this
+    /// one machine.
+    pub fn new(machine: &'m SimMachine) -> Self {
+        Daemon {
+            machine,
+            engine: EventEngine::new(machine),
+            state: Mutex::new(BrokerState::default()),
+            turn: Condvar::new(),
+            credit: Mutex::new(()),
+        }
+    }
+
+    /// The simulated machine every session measures.
+    pub fn machine(&self) -> &'m SimMachine {
+        self.machine
+    }
+
+    /// Validate a wire request into a session configuration. Every
+    /// malformed or unsatisfiable field is a typed
+    /// [`LikwidError::Protocol`] — the broker never panics on client
+    /// input.
+    pub fn validate(&self, request: &OpenRequest) -> Result<SessionConfig> {
+        if let Some(id) = &request.machine {
+            let preset = MachinePreset::from_id(id).ok_or_else(|| {
+                LikwidError::Protocol(format!(
+                    "unknown machine preset '{id}'; available: {}",
+                    MachinePreset::all().iter().map(|p| p.id()).collect::<Vec<_>>().join(", ")
+                ))
+            })?;
+            if preset != self.machine.preset() {
+                return Err(LikwidError::Protocol(format!(
+                    "machine mismatch: daemon simulates '{}', request expects '{}'",
+                    self.machine.preset().id(),
+                    preset.id()
+                )));
+            }
+        }
+
+        let topo = self.machine.topology();
+        let cpus = parse_pin_list(&request.cpus, topo)
+            .map_err(|e| LikwidError::Protocol(format!("cpus: {e}")))?;
+        if cpus.is_empty() {
+            return Err(LikwidError::Protocol("cpus: empty cpu set".into()));
+        }
+        if cpus.len() > self.machine.num_hw_threads() {
+            return Err(LikwidError::Protocol(format!(
+                "cpus: {} entries exceed the machine's {} hardware threads",
+                cpus.len(),
+                self.machine.num_hw_threads()
+            )));
+        }
+        let mut seen = HashSet::new();
+        for &cpu in &cpus {
+            if !seen.insert(cpu) {
+                return Err(LikwidError::Protocol(format!("cpus: duplicate cpu {cpu}")));
+            }
+        }
+
+        let spec = parse_measurement_spec(&request.group, self.engine.table())
+            .map_err(|e| LikwidError::Protocol(format!("group: {e}")))?;
+
+        let demote = |flag: &str, e: LikwidError| match e {
+            LikwidError::Usage(msg) => LikwidError::Protocol(format!("{flag}: {msg}")),
+            e => e,
+        };
+        let interval_s = parse_interval(&request.interval).map_err(|e| demote("interval", e))?;
+        let duration_s = parse_interval(&request.duration).map_err(|e| demote("duration", e))?;
+        let points = (duration_s / interval_s).ceil();
+        if points > MAX_INTERVALS as f64 {
+            return Err(LikwidError::Protocol(format!(
+                "interval {interval_s} s yields {points:.0} sampling points over {duration_s} s \
+                 (max {MAX_INTERVALS})"
+            )));
+        }
+
+        Ok(SessionConfig { cpus, spec, interval_s, duration_s })
+    }
+
+    /// Whether a spec programs uncore counters (decided from the group
+    /// definitions, before any register is touched).
+    fn spec_uses_uncore(&self, spec: &MeasurementSpec) -> Result<bool> {
+        let arch = self.machine.arch();
+        let group_uncore = |kind| -> Result<bool> {
+            let def = likwid::perfctr::group_definition(arch, kind)?;
+            Ok(def.events.iter().any(|(_, slot)| slot.is_uncore()))
+        };
+        match spec {
+            MeasurementSpec::Group(kind) => group_uncore(*kind),
+            MeasurementSpec::Groups(kinds) => {
+                for &kind in kinds {
+                    if group_uncore(kind)? {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+            MeasurementSpec::Custom(events) => Ok(events.iter().any(|(_, slot)| slot.is_uncore())),
+        }
+    }
+
+    /// The sockets hosting the measured cpus.
+    fn sockets_of(&self, cpus: &[usize]) -> Vec<u32> {
+        let topo = self.machine.topology();
+        let mut sockets: Vec<u32> =
+            cpus.iter().filter_map(|&cpu| topo.hw_thread(cpu).ok().map(|t| t.socket)).collect();
+        sockets.sort_unstable();
+        sockets.dedup();
+        sockets
+    }
+
+    /// Open a session for the synthetic demo application (the socket
+    /// server's path).
+    pub fn open(&self, request: &OpenRequest) -> Result<SessionHandle<'_, 'm>> {
+        let config = self.validate(request)?;
+        self.open_session(config, ActivitySource::Demo)
+    }
+
+    /// Open a session with an explicit activity source (the in-process
+    /// client API; `Experiment::via_daemon` replays traced workloads).
+    ///
+    /// Blocks until the session is admitted: uncore sessions queue FIFO
+    /// per socket, and the initial counter programming itself waits for
+    /// the session's first turn on its cpus.
+    pub fn open_session(
+        &self,
+        config: SessionConfig,
+        source: ActivitySource,
+    ) -> Result<SessionHandle<'_, 'm>> {
+        let uncore = self.spec_uses_uncore(&config.spec)?;
+        let sockets = if uncore { self.sockets_of(&config.cpus) } else { Vec::new() };
+
+        let id = {
+            let mut state = self.state.lock().unwrap();
+            let id = state.next_id;
+            state.next_id += 1;
+            state.opened += 1;
+            let phase = if uncore {
+                for &socket in &sockets {
+                    state.uncore_queues.entry(socket).or_default().push_back(id);
+                }
+                Phase::WaitingUncore
+            } else {
+                let ticket = state.next_ticket;
+                state.next_ticket += 1;
+                Phase::Running(ticket)
+            };
+            state.slots.insert(
+                id,
+                Slot {
+                    cpus: config.cpus.clone(),
+                    sockets: sockets.clone(),
+                    phase,
+                    wall_extra: 0.0,
+                },
+            );
+            let live = state.slots.len();
+            state.peak_live = state.peak_live.max(live);
+            id
+        };
+
+        // Uncore admission: wait until this session heads every queue it is
+        // in and no socket it needs is held, then take all its locks
+        // atomically and its first ticket.
+        if uncore {
+            let mut state = self.state.lock().unwrap();
+            loop {
+                let granted = sockets.iter().all(|socket| {
+                    !state.uncore_holders.contains_key(socket)
+                        && state
+                            .uncore_queues
+                            .get(socket)
+                            .and_then(|q| q.front())
+                            .is_some_and(|&head| head == id)
+                });
+                if granted {
+                    for &socket in &sockets {
+                        state.uncore_queues.get_mut(&socket).unwrap().pop_front();
+                        state.uncore_holders.insert(socket, id);
+                    }
+                    let ticket = state.next_ticket;
+                    state.next_ticket += 1;
+                    state.slots.get_mut(&id).unwrap().phase = Phase::Running(ticket);
+                    break;
+                }
+                state = self.turn.wait(state).unwrap();
+            }
+            drop(state);
+            self.turn.notify_all();
+        }
+
+        // Programming the counters writes the per-cpu registers, so even
+        // session construction takes the session's turn: no conflicting
+        // session's counters are live while we program.
+        self.wait_turn(id);
+        let session = TimelineSession::new(
+            self.machine,
+            PerfCtrConfig { cpus: config.cpus.clone(), spec: config.spec.clone() },
+            config.interval_s,
+        );
+        let session = match session {
+            Ok(session) => session,
+            Err(e) => {
+                self.release(id, true);
+                return Err(e);
+            }
+        };
+        // Construction used the turn; hand it on.
+        self.end_turn(id, 0.0, false);
+
+        let schema = (0..session.session().num_groups())
+            .map(|g| GroupSchema {
+                name: session.session().group_name(g).to_string(),
+                events: session.session().group_events(g),
+                metrics: session.session().metric_names(g),
+            })
+            .collect();
+        let opened = OpenedFrame {
+            session: id,
+            machine: self.machine.preset().id().to_string(),
+            cpus: config.cpus.clone(),
+            socket_lock_owners: session.session().socket_lock_owners(),
+            interval_s: config.interval_s,
+            duration_s: config.duration_s,
+            uncore,
+            groups: schema,
+        };
+
+        Ok(SessionHandle {
+            daemon: self,
+            id,
+            session: Some(session),
+            source,
+            opened,
+            duration_s: config.duration_s,
+            interval_s: config.interval_s,
+            t0: 0.0,
+            index: 0,
+            measurement_complete: false,
+            released: false,
+        })
+    }
+
+    /// Block until it is session `id`'s turn on all its cpus: no other
+    /// admitted, ticket-holding session sharing a cpu has a smaller
+    /// ticket.
+    fn wait_turn(&self, id: u64) {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            let me = state.slots.get(&id).expect("session slot exists until released");
+            let my_ticket = match me.phase {
+                Phase::Running(t) => t,
+                Phase::WaitingUncore | Phase::Parked => {
+                    unreachable!("turns are only taken by admitted, unfinished sessions")
+                }
+            };
+            let my_cpus = &me.cpus;
+            let blocked = state.slots.iter().any(|(&other_id, other)| {
+                if other_id == id {
+                    return false;
+                }
+                match other.phase {
+                    Phase::Running(t) => {
+                        t < my_ticket && other.cpus.iter().any(|c| my_cpus.contains(c))
+                    }
+                    Phase::WaitingUncore | Phase::Parked => false,
+                }
+            });
+            if !blocked {
+                return;
+            }
+            state = self.turn.wait(state).unwrap();
+        }
+    }
+
+    /// End a turn: charge the interval length to every conflicting
+    /// running session's foreign-wall account, then either take a fresh
+    /// (larger) ticket or park the session (after its final interval, so
+    /// an uncollected result never blocks anyone), and wake waiters.
+    fn end_turn(&self, id: u64, dt_s: f64, park: bool) {
+        let mut state = self.state.lock().unwrap();
+        let me_cpus = state.slots.get(&id).expect("session slot exists").cpus.clone();
+        if dt_s > 0.0 {
+            for (&other_id, other) in state.slots.iter_mut() {
+                if other_id == id || !matches!(other.phase, Phase::Running(_)) {
+                    continue;
+                }
+                if other.cpus.iter().any(|c| me_cpus.contains(c)) {
+                    other.wall_extra += dt_s;
+                }
+            }
+        }
+        let phase = if park {
+            Phase::Parked
+        } else {
+            let ticket = state.next_ticket;
+            state.next_ticket += 1;
+            Phase::Running(ticket)
+        };
+        state.slots.get_mut(&id).unwrap().phase = phase;
+        drop(state);
+        self.turn.notify_all();
+    }
+
+    /// The session's accumulated foreign wall time.
+    fn wall_extra(&self, id: u64) -> f64 {
+        self.state.lock().unwrap().slots.get(&id).map(|s| s.wall_extra).unwrap_or(0.0)
+    }
+
+    /// Release a session: drop its slot, free its uncore locks and queue
+    /// positions, wake everyone.
+    fn release(&self, id: u64, aborted: bool) {
+        let mut state = self.state.lock().unwrap();
+        if let Some(slot) = state.slots.remove(&id) {
+            for socket in slot.sockets {
+                if state.uncore_holders.get(&socket) == Some(&id) {
+                    state.uncore_holders.remove(&socket);
+                }
+                if let Some(queue) = state.uncore_queues.get_mut(&socket) {
+                    queue.retain(|&waiting| waiting != id);
+                }
+            }
+            if aborted {
+                state.aborted += 1;
+            } else {
+                state.finished += 1;
+            }
+        }
+        drop(state);
+        self.turn.notify_all();
+    }
+
+    /// Broker counters.
+    pub fn stats(&self) -> BrokerStats {
+        let state = self.state.lock().unwrap();
+        BrokerStats {
+            opened: state.opened,
+            finished: state.finished,
+            aborted: state.aborted,
+            live: state.slots.len(),
+            peak_live: state.peak_live,
+            uncore_locks_held: state.uncore_holders.len(),
+            uncore_waiters: state.uncore_queues.values().map(VecDeque::len).sum(),
+        }
+    }
+
+    /// Whether the broker holds no sessions, no uncore locks and no
+    /// waiters — the leak check after stress and abandon tests.
+    pub fn is_quiescent(&self) -> bool {
+        let state = self.state.lock().unwrap();
+        state.slots.is_empty()
+            && state.uncore_holders.is_empty()
+            && state.uncore_queues.values().all(VecDeque::is_empty)
+    }
+}
+
+/// An admitted measurement session, driven interval by interval. Dropping
+/// the handle before [`SessionHandle::finish`] aborts the session and
+/// releases every lock and slot it held — a vanished client can never leak
+/// broker state.
+pub struct SessionHandle<'d, 'm> {
+    daemon: &'d Daemon<'m>,
+    id: u64,
+    session: Option<TimelineSession<'m>>,
+    source: ActivitySource,
+    opened: OpenedFrame,
+    duration_s: f64,
+    interval_s: f64,
+    t0: f64,
+    index: usize,
+    measurement_complete: bool,
+    released: bool,
+}
+
+impl<'d, 'm> SessionHandle<'d, 'm> {
+    /// The broker-assigned session id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The `opened` frame describing this session's resolved shape.
+    pub fn opened(&self) -> &OpenedFrame {
+        &self.opened
+    }
+
+    /// Run the next interval: wait for the session's turn, resume the
+    /// counters, credit the interval's activity, close the interval,
+    /// suspend the counters, hand the turn on. Returns `None` once the
+    /// configured duration is covered.
+    pub fn next_interval(&mut self) -> Result<Option<IntervalFrame>> {
+        if self.measurement_complete {
+            return Ok(None);
+        }
+        let session = self.session.as_mut().expect("session alive until finish");
+        let t1 = ((self.index + 1) as f64 * self.interval_s).min(self.duration_s);
+        let dt = t1 - self.t0;
+
+        let sample = match &mut self.source {
+            ActivitySource::Demo => likwid::perfctr::timeline::demo_slice(
+                self.daemon.machine,
+                &self.opened.cpus,
+                self.t0,
+                t1,
+            ),
+            ActivitySource::Replay(samples) => samples.pop_front().unwrap_or_else(|| {
+                EventSample::new(
+                    self.daemon.machine.num_hw_threads(),
+                    self.daemon.machine.topology().sockets as usize,
+                )
+            }),
+        };
+
+        self.daemon.wait_turn(self.id);
+        // Our ticket is minimal on all our cpus: no conflicting session
+        // will program or count until we renew it. The credit lock makes
+        // the whole live window atomic against *disjoint* sessions too,
+        // so only this session's activity lands in its registers.
+        let outcome = (|| -> Result<IntervalFrame> {
+            let _credit = self.daemon.credit.lock().unwrap();
+            session.resume()?;
+            self.daemon.engine.apply(self.daemon.machine, &sample);
+            let interval = session.tick(dt)?;
+            session.suspend()?;
+            let results =
+                session.session().results_for_group_at(interval.group, &interval.counts, dt)?;
+            Ok(IntervalFrame {
+                session: self.id,
+                index: self.index,
+                group: interval.group,
+                t_start_s: interval.t_start_s,
+                t_end_s: interval.t_end_s,
+                counts: interval.counts,
+                metrics: results.metrics.into_iter().map(|(_, values)| values).collect(),
+            })
+        })();
+        let complete = t1 >= self.duration_s;
+        self.daemon.end_turn(self.id, dt, complete && outcome.is_ok());
+
+        let frame = outcome?;
+        self.t0 = t1;
+        self.index += 1;
+        self.measurement_complete = complete;
+        Ok(Some(frame))
+    }
+
+    /// Finish the session: apply the cross-session coverage scale and
+    /// assemble the post-mortem result next to its wire frame.
+    pub fn finish(mut self) -> Result<(DoneFrame, TimelineResult)> {
+        let session = self.session.take().expect("session alive until finish");
+        let measured = self.t0;
+        let wall_extra = self.daemon.wall_extra(self.id);
+        let time_scale =
+            if wall_extra > 0.0 && measured > 0.0 { 1.0 + wall_extra / measured } else { 1.0 };
+        // finish() folds the residual register counts one last time; hold
+        // the credit lock so that read can never observe another session's
+        // live window on shared cpus (suspended registers are zeroed and
+        // stopped, so between windows the residual is exactly zero).
+        let result = {
+            let _credit = self.daemon.credit.lock().unwrap();
+            session.finish_scaled(time_scale)
+        };
+        self.daemon.release(self.id, false);
+        self.released = true;
+        let result = result?;
+        let frame = DoneFrame {
+            session: self.id,
+            duration_s: result.duration_s,
+            intervals: result.intervals.len(),
+            time_scale,
+            aggregate: result.aggregate.clone(),
+            extrapolated: result.extrapolated.clone(),
+            results: result.aggregate_results.iter().map(ResultsFrame::from_results).collect(),
+        };
+        Ok((frame, result))
+    }
+}
+
+impl Drop for SessionHandle<'_, '_> {
+    fn drop(&mut self) {
+        if !self.released {
+            // Counters are suspended between intervals, so dropping the
+            // TimelineSession mid-run leaves no live counters behind; the
+            // broker just needs its slot and locks back.
+            self.daemon.release(self.id, true);
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! `likwid-perfctrd`: measurement as a service.
+//!
+//! The paper's tools measure one run at a time; this crate turns the
+//! simulated measurement stack into a long-running daemon that accepts many
+//! concurrent measurement sessions over a Unix domain socket (or through an
+//! in-process client API) and streams per-interval counter deltas live
+//! while the sessions run.
+//!
+//! * [`broker`] — the session broker: admission and validation, per-cpu
+//!   turn arbitration with monotonic tickets, FIFO per-socket uncore
+//!   locks, cross-session time-slicing with coverage extrapolation.
+//! * [`protocol`] — the line-delimited JSON wire protocol (`hello`,
+//!   `open`, `opened`, `interval`, `done`, `error` frames).
+//! * [`client`] — the socket client and [`client::StreamAccumulator`],
+//!   which rebuilds a bit-identical post-mortem
+//!   [`likwid::perfctr::TimelineResult`] from the frame stream.
+//! * [`server`] — the socket accept loop and connection handlers.
+//! * [`jsonv`] — the lossless JSON codec (64-bit counts stay exact).
+
+pub mod broker;
+pub mod client;
+pub mod jsonv;
+pub mod protocol;
+pub mod server;
+
+pub use broker::{ActivitySource, BrokerStats, Daemon, SessionConfig, SessionHandle};
+pub use client::{SocketClient, StreamAccumulator};
+pub use protocol::{DoneFrame, Frame, IntervalFrame, OpenRequest, OpenedFrame};

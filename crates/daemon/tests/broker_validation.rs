@@ -1,0 +1,136 @@
+//! Bad-request suite: every malformed `open` request is answered with a
+//! typed [`LikwidError::Protocol`] — the broker never panics on client
+//! input, and a rejected request leaves the broker quiescent (no slot, no
+//! lock, no queue position leaks).
+
+use likwid::LikwidError;
+use likwid_daemon::{Daemon, OpenRequest};
+use likwid_x86_machine::{MachinePreset, SimMachine};
+
+fn request(cpus: &str, group: &str, interval: &str, duration: &str) -> OpenRequest {
+    OpenRequest {
+        machine: None,
+        cpus: cpus.to_string(),
+        group: group.to_string(),
+        interval: interval.to_string(),
+        duration: duration.to_string(),
+    }
+}
+
+fn assert_protocol_error(daemon: &Daemon<'_>, request: &OpenRequest, needle: &str) {
+    match daemon.validate(request) {
+        Err(LikwidError::Protocol(msg)) => {
+            assert!(
+                msg.contains(needle),
+                "expected protocol error mentioning '{needle}', got: {msg}"
+            );
+        }
+        Err(other) => panic!("expected LikwidError::Protocol, got: {other:?}"),
+        Ok(_) => panic!("expected rejection for {request:?}"),
+    }
+}
+
+#[test]
+fn unknown_machine_preset_is_a_protocol_error() {
+    let machine = SimMachine::new(MachinePreset::WestmereEp2S);
+    let daemon = Daemon::new(&machine);
+    let mut req = request("0", "FLOPS_DP", "1ms", "10ms");
+    req.machine = Some("pdp-11".to_string());
+    assert_protocol_error(&daemon, &req, "unknown machine preset");
+}
+
+#[test]
+fn machine_mismatch_is_a_protocol_error() {
+    let machine = SimMachine::new(MachinePreset::WestmereEp2S);
+    let daemon = Daemon::new(&machine);
+    let mut req = request("0", "FLOPS_DP", "1ms", "10ms");
+    req.machine = Some(MachinePreset::Core2Quad.id().to_string());
+    assert_protocol_error(&daemon, &req, "machine mismatch");
+}
+
+#[test]
+fn matching_machine_id_is_accepted() {
+    let machine = SimMachine::new(MachinePreset::WestmereEp2S);
+    let daemon = Daemon::new(&machine);
+    let mut req = request("0", "FLOPS_DP", "1ms", "10ms");
+    req.machine = Some(MachinePreset::WestmereEp2S.id().to_string());
+    let config = daemon.validate(&req).expect("matching preset admits");
+    assert_eq!(config.cpus, vec![0]);
+}
+
+#[test]
+fn malformed_pin_list_is_a_protocol_error() {
+    let machine = SimMachine::new(MachinePreset::WestmereEp2S);
+    let daemon = Daemon::new(&machine);
+    for bad in ["banana", "0-", "3-1", "S9:0"] {
+        assert_protocol_error(&daemon, &request(bad, "FLOPS_DP", "1ms", "10ms"), "cpus:");
+    }
+}
+
+#[test]
+fn out_of_range_cpu_is_a_protocol_error() {
+    let machine = SimMachine::new(MachinePreset::Core2Duo);
+    let daemon = Daemon::new(&machine);
+    assert_protocol_error(&daemon, &request("0,99", "FLOPS_DP", "1ms", "10ms"), "cpus:");
+}
+
+#[test]
+fn unknown_group_is_a_protocol_error() {
+    let machine = SimMachine::new(MachinePreset::WestmereEp2S);
+    let daemon = Daemon::new(&machine);
+    assert_protocol_error(&daemon, &request("0", "NO_SUCH_GROUP", "1ms", "10ms"), "group:");
+}
+
+#[test]
+fn malformed_custom_event_set_is_a_protocol_error() {
+    let machine = SimMachine::new(MachinePreset::WestmereEp2S);
+    let daemon = Daemon::new(&machine);
+    assert_protocol_error(&daemon, &request("0", "BOGUS_EVENT:PMC9", "1ms", "10ms"), "group:");
+}
+
+#[test]
+fn bad_interval_and_duration_are_protocol_errors() {
+    let machine = SimMachine::new(MachinePreset::WestmereEp2S);
+    let daemon = Daemon::new(&machine);
+    for bad in ["0", "0ms", "bogus", "", "nan", "-1ms"] {
+        assert_protocol_error(&daemon, &request("0", "FLOPS_DP", bad, "10ms"), "interval:");
+        assert_protocol_error(&daemon, &request("0", "FLOPS_DP", "1ms", bad), "duration:");
+    }
+}
+
+#[test]
+fn interval_overflow_is_a_protocol_error() {
+    let machine = SimMachine::new(MachinePreset::WestmereEp2S);
+    let daemon = Daemon::new(&machine);
+    assert_protocol_error(&daemon, &request("0", "FLOPS_DP", "1us", "1000s"), "sampling points");
+}
+
+#[test]
+fn rejected_requests_leak_nothing_and_broker_stays_healthy() {
+    let machine = SimMachine::new(MachinePreset::WestmereEp2S);
+    let daemon = Daemon::new(&machine);
+    let bad = [
+        request("bogus", "FLOPS_DP", "1ms", "10ms"),
+        request("0", "NO_SUCH_GROUP", "1ms", "10ms"),
+        request("0", "MEM", "0ms", "10ms"),
+        request("0", "MEM", "1ms", "never"),
+    ];
+    for req in &bad {
+        assert!(daemon.validate(req).is_err());
+        assert!(daemon.open(req).is_err());
+    }
+    assert!(daemon.is_quiescent(), "rejected requests must not leak broker state");
+    let stats = daemon.stats();
+    assert_eq!(stats.opened, 0, "validation rejects before admission");
+
+    // The broker still serves a good session after the volley of bad ones.
+    let mut handle = daemon.open(&request("0", "FLOPS_DP", "2ms", "6ms")).expect("still healthy");
+    let mut intervals = 0;
+    while handle.next_interval().expect("interval").is_some() {
+        intervals += 1;
+    }
+    assert_eq!(intervals, 3);
+    let (done, _result) = handle.finish().expect("finish");
+    assert_eq!(done.intervals, 3);
+    assert!(daemon.is_quiescent());
+}

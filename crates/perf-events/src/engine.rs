@@ -58,16 +58,17 @@ impl EventEngine {
 
         for cpu in 0..machine.num_hw_threads() {
             // Global enable: architectures with the global control register
-            // gate everything through it; older parts only have the
-            // per-event enable bits.
-            let global_ok = match msr.read(cpu, Msr::IA32_PERF_GLOBAL_CTRL) {
-                Ok(v) => v != 0,
-                Err(_) => true,
+            // gate each counter through its own bit (PMCn through bit n,
+            // FIXCn through bit 32+n); older parts only have the per-event
+            // enable bits, modeled as an all-ones mask.
+            let global = match msr.read(cpu, Msr::IA32_PERF_GLOBAL_CTRL) {
+                Ok(v) => v,
+                Err(_) => u64::MAX,
             };
 
             for n in 0..num_pmc {
                 let Ok(sel) = msr.read(cpu, Msr::IA32_PERFEVTSEL0 + n) else { continue };
-                if !is_enabled(sel) || !global_ok {
+                if !is_enabled(sel) || global & (1 << n) == 0 {
                     continue;
                 }
                 let Some(event) = self.table.find_by_selector(decode_selector(sel), false) else {
@@ -95,7 +96,7 @@ impl EventEngine {
                     ];
                     for (n, kind) in fixed_kinds.iter().enumerate().take(num_fixed as usize) {
                         let enable = (ctrl >> (4 * n)) & 0b011;
-                        if enable != 0 && global_ok {
+                        if enable != 0 && global & (1 << (32 + n)) != 0 {
                             let delta = self.thread_count(sample, cpu, *kind);
                             if delta > 0 {
                                 let _ = msr.increment(cpu, Msr::IA32_FIXED_CTR0 + n as u32, delta);
@@ -122,7 +123,7 @@ impl EventEngine {
                 }
                 for n in 0..self.arch.num_uncore_pmc() as u32 {
                     let Ok(sel) = msr.read(cpu, Msr::MSR_UNCORE_PERFEVTSEL0 + n) else { continue };
-                    if !is_enabled(sel) {
+                    if !is_enabled(sel) || global & (1 << n) == 0 {
                         continue;
                     }
                     let Some(event) = self.table.find_by_selector(decode_selector(sel), true)
@@ -135,7 +136,7 @@ impl EventEngine {
                     }
                 }
                 if let Ok(fixed_ctrl) = msr.read(cpu, Msr::MSR_UNCORE_FIXED_CTR_CTRL) {
-                    if fixed_ctrl & 1 != 0 {
+                    if fixed_ctrl & 1 != 0 && global & (1 << 32) != 0 {
                         let delta =
                             self.socket_count(sample, socket as usize, HwEventKind::UncoreCycles);
                         if delta > 0 {

@@ -310,7 +310,7 @@ impl PerfMon {
                 // The global and uncore control registers do not exist on all
                 // generations (Pentium M has neither); ignore their absence —
                 // but only their absence, real I/O failures must surface.
-                let global = 0xF | (0x7 << 32);
+                let global = 0xFF | (0x7 << 32);
                 ignore_unknown(self.wr(dev, Msr::IA32_PERF_GLOBAL_CTRL, global))?;
                 ignore_unknown(self.wr(dev, Msr::MSR_UNCORE_PERF_GLOBAL_CTRL, (1 << 32) | 0xFF))?;
                 for n in 0..8u32 {
@@ -329,6 +329,67 @@ impl PerfMon {
                     let v = self.rd(dev, addr)?;
                     if v != 0 {
                         self.wr(dev, addr, v | evtsel::ENABLE)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Enable counting on exactly the given counter slots of `cpu`, leaving
+    /// every other select register untouched and setting only the matching
+    /// per-counter bits of the global control registers.
+    ///
+    /// [`PerfMon::start`] mirrors the standalone tool: it flips the enable
+    /// bit of *every* programmed select register on the cpu, which is
+    /// correct when one measurement owns the whole PMU. Under the
+    /// `likwid-perfctrd` broker several sessions time-share the registers,
+    /// and a suspended session leaves its selects programmed (disabled);
+    /// blanket-enabling them would let a foreign time slice count into the
+    /// suspended session's counters. The slot-precise start closes exactly
+    /// that hole.
+    pub fn start_slots(&self, cpu: usize, slots: &[CounterSlot]) -> Result<(), PerfMonError> {
+        let dev = self.device(cpu)?;
+        match self.vendor {
+            Vendor::Intel => {
+                let mut global = 0u64;
+                let mut uncore_global = 0u64;
+                for slot in slots {
+                    match slot {
+                        // Fixed counters carry their enable in the ctrl
+                        // registers written at setup; they only need their
+                        // global-control bit.
+                        CounterSlot::Fixed(n) => global |= 1 << (32 + *n as u32),
+                        CounterSlot::UncoreFixed => uncore_global |= 1 << 32,
+                        CounterSlot::Pmc(n) => {
+                            global |= 1 << *n as u32;
+                            let addr = Msr::IA32_PERFEVTSEL0 + *n as u32;
+                            let v = self.rd(dev, addr)?;
+                            if v != 0 {
+                                self.wr(dev, addr, v | evtsel::ENABLE)?;
+                            }
+                        }
+                        CounterSlot::UncorePmc(n) => {
+                            uncore_global |= 1 << *n as u32;
+                            let addr = Msr::MSR_UNCORE_PERFEVTSEL0 + *n as u32;
+                            let v = self.rd(dev, addr)?;
+                            if v != 0 {
+                                self.wr(dev, addr, v | evtsel::ENABLE)?;
+                            }
+                        }
+                    }
+                }
+                ignore_unknown(self.wr(dev, Msr::IA32_PERF_GLOBAL_CTRL, global))?;
+                ignore_unknown(self.wr(dev, Msr::MSR_UNCORE_PERF_GLOBAL_CTRL, uncore_global))?;
+            }
+            Vendor::Amd => {
+                for slot in slots {
+                    if let CounterSlot::Pmc(n) = slot {
+                        let addr = Msr::AMD_PERFEVTSEL0 + *n as u32;
+                        let v = self.rd(dev, addr)?;
+                        if v != 0 {
+                            self.wr(dev, addr, v | evtsel::ENABLE)?;
+                        }
                     }
                 }
             }

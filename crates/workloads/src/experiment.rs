@@ -264,6 +264,119 @@ impl Experiment {
             measured_cpus,
         })
     }
+
+    /// [`Experiment::run`], but the measured sample's counter session is
+    /// served by a measurement daemon instead of a private session: the
+    /// workload runs traced on the daemon's machine, its activity is
+    /// sliced at the interval boundaries, and the slices are replayed
+    /// through a daemon session
+    /// ([`likwid_daemon::ActivitySource::Replay`]), subject to the
+    /// daemon's admission, arbitration and time-slicing. On an otherwise
+    /// idle daemon the result is bit-identical to [`Experiment::run`];
+    /// under contention the extrapolated aggregates carry the coverage
+    /// scale.
+    ///
+    /// Requires [`Experiment::timeline`] and [`Experiment::counters`], and
+    /// the experiment's preset must match the daemon's machine. Fault
+    /// injection belongs to the daemon's machine in this mode, so
+    /// [`Experiment::inject`] is rejected.
+    pub fn via_daemon(
+        &self,
+        workload: &dyn Workload,
+        daemon: &likwid_daemon::Daemon<'_>,
+    ) -> likwid::Result<ExperimentResult> {
+        let interval_s = self.timeline.ok_or_else(|| {
+            likwid::LikwidError::Usage(
+                "via_daemon requires timeline mode (Experiment::timeline)".into(),
+            )
+        })?;
+        let spec = self.counters.clone().ok_or_else(|| {
+            likwid::LikwidError::Usage(
+                "via_daemon requires a counter specification (Experiment::counters)".into(),
+            )
+        })?;
+        if self.preset != daemon.machine().preset() {
+            return Err(likwid::LikwidError::Usage(format!(
+                "machine mismatch: the experiment wants '{}', the daemon simulates '{}'",
+                self.preset.id(),
+                daemon.machine().preset().id()
+            )));
+        }
+        if self.inject.is_some() {
+            return Err(likwid::LikwidError::Usage(
+                "via_daemon measures the daemon's machine; arm fault injection there instead"
+                    .into(),
+            ));
+        }
+        if matches!(&self.policy, PlacementPolicy::LikwidPin(list) if list.is_empty()) {
+            return Err(likwid::LikwidError::Usage("empty pin list".into()));
+        }
+
+        let machine = daemon.machine();
+        let runtime = OpenMpRuntime::new(self.personality, self.preset);
+        let topo = machine.topology();
+        let threads = self.resolved_threads();
+
+        let mut runs = Vec::with_capacity(self.samples);
+        let mut placements = Vec::with_capacity(self.samples);
+        let mut counters = None;
+        let mut timeline = None;
+        let mut measured_cpus = Vec::new();
+
+        for i in 0..self.samples {
+            let mut rng = StdRng::seed_from_u64(sample_seed(self.seed, i));
+            let placement = runtime.resolve_placement(topo, threads, &self.policy, &mut rng);
+
+            let run = if i == 0 {
+                let cpus = placement.measured_cpus();
+                let mut trace = ProgressTrace::default();
+                let run = workload.run_traced(machine, &placement, &mut trace);
+                let duration_s = trace.runtime_s();
+                let estimated = (duration_s / interval_s).ceil();
+                if estimated > likwid::perfctr::timeline::MAX_INTERVALS as f64 {
+                    return Err(likwid::LikwidError::Usage(format!(
+                        "interval {interval_s} s yields {estimated:.0} sampling points over \
+                         a {duration_s} s run (max {})",
+                        likwid::perfctr::timeline::MAX_INTERVALS
+                    )));
+                }
+                let samples = slice_samples(machine, &trace, interval_s)
+                    .into_iter()
+                    .map(|(_, _, sample)| sample)
+                    .collect();
+                let config = likwid_daemon::SessionConfig {
+                    cpus: cpus.clone(),
+                    spec: spec.clone(),
+                    interval_s,
+                    duration_s,
+                };
+                let mut handle =
+                    daemon.open_session(config, likwid_daemon::ActivitySource::Replay(samples))?;
+                while handle.next_interval()?.is_some() {}
+                let (_done, result) = handle.finish()?;
+                if result.group_names.len() == 1 {
+                    counters = Some(result.aggregate_results[0].clone());
+                }
+                timeline = Some(result);
+                measured_cpus = cpus;
+                run
+            } else {
+                workload.run(machine, &placement)
+            };
+            runs.push(run);
+            placements.push(placement);
+        }
+
+        Ok(ExperimentResult {
+            workload: workload.name().to_string(),
+            preset: self.preset,
+            runs,
+            placements,
+            counters,
+            timeline,
+            measured_cpus,
+        })
+    }
 }
 
 /// The outcome of an experiment: one [`WorkloadRun`] per sample, plus the

@@ -1,0 +1,119 @@
+//! Daemon stress: hundreds of concurrent sessions over one machine —
+//! core-only and uncore mixed, overlapping cpu sets, clients vanishing
+//! mid-run — must all terminate, telescope exactly, and leak no broker
+//! state.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Barrier;
+
+use likwid_suite::daemon::client::StreamAccumulator;
+use likwid_suite::daemon::{Daemon, Frame, OpenRequest};
+use likwid_suite::x86_machine::{MachinePreset, SimMachine};
+
+const SESSIONS: usize = 200;
+/// Every DROP_EVERY-th session abandons its handle mid-run.
+const DROP_EVERY: usize = 7;
+
+fn request(cpus: String, group: &str) -> OpenRequest {
+    OpenRequest {
+        machine: None,
+        cpus,
+        group: group.to_string(),
+        interval: "1ms".to_string(),
+        duration: "3ms".to_string(),
+    }
+}
+
+/// Session `i`'s shape: overlapping cpu sets across the machine's 24
+/// hardware threads, and a rotation of core-only, single-socket uncore,
+/// dual-socket uncore and custom-event specs.
+fn session_request(i: usize) -> OpenRequest {
+    let cpu = i % 24;
+    match i % 5 {
+        0 => request(format!("{cpu},{}", (cpu + 1) % 24), "FLOPS_DP"),
+        1 => request(format!("{cpu}"), "MEM"),
+        2 => request(format!("{},{}", i % 6, 6 + i % 6), "MEM"), // spans both sockets
+        3 => request(format!("{cpu}"), "INSTR_RETIRED_ANY:FIXC0,CPU_CLK_UNHALTED_CORE:FIXC1"),
+        _ => request(format!("{cpu},{}", (cpu + 3) % 24), "FLOPS_DP,L3CACHE"),
+    }
+}
+
+#[test]
+fn two_hundred_concurrent_sessions_with_drops_terminate_and_leak_nothing() {
+    let machine = SimMachine::new(MachinePreset::WestmereEp2S);
+    let daemon = Daemon::new(&machine);
+    let completed = AtomicUsize::new(0);
+    let dropped = AtomicUsize::new(0);
+    let barrier = Barrier::new(SESSIONS);
+
+    std::thread::scope(|scope| {
+        for i in 0..SESSIONS {
+            let daemon = &daemon;
+            let completed = &completed;
+            let dropped = &dropped;
+            let barrier = &barrier;
+            scope.spawn(move || {
+                // Release all sessions into the broker at once.
+                barrier.wait();
+                let req = session_request(i);
+                let mut handle = daemon.open(&req).expect("session admitted");
+
+                if i % DROP_EVERY == 3 {
+                    // A vanishing client: at most one interval, then gone.
+                    let _ = handle.next_interval().expect("interval before drop");
+                    drop(handle);
+                    dropped.fetch_add(1, Ordering::SeqCst);
+                    return;
+                }
+
+                // Accumulate the stream exactly as a remote client would
+                // and hold the session to the telescoping invariant.
+                let mut accumulator = StreamAccumulator::new(handle.opened().clone());
+                while let Some(frame) = handle.next_interval().expect("interval") {
+                    accumulator.push(frame).expect("frames in order");
+                }
+                let (done, _result) = handle.finish().expect("finish");
+                assert_eq!(done.intervals, 3, "1ms over 3ms yields three intervals");
+                assert!(done.time_scale >= 1.0, "coverage scale is a ratio >= 1");
+                accumulator.complete(done).expect("done frame consistent");
+                accumulator.verify_telescoping().unwrap_or_else(|e| {
+                    panic!(
+                        "session {i} (cpus={} group={}): {e}",
+                        session_request(i).cpus,
+                        session_request(i).group
+                    )
+                });
+                completed.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+    });
+
+    let expected_drops = (0..SESSIONS).filter(|i| i % DROP_EVERY == 3).count();
+    assert_eq!(dropped.load(Ordering::SeqCst), expected_drops);
+    assert_eq!(completed.load(Ordering::SeqCst), SESSIONS - expected_drops);
+
+    let stats = daemon.stats();
+    assert_eq!(stats.opened as usize, SESSIONS);
+    assert_eq!(stats.finished as usize, SESSIONS - expected_drops);
+    assert_eq!(stats.aborted as usize, expected_drops);
+    assert_eq!(stats.live, 0, "no session outlives its thread");
+    assert_eq!(stats.uncore_locks_held, 0, "no uncore lock leaked");
+    assert_eq!(stats.uncore_waiters, 0, "no uncore queue entry leaked");
+    assert!(stats.peak_live > 1, "sessions genuinely overlapped");
+    assert!(daemon.is_quiescent(), "broker is empty after the storm");
+
+    // And the daemon still serves: one clean session end to end.
+    let mut handle = daemon.open(&session_request(1)).expect("still admitting");
+    let mut accumulator = StreamAccumulator::new(handle.opened().clone());
+    while let Some(frame) = handle.next_interval().expect("interval") {
+        let line = Frame::Interval(frame).to_line();
+        match Frame::from_line(&line).expect("wire round-trip") {
+            Frame::Interval(frame) => accumulator.push(frame).expect("in order"),
+            other => panic!("expected interval, got {other:?}"),
+        }
+    }
+    let (done, _result) = handle.finish().expect("finish");
+    accumulator.complete(done).expect("consistent");
+    accumulator.verify_telescoping().expect("telescoping");
+    assert!(daemon.is_quiescent());
+}
