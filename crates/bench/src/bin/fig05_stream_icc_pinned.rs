@@ -2,12 +2,9 @@
 //! likwid-pin (round robin across sockets, physical cores first).
 
 fn main() {
-    let spec = likwid_bench::stream_figure_spec(
+    std::process::exit(likwid_bench::stream_figure_bin_main(
         "fig05_stream_icc_pinned",
         "Figure 5: STREAM triad, Intel icc, Westmere EP, pinned with likwid-pin",
-    );
-    std::process::exit(likwid_bench::figure_bin_main(&spec, |parsed| {
-        let samples = parsed.positional_number(100)?;
-        Ok(likwid_bench::stream_figure_report(likwid_bench::stream_figures()[1], samples, 5))
-    }));
+        1,
+    ));
 }

@@ -2,12 +2,9 @@
 //! Intel OpenMP affinity interface set to scatter.
 
 fn main() {
-    let spec = likwid_bench::stream_figure_spec(
+    std::process::exit(likwid_bench::stream_figure_bin_main(
         "fig06_stream_icc_scatter",
         "Figure 6: STREAM triad, Intel icc, Westmere EP, KMP_AFFINITY=scatter",
-    );
-    std::process::exit(likwid_bench::figure_bin_main(&spec, |parsed| {
-        let samples = parsed.positional_number(100)?;
-        Ok(likwid_bench::stream_figure_report(likwid_bench::stream_figures()[2], samples, 6))
-    }));
+        2,
+    ));
 }

@@ -1,12 +1,9 @@
 //! Regenerates Figure 7: STREAM triad, gcc, Westmere EP, not pinned.
 
 fn main() {
-    let spec = likwid_bench::stream_figure_spec(
+    std::process::exit(likwid_bench::stream_figure_bin_main(
         "fig07_stream_gcc_unpinned",
         "Figure 7: STREAM triad, gcc, Westmere EP, not pinned",
-    );
-    std::process::exit(likwid_bench::figure_bin_main(&spec, |parsed| {
-        let samples = parsed.positional_number(100)?;
-        Ok(likwid_bench::stream_figure_report(likwid_bench::stream_figures()[3], samples, 7))
-    }));
+        3,
+    ));
 }

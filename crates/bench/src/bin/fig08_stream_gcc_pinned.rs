@@ -2,12 +2,9 @@
 //! likwid-pin.
 
 fn main() {
-    let spec = likwid_bench::stream_figure_spec(
+    std::process::exit(likwid_bench::stream_figure_bin_main(
         "fig08_stream_gcc_pinned",
         "Figure 8: STREAM triad, gcc, Westmere EP, pinned with likwid-pin",
-    );
-    std::process::exit(likwid_bench::figure_bin_main(&spec, |parsed| {
-        let samples = parsed.positional_number(100)?;
-        Ok(likwid_bench::stream_figure_report(likwid_bench::stream_figures()[4], samples, 8))
-    }));
+        4,
+    ));
 }

@@ -1,12 +1,9 @@
 //! Regenerates Figure 9: STREAM triad, Intel icc, AMD Istanbul, not pinned.
 
 fn main() {
-    let spec = likwid_bench::stream_figure_spec(
+    std::process::exit(likwid_bench::stream_figure_bin_main(
         "fig09_stream_istanbul_unpinned",
         "Figure 9: STREAM triad, Intel icc, AMD Istanbul, not pinned",
-    );
-    std::process::exit(likwid_bench::figure_bin_main(&spec, |parsed| {
-        let samples = parsed.positional_number(100)?;
-        Ok(likwid_bench::stream_figure_report(likwid_bench::stream_figures()[5], samples, 9))
-    }));
+        5,
+    ));
 }

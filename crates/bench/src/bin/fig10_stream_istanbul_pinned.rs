@@ -2,12 +2,9 @@
 //! likwid-pin.
 
 fn main() {
-    let spec = likwid_bench::stream_figure_spec(
+    std::process::exit(likwid_bench::stream_figure_bin_main(
         "fig10_stream_istanbul_pinned",
         "Figure 10: STREAM triad, Intel icc, AMD Istanbul, pinned with likwid-pin",
-    );
-    std::process::exit(likwid_bench::figure_bin_main(&spec, |parsed| {
-        let samples = parsed.positional_number(100)?;
-        Ok(likwid_bench::stream_figure_report(likwid_bench::stream_figures()[6], samples, 10))
-    }));
+        6,
+    ));
 }

@@ -22,10 +22,12 @@ use likwid::report::{
     Ascii, Body, KvEntry, Render, Report, Row, Section, Table, TimeSeries, Value,
 };
 use likwid::topology::CpuTopology;
-use likwid_affinity::pinlist::scatter_placement;
 use likwid_affinity::ThreadingModel;
+use likwid_fleet::{
+    run_sweep, PlacementAxis, RunOptions, SeedRule, SweepSpec, ThreadsAxis, WorkloadSpec,
+};
 use likwid_workloads::jacobi::{JacobiVariant, JacobiWorkload};
-use likwid_workloads::openmp::{CompilerPersonality, KmpAffinity, PlacementPolicy};
+use likwid_workloads::openmp::{CompilerPersonality, PlacementPolicy};
 use likwid_workloads::workload::WorkloadRun;
 use likwid_workloads::Experiment;
 use likwid_x86_machine::{MachinePreset, SimMachine};
@@ -118,34 +120,43 @@ pub fn stream_figures() -> Vec<StreamFigure> {
     ]
 }
 
-/// Regenerate one STREAM figure as a typed report, one [`Experiment`] per
-/// thread count.
+/// The declarative fleet sweep behind one STREAM figure: the whole
+/// `1..=num_hw_threads` family as a single [`SweepSpec`] instead of a
+/// hand-rolled loop.
+pub fn stream_figure_sweep(figure: StreamFigure, samples: usize, seed: u64) -> SweepSpec {
+    let mut sweep = SweepSpec::new(WorkloadSpec::StreamTriad, figure.preset);
+    sweep.personalities = vec![figure.personality];
+    sweep.placements = vec![match figure.scenario {
+        StreamScenario::Unpinned => PlacementAxis::Unpinned,
+        // The paper's pinned runs: round robin across sockets, physical
+        // cores before SMT threads.
+        StreamScenario::Pinned => PlacementAxis::Scatter,
+        StreamScenario::KmpScatter => PlacementAxis::KmpScatter,
+    }];
+    sweep.threads = ThreadsAxis::AllHwThreads;
+    sweep.samples = samples.max(1);
+    sweep.seed = SeedRule::XorThreads(seed);
+    sweep
+}
+
+/// Regenerate one STREAM figure as a typed report by running its
+/// [`stream_figure_sweep`] through the fleet scheduler (the points of the
+/// family run in parallel; the report is deterministic regardless).
 ///
 /// `samples` is the number of runs per thread count (the paper uses 100).
 pub fn stream_figure_report(figure: StreamFigure, samples: usize, seed: u64) -> Report {
-    let topo = figure.preset.topology();
-    let workload = likwid_workloads::StreamTriad::new(figure.personality);
+    let sweep = stream_figure_sweep(figure, samples, seed);
+    let outcome = run_sweep(&sweep, &RunOptions::default())
+        .expect("a counter-less figure sweep cannot fail to expand");
 
     let mut table =
         Table::plain(vec!["threads", "min_mb_s", "q1_mb_s", "median_mb_s", "q3_mb_s", "max_mb_s"])
             .with_ascii_header("threads  min[MB/s]  q1[MB/s]  median[MB/s]  q3[MB/s]  max[MB/s]");
-    for threads in 1..=topo.num_hw_threads() {
-        let policy = match figure.scenario {
-            StreamScenario::Unpinned => PlacementPolicy::Unpinned,
-            // The paper's pinned runs: round robin across sockets, physical
-            // cores before SMT threads.
-            StreamScenario::Pinned => PlacementPolicy::LikwidPin(scatter_placement(&topo, threads)),
-            StreamScenario::KmpScatter => PlacementPolicy::Kmp(KmpAffinity::Scatter),
-        };
-        let result = Experiment::on(figure.preset)
-            .personality(figure.personality)
-            .placement(policy)
-            .threads(threads)
-            .samples(samples.max(1))
-            .seed(seed ^ threads as u64)
-            .run(&workload)
-            .expect("a counter-less experiment cannot fail");
-        let stats = result.bandwidth_stats().expect("at least one sample");
+    for (point, result) in &outcome.points {
+        let result = result.as_ref().expect("a counter-less experiment cannot fail");
+        let stats = likwid_workloads::BoxStats::from_samples(&result.bandwidths)
+            .expect("at least one sample");
+        let threads = point.threads;
         table.push(
             Row::new(vec![
                 Value::Count(threads as u64),
@@ -655,6 +666,19 @@ pub fn figure_bin_main(
 /// The argument spec of a STREAM figure binary (positional sample count).
 pub fn stream_figure_spec(tool: &'static str, about: &'static str) -> ArgSpec {
     ArgSpec::new(tool, about).positional("samples", "runs per thread count (default 100)", false)
+}
+
+/// The whole entry point of a STREAM figure binary: spec, sample-count
+/// parsing and the fleet-backed report for `stream_figures()[index]`,
+/// seeded by the figure number (the historical convention of the seven
+/// binaries). Returns the process exit code.
+pub fn stream_figure_bin_main(tool: &'static str, about: &'static str, index: usize) -> i32 {
+    let spec = stream_figure_spec(tool, about);
+    figure_bin_main(&spec, |parsed| {
+        let figure = stream_figures()[index];
+        let samples = parsed.positional_number(100)?;
+        Ok(stream_figure_report(figure, samples, figure.number as u64))
+    })
 }
 
 #[cfg(test)]

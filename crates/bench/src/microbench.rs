@@ -56,6 +56,7 @@ pub fn likwid_bench_spec() -> ArgSpec {
             Some("spec"),
             "inject faults into the MSR substrate (e.g. seed=7,read=0.2x3,stuck=0x186@0)",
         )
+        .note(likwid::perfctr::multiplex_note())
 }
 
 /// Build the report of one `likwid-bench` invocation.

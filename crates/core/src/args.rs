@@ -47,6 +47,7 @@ pub struct ArgSpec {
     about: &'static str,
     flags: Vec<FlagDef>,
     positional: Option<PositionalDef>,
+    notes: Vec<String>,
 }
 
 /// The output switches every binary of the suite carries.
@@ -69,7 +70,7 @@ impl ArgSpec {
     /// A new spec; `-h`/`--help` and the output switches `-O`/`-o` are
     /// implicit on every binary.
     pub fn new(tool: &'static str, about: &'static str) -> Self {
-        ArgSpec { tool, about, flags: OUTPUT_FLAGS.to_vec(), positional: None }
+        ArgSpec { tool, about, flags: OUTPUT_FLAGS.to_vec(), positional: None, notes: Vec::new() }
     }
 
     /// The tool name.
@@ -97,6 +98,14 @@ impl ArgSpec {
     /// Declare trailing positional arguments.
     pub fn positional(mut self, name: &'static str, help: &'static str, many: bool) -> Self {
         self.positional = Some(PositionalDef { name, help, many });
+        self
+    }
+
+    /// Append a free-form paragraph to the generated `--help` text (flag
+    /// semantics the one-line help cannot carry, e.g. which `-g` spellings
+    /// multiplex).
+    pub fn note(mut self, text: impl Into<String>) -> Self {
+        self.notes.push(text.into());
         self
     }
 
@@ -191,6 +200,9 @@ impl ArgSpec {
         out.push_str(&format!("  {:width$}  print this help\n", "-h, --help", width = width));
         if let Some(p) = self.positional {
             out.push_str(&format!("\nArguments:\n  {}  {}\n", p.name, p.help));
+        }
+        for note in &self.notes {
+            out.push_str(&format!("\n{note}\n"));
         }
         out
     }
@@ -462,6 +474,15 @@ mod tests {
         assert!(help.contains("-h, --help"));
         let parsed = spec().parse(&args(&["-h"])).unwrap();
         assert!(parsed.help_requested());
+    }
+
+    #[test]
+    fn notes_append_paragraphs_after_the_flag_table() {
+        let help = spec().note("A comma-separated -g list multiplexes.").help_text();
+        let flags_at = help.find("-h, --help").unwrap();
+        let note_at = help.find("A comma-separated -g list multiplexes.").unwrap();
+        assert!(note_at > flags_at, "notes come after the options:\n{help}");
+        assert!(help.ends_with("multiplexes.\n"));
     }
 
     #[test]

@@ -80,7 +80,8 @@ impl Tool {
                 None,
                 Some("spec"),
                 "inject faults into the MSR substrate (e.g. seed=7,read=0.2x3,stuck=0x186@0)",
-            ),
+            )
+            .note(crate::perfctr::multiplex_note()),
             Tool::Pin => ArgSpec::new(
                 "likwid-pin",
                 "report the thread-core placement the wrapper library enforces",

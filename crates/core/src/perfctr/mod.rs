@@ -28,8 +28,8 @@ pub mod timeline;
 pub use formula::Formula;
 pub use groups::{group_definition, supported_groups, EventGroupKind, GroupDefinition};
 pub use session::{
-    parse_event_spec, parse_measurement_spec, Diagnostic, GroupCounts, HealingStats,
-    MeasurementSpec, PerfCtr, PerfCtrConfig, PerfCtrResults,
+    multiplex_note, parse_event_spec, parse_measurement_spec, Diagnostic, GroupCounts,
+    HealingStats, MeasurementSpec, PerfCtr, PerfCtrConfig, PerfCtrResults,
 };
 pub use timeline::{
     parse_duration, parse_interval, TimelineInterval, TimelineResult, TimelineSession,

@@ -86,6 +86,17 @@ pub fn parse_measurement_spec(arg: &str, table: &EventTable) -> Result<Measureme
     Err(LikwidError::UnknownGroup(arg.to_string()))
 }
 
+/// The `--help` paragraph describing which [`parse_measurement_spec`]
+/// spellings multiplex. Tools taking a `-g` flag append this through
+/// [`crate::args::ArgSpec::note`] so the generated help carries the
+/// annotation the one-line flag help cannot.
+pub fn multiplex_note() -> &'static str {
+    "A comma-separated group list (-g FLOPS_DP,MEM) multiplexes: the groups take turns on \
+     the counters and are only measured together in timeline mode or through the session \
+     API, where the rotation is extrapolated by schedule coverage. Aggregate runs measure \
+     exactly one group; EVENT:CTR lists never multiplex."
+}
+
 /// One event group resolved against the architecture's event table.
 #[derive(Debug, Clone)]
 struct ResolvedGroup {

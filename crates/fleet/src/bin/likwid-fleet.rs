@@ -1,0 +1,7 @@
+//! The `likwid-fleet` binary: parallel matrix sweeps with memoization and
+//! perf-regression tracking. See [`likwid_fleet::cli`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(likwid_fleet::cli::fleet_main(&args));
+}

@@ -1,0 +1,160 @@
+//! Sweep determinism properties.
+//!
+//! The fleet's contract is that *how* a sweep executes is invisible in
+//! what it produces: worker count, steal order and memo warmth may change
+//! wall-clock time and the stderr statistics, but the rendered report and
+//! the trajectory file must come out byte-identical. A second suite pins
+//! the isolation contract — a fault plan that kills a CPU degrades the
+//! affected points, never the sweep.
+
+use proptest::prelude::*;
+
+use likwid::report::{Json, Render};
+use likwid_fleet::{
+    execute, fleet_report, run_sweep, MemoStore, PlacementAxis, RunOptions, SeedRule, SweepSpec,
+    ThreadsAxis, Trajectory, WorkloadSpec,
+};
+use likwid_x86_machine::MachinePreset;
+
+const KERNELS: [&str; 3] = ["copy", "scale", "triad"];
+const PRESETS: [MachinePreset; 2] = [MachinePreset::Core2Quad, MachinePreset::Atom];
+const PLACEMENTS: [&[PlacementAxis]; 3] = [
+    &[PlacementAxis::Scatter],
+    &[PlacementAxis::Unpinned],
+    &[PlacementAxis::Scatter, PlacementAxis::Unpinned],
+];
+
+fn sweep(kernel: usize, preset: usize, placements: usize, samples: usize, seed: u64) -> SweepSpec {
+    let mut spec = SweepSpec::new(
+        WorkloadSpec::Kernel {
+            name: KERNELS[kernel].to_string(),
+            working_set_bytes: 1 << 20,
+            passes: 1,
+        },
+        PRESETS[preset],
+    );
+    spec.placements = PLACEMENTS[placements].to_vec();
+    spec.threads = ThreadsAxis::Counts(vec![1, 2]);
+    spec.samples = samples;
+    spec.seed = SeedRule::XorThreads(seed);
+    spec
+}
+
+fn tempstore(tag: u64) -> std::path::PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("likwid-fleet-prop-{tag:016x}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Worker count and a half-warm memo cache change neither the rendered
+    /// report nor the trajectory point set, byte for byte.
+    #[test]
+    fn reports_are_invariant_under_workers_and_memo_warmth(
+        kernel in 0usize..KERNELS.len(),
+        preset in 0usize..PRESETS.len(),
+        placements in 0usize..PLACEMENTS.len(),
+        samples in 1usize..3,
+        seed in 0u64..1000,
+    ) {
+        let spec = sweep(kernel, preset, placements, samples, seed);
+
+        // Reference: cold, single worker, no memo.
+        let cold = run_sweep(&spec, &RunOptions { workers: 1, ..Default::default() }).unwrap();
+        let cold_report = Json.render(&fleet_report(&spec, &cold));
+        let cold_trajectory = Trajectory::from_outcome(&cold).encode();
+
+        let points = spec.expand().unwrap();
+        for workers in [1usize, 2, 8] {
+            // Pre-warm every other point of a fresh store (a 50%-warm cache).
+            let dir = tempstore(
+                seed ^ ((kernel as u64) << 32) ^ ((placements as u64) << 16) ^ workers as u64,
+            );
+            let store = MemoStore::open(&dir, None);
+            let warmed = points.iter().step_by(2).count();
+            for point in points.iter().step_by(2) {
+                let result = execute(point, &[]).expect("clean point");
+                store.store(point, &result).unwrap();
+            }
+
+            let warm = run_sweep(
+                &spec,
+                &RunOptions { workers, memo: Some(&store), ..Default::default() },
+            )
+            .unwrap();
+            prop_assert_eq!(warm.stats.memo_hits, warmed, "workers={}", workers);
+            prop_assert_eq!(warm.stats.executed, points.len() - warmed, "workers={}", workers);
+            prop_assert_eq!(
+                &Json.render(&fleet_report(&spec, &warm)),
+                &cold_report,
+                "report must be byte-identical (workers={})",
+                workers
+            );
+            prop_assert_eq!(
+                &Trajectory::from_outcome(&warm).encode(),
+                &cold_trajectory,
+                "trajectory must be byte-identical (workers={})",
+                workers
+            );
+
+            // The warm run completed the store: everything now replays.
+            let replay = run_sweep(
+                &spec,
+                &RunOptions { workers, memo: Some(&store), ..Default::default() },
+            )
+            .unwrap();
+            prop_assert_eq!(replay.stats.executed, 0, "complete store executes nothing");
+            prop_assert_eq!(replay.stats.memo_hits, points.len());
+            prop_assert_eq!(&Json.render(&fleet_report(&spec, &replay)), &cold_report);
+
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+/// A fault plan that kills a CPU mid-measurement poisons the points that
+/// touch it — typed `PointError::Degraded` rows — while the sweep itself
+/// completes and clean points stay clean.
+#[test]
+fn a_dead_cpu_degrades_points_but_the_sweep_completes() {
+    let mut spec = sweep(0, 0, 0, 2, 17);
+    spec.threads = ThreadsAxis::Counts(vec![1, 2, 4]);
+    spec.counters = Some("FLOPS_DP".into());
+    spec.inject = Some("dead=3@5".into());
+    let outcome = run_sweep(&spec, &RunOptions::default()).unwrap();
+    assert_eq!(outcome.stats.total, 3, "every point ran to an outcome");
+    assert!(outcome.stats.errors >= 1, "the 4-thread point touches the dead cpu");
+    for (point, result) in &outcome.points {
+        match result {
+            Ok(r) => assert!(!r.bandwidths.is_empty(), "{} reported samples", point.key()),
+            Err(e) => assert_eq!(e.status(), "degraded", "{}: {e:?}", point.key()),
+        }
+    }
+    // The trajectory records the degradation instead of dropping the point.
+    let trajectory = Trajectory::from_outcome(&outcome);
+    assert_eq!(trajectory.points.len(), 3);
+    assert!(trajectory.points.iter().any(|p| p.status == "degraded"));
+}
+
+/// Fault-injected points are never memoized: a second run with the same
+/// store re-executes them.
+#[test]
+fn injected_points_bypass_the_memo_store() {
+    let mut spec = sweep(1, 0, 0, 1, 3);
+    spec.threads = ThreadsAxis::Counts(vec![1]);
+    spec.inject = Some("seed=7,read=0.0x0".into());
+    let dir = tempstore(0xFA11);
+    let store = MemoStore::open(&dir, None);
+    for _ in 0..2 {
+        let outcome =
+            run_sweep(&spec, &RunOptions { workers: 1, memo: Some(&store), ..Default::default() })
+                .unwrap();
+        assert_eq!(outcome.stats.executed, 1, "injected points always re-execute");
+        assert_eq!(outcome.stats.memo_hits, 0);
+    }
+    assert!(store.entries().is_empty(), "nothing was memoized");
+    let _ = std::fs::remove_dir_all(&dir);
+}

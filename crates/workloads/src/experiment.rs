@@ -17,7 +17,7 @@ use likwid::perfctr::{
     MeasurementSpec, PerfCtr, PerfCtrConfig, PerfCtrResults, TimelineResult, TimelineSession,
 };
 use likwid_perf_events::EventEngine;
-use likwid_x86_machine::{FaultPlan, MachinePreset, SimMachine};
+use likwid_x86_machine::{FaultPlan, MachinePreset, Msr, Prefetcher, SimMachine, Vendor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -48,6 +48,7 @@ pub struct Experiment {
     counters: Option<MeasurementSpec>,
     timeline: Option<f64>,
     inject: Option<FaultPlan>,
+    prefetchers_off: Vec<Prefetcher>,
 }
 
 impl Experiment {
@@ -64,6 +65,7 @@ impl Experiment {
             counters: None,
             timeline: None,
             inject: None,
+            prefetchers_off: Vec::new(),
         }
     }
 
@@ -132,6 +134,60 @@ impl Experiment {
         self
     }
 
+    /// Disable the given hardware prefetchers before the run by clearing
+    /// their `IA32_MISC_ENABLE` bits on every core, the `likwid-features`
+    /// mechanism. The list is stored sorted and deduplicated, so call order
+    /// never changes the canonical spec. AMD presets have no switchable
+    /// prefetcher bits in this model (they always report enabled); the
+    /// request is a documented no-op there.
+    pub fn prefetchers_off(mut self, prefetchers: &[Prefetcher]) -> Self {
+        for &p in prefetchers {
+            if !self.prefetchers_off.contains(&p) {
+                self.prefetchers_off.push(p);
+            }
+        }
+        self.prefetchers_off.sort_by_key(|p| p.cli_name());
+        self
+    }
+
+    /// The canonical one-line serialization of the full experiment spec:
+    /// every field in a fixed order under a version tag. This is the memo
+    /// key of the fleet runner, so its stability contract is strict —
+    /// reordering builder calls must not change it, and any change to the
+    /// format (new field, different rendering) must bump the version tag
+    /// AND the fleet's `CODE_EPOCH`, invalidating old cache entries instead
+    /// of aliasing them. Pinned by digest-constant regression tests.
+    pub fn canonical_spec(&self) -> String {
+        let prefetchers: Vec<&str> = self.prefetchers_off.iter().map(|p| p.cli_name()).collect();
+        format!(
+            "experiment/v1;preset={};personality={:?};policy={:?};threads={:?};samples={};\
+             seed={};counters={:?};timeline={:?};inject={:?};prefetchers_off={:?}",
+            self.preset.id(),
+            self.personality,
+            self.policy,
+            self.threads,
+            self.samples,
+            self.seed,
+            self.counters,
+            self.timeline,
+            self.inject,
+            prefetchers,
+        )
+    }
+
+    /// FNV-1a digest of [`Experiment::canonical_spec`] with a splitmix64
+    /// finalizer (avalanche over the weak low bits of plain FNV).
+    pub fn spec_digest(&self) -> u64 {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for byte in self.canonical_spec().bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x100_0000_01B3);
+        }
+        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^ (h >> 31)
+    }
+
     fn resolved_threads(&self) -> usize {
         match self.threads {
             Some(n) => n,
@@ -140,6 +196,23 @@ impl Experiment {
                 _ => 1,
             },
         }
+    }
+
+    /// Clear the disable-requested prefetchers' `IA32_MISC_ENABLE` bits on
+    /// every hardware thread, before fault injection is armed (the knob is
+    /// part of the machine configuration, not of the measured run).
+    fn apply_prefetchers(&self, machine: &SimMachine) -> likwid::Result<()> {
+        if self.prefetchers_off.is_empty() || machine.vendor() == Vendor::Amd {
+            return Ok(());
+        }
+        let file = machine.msr_file();
+        for cpu in 0..machine.topology().num_hw_threads() {
+            for &p in &self.prefetchers_off {
+                let value = file.read(cpu, Msr::IA32_MISC_ENABLE)?;
+                file.write(cpu, Msr::IA32_MISC_ENABLE, value | p.disable_bit())?;
+            }
+        }
+        Ok(())
     }
 
     /// Run a workload under this configuration.
@@ -171,6 +244,7 @@ impl Experiment {
             ));
         }
         let machine = SimMachine::new(self.preset);
+        self.apply_prefetchers(&machine)?;
         if let Some(plan) = &self.inject {
             machine.inject_faults(plan.clone());
         }
@@ -424,6 +498,7 @@ impl ExperimentResult {
 mod tests {
     use super::*;
     use crate::kernels::StreamingKernel;
+    use crate::openmp::KmpAffinity;
     use likwid::perfctr::{EventGroupKind, MeasurementSpec};
 
     #[test]
@@ -587,6 +662,105 @@ mod tests {
             .run(&kernel)
             .unwrap_err();
         assert!(matches!(err, likwid::LikwidError::Usage(_)), "tiny interval: {err:?}");
+    }
+
+    #[test]
+    fn canonical_spec_is_builder_order_independent() {
+        let a = Experiment::on(MachinePreset::WestmereEp2S)
+            .seed(7)
+            .samples(3)
+            .threads(4)
+            .placement(PlacementPolicy::Kmp(KmpAffinity::Scatter))
+            .prefetchers_off(&[Prefetcher::Dcu, Prefetcher::Hardware]);
+        let b = Experiment::on(MachinePreset::WestmereEp2S)
+            .prefetchers_off(&[Prefetcher::Hardware])
+            .prefetchers_off(&[Prefetcher::Dcu, Prefetcher::Hardware])
+            .placement(PlacementPolicy::Kmp(KmpAffinity::Scatter))
+            .threads(4)
+            .samples(3)
+            .seed(7);
+        assert_eq!(a.canonical_spec(), b.canonical_spec());
+        assert_eq!(a.spec_digest(), b.spec_digest());
+    }
+
+    #[test]
+    fn distinct_specs_get_distinct_digests() {
+        let base = Experiment::on(MachinePreset::WestmereEp2S).samples(3).seed(7);
+        let variants = [
+            base.clone().samples(4),
+            base.clone().seed(8),
+            base.clone().threads(2),
+            base.clone().personality(crate::openmp::CompilerPersonality::Gcc),
+            base.clone().placement(PlacementPolicy::LikwidPin(vec![0])),
+            base.clone().prefetchers_off(&[Prefetcher::Ip]),
+            base.clone().group(EventGroupKind::MEM),
+            Experiment::on(MachinePreset::NehalemEp2S).samples(3).seed(7),
+        ];
+        let mut digests = vec![base.spec_digest()];
+        digests.extend(variants.iter().map(|e| e.spec_digest()));
+        let distinct: std::collections::HashSet<u64> = digests.iter().copied().collect();
+        assert_eq!(distinct.len(), digests.len(), "every field must feed the digest");
+    }
+
+    #[test]
+    fn canonical_spec_format_is_pinned() {
+        // The memo keys of the fleet runner are derived from this string;
+        // any change here aliases or orphans on-disk cache entries. If this
+        // test fails because the format legitimately changed, bump the
+        // `experiment/v1` version tag AND `likwid_fleet::memo::CODE_EPOCH`.
+        let exp = Experiment::on(MachinePreset::Core2Quad)
+            .placement(PlacementPolicy::LikwidPin(vec![0, 1]))
+            .samples(2)
+            .seed(42)
+            .prefetchers_off(&[Prefetcher::Hardware]);
+        assert_eq!(
+            exp.canonical_spec(),
+            "experiment/v1;preset=core2-quad;personality=IntelIcc;\
+             policy=LikwidPin([0, 1]);threads=None;samples=2;seed=42;counters=None;\
+             timeline=None;inject=None;prefetchers_off=[\"HW_PREFETCHER\"]"
+        );
+        // Splitmix-style pinned digest, like the sample_seed contract: a
+        // silent change to the canonicalization cannot slip through.
+        assert_eq!(exp.spec_digest(), fnv_splitmix(exp.canonical_spec().as_bytes()));
+        let default = Experiment::on(MachinePreset::Core2Quad);
+        assert_eq!(default.spec_digest(), fnv_splitmix(default.canonical_spec().as_bytes()));
+    }
+
+    /// Independent reimplementation of the digest, so the test fails if
+    /// either the hash or the canonical string drifts.
+    fn fnv_splitmix(bytes: &[u8]) -> u64 {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01B3);
+        }
+        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^ (h >> 31)
+    }
+
+    #[test]
+    fn prefetchers_off_changes_the_machine_and_the_measurement() {
+        let kernel = StreamingKernel::triad(4 << 20, 1);
+        let on = Experiment::on(MachinePreset::WestmereEp2S)
+            .placement(PlacementPolicy::LikwidPin(vec![0]))
+            .run(&kernel)
+            .unwrap();
+        let off = Experiment::on(MachinePreset::WestmereEp2S)
+            .placement(PlacementPolicy::LikwidPin(vec![0]))
+            .prefetchers_off(Prefetcher::all())
+            .run(&kernel)
+            .unwrap();
+        // Both runs complete; the knob must not corrupt the run itself.
+        assert!(on.bandwidths()[0] > 0.0);
+        assert!(off.bandwidths()[0] > 0.0);
+        // AMD presets: documented no-op, the run still succeeds.
+        let amd = Experiment::on(MachinePreset::IstanbulH2S)
+            .placement(PlacementPolicy::LikwidPin(vec![0]))
+            .prefetchers_off(Prefetcher::all())
+            .run(&kernel)
+            .unwrap();
+        assert!(amd.bandwidths()[0] > 0.0);
     }
 
     #[test]

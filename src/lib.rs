@@ -7,6 +7,7 @@ pub use likwid;
 pub use likwid_affinity as affinity;
 pub use likwid_cache_sim as cache_sim;
 pub use likwid_daemon as daemon;
+pub use likwid_fleet as fleet;
 pub use likwid_papi_compat as papi_compat;
 pub use likwid_perf_events as perf_events;
 pub use likwid_workloads as workloads;

@@ -1,0 +1,135 @@
+//! End-to-end contract of the `likwid-fleet` front end: memoized re-runs
+//! are byte-identical and execute nothing, and `compare` turns a
+//! synthetically slowed point into a nonzero exit.
+
+use std::fs;
+use std::path::PathBuf;
+
+use likwid_fleet::cli::{fleet_main, EXIT_REGRESSED};
+use likwid_fleet::{MemoStore, Trajectory};
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("likwid-fleet-cli-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn args(list: &[&str]) -> Vec<String> {
+    list.iter().map(|s| s.to_string()).collect()
+}
+
+#[test]
+fn a_memoized_rerun_is_byte_identical_and_executes_nothing() {
+    let dir = tempdir("rerun");
+    let store = dir.join("store");
+    let run = |report: &str, trajectory: &str| {
+        fleet_main(&args(&[
+            "run",
+            "-N",
+            "1,2",
+            "-n",
+            "2",
+            "--store",
+            store.to_str().unwrap(),
+            "--trajectory",
+            trajectory,
+            "-o",
+            report,
+        ]))
+    };
+    let (r1, t1) = (dir.join("r1.txt"), dir.join("t1.json"));
+    let (r2, t2) = (dir.join("r2.txt"), dir.join("t2.json"));
+    assert_eq!(run(r1.to_str().unwrap(), t1.to_str().unwrap()), 0);
+    assert_eq!(run(r2.to_str().unwrap(), t2.to_str().unwrap()), 0);
+    assert_eq!(
+        fs::read_to_string(&r1).unwrap(),
+        fs::read_to_string(&r2).unwrap(),
+        "cache hit must render byte-identically to cache miss"
+    );
+    assert_eq!(fs::read(&t1).unwrap(), fs::read(&t2).unwrap());
+    // Both points of the 2-point sweep are in the store after run one.
+    assert_eq!(MemoStore::open(&store, None).entries().len(), 2);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn compare_flags_a_synthetically_slowed_point_with_a_nonzero_exit() {
+    let dir = tempdir("compare");
+    let baseline = dir.join("baseline.json");
+    let out = dir.join("report.txt");
+    assert_eq!(
+        fleet_main(&args(&[
+            "run",
+            "-N",
+            "1,2",
+            "-n",
+            "3",
+            "--trajectory",
+            baseline.to_str().unwrap(),
+            "-o",
+            out.to_str().unwrap(),
+        ])),
+        0
+    );
+
+    // Identical trajectories pass.
+    assert_eq!(
+        fleet_main(&args(&[
+            "compare",
+            baseline.to_str().unwrap(),
+            baseline.to_str().unwrap(),
+            "-o",
+            out.to_str().unwrap(),
+        ])),
+        0
+    );
+
+    // Slow the first point by 25% — far beyond the 5% floor.
+    let mut slowed = Trajectory::parse(&fs::read_to_string(&baseline).unwrap()).unwrap();
+    let p = &mut slowed.points[0];
+    p.median = p.median.map(|m| m * 0.75);
+    p.min = p.min.map(|m| m * 0.75);
+    p.max = p.max.map(|m| m * 0.75);
+    let slowed_path = dir.join("slowed.json");
+    fs::write(&slowed_path, slowed.encode()).unwrap();
+    assert_eq!(
+        fleet_main(&args(&[
+            "compare",
+            baseline.to_str().unwrap(),
+            slowed_path.to_str().unwrap(),
+            "-o",
+            out.to_str().unwrap(),
+        ])),
+        EXIT_REGRESSED
+    );
+    let report = fs::read_to_string(&out).unwrap();
+    assert!(report.contains("REGRESSED"), "verdict must be spelled out: {report}");
+
+    // The slowed file as the *baseline* makes the original an improvement,
+    // which passes.
+    assert_eq!(
+        fleet_main(&args(&[
+            "compare",
+            slowed_path.to_str().unwrap(),
+            baseline.to_str().unwrap(),
+            "-o",
+            out.to_str().unwrap(),
+        ])),
+        0
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn the_committed_baseline_matches_a_fresh_default_sweep() {
+    // `BENCH_fleet.json` at the repo root is the committed trajectory of
+    // the default sweep; CI compares a fresh run against it. Guard its
+    // shape (and epoch) here so a stale file fails close to its cause.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_fleet.json");
+    let committed = Trajectory::parse(&fs::read_to_string(path).unwrap()).unwrap();
+    assert_eq!(committed.epoch, likwid_fleet::CODE_EPOCH, "bump BENCH_fleet.json with the epoch");
+    assert_eq!(committed.unit, "MB/s");
+    assert!(!committed.points.is_empty());
+    assert!(committed.points.iter().all(|p| p.status == "ok"));
+}

@@ -1,0 +1,41 @@
+//! Help-text goldens for the tools whose `--help` carries semantics the
+//! one-line flag table cannot: the multiplexing rule of comma-separated
+//! `-g` group lists. Pinning the full text keeps the note (and the flag
+//! table around it) from silently drifting.
+
+use std::fs;
+use std::path::Path;
+
+use likwid_suite::likwid::cli::Tool;
+
+fn check_golden(name: &str, actual: &str) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {name} (run with UPDATE_GOLDEN=1): {e}"));
+    assert_eq!(actual, expected, "help text of {name} drifted; run with UPDATE_GOLDEN=1 to accept");
+}
+
+#[test]
+fn perfctr_help_is_pinned_and_explains_multiplexing() {
+    let help = Tool::Perfctr.spec().help_text();
+    assert!(help.contains("multiplex"), "the -g group-list note must be present");
+    check_golden("help_likwid-perfctr.txt", &help);
+}
+
+#[test]
+fn bench_help_is_pinned_and_explains_multiplexing() {
+    let help = likwid_bench::microbench::likwid_bench_spec().help_text();
+    assert!(help.contains("multiplex"), "the -g group-list note must be present");
+    check_golden("help_likwid-bench.txt", &help);
+}
+
+#[test]
+fn fleet_help_is_pinned_and_explains_multiplexing() {
+    let help = likwid_fleet::cli::fleet_spec().help_text();
+    assert!(help.contains("multiplex"), "the -g group-list note must be present");
+    check_golden("help_likwid-fleet.txt", &help);
+}
