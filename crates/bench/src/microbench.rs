@@ -30,33 +30,40 @@ use likwid_workloads::{Experiment, PlacementPolicy};
 
 /// The argument specification of the `likwid-bench` binary.
 pub fn likwid_bench_spec() -> ArgSpec {
-    ArgSpec::new("likwid-bench", "run a microbenchmark kernel on a simulated machine")
-        .machine_flag()
-        .flag("-t", None, Some("kernel"), "the kernel to run (see -a for the registry)")
-        .flag("-w", None, Some("size"), "working set size, e.g. 64MB (default 16MB)")
-        .flag("-c", None, Some("pinlist"), "hardware threads to run on (default S0:0)")
-        .flag("-g", None, Some("group|EVENT:CTR,..."), "measure the run with this counter group")
-        .flag("-i", None, Some("iters"), "passes over the working set (default 1)")
-        .flag("-a", None, None, "list the registered kernels")
-        .flag(
-            "-W",
-            None,
-            Some("workers"),
-            "simulation worker threads for sharded kernels (default 1; never changes results)",
-        )
-        .flag(
-            "-T",
-            None,
-            Some("interval"),
-            "timeline: sample the counters every <interval> of virtual time (requires -g)",
-        )
-        .flag(
-            "--inject",
-            None,
-            Some("spec"),
-            "inject faults into the MSR substrate (e.g. seed=7,read=0.2x3,stuck=0x186@0)",
-        )
-        .note(likwid::perfctr::multiplex_note())
+    likwid::trace::trace_flag(
+        ArgSpec::new("likwid-bench", "run a microbenchmark kernel on a simulated machine")
+            .machine_flag()
+            .flag("-t", None, Some("kernel"), "the kernel to run (see -a for the registry)")
+            .flag("-w", None, Some("size"), "working set size, e.g. 64MB (default 16MB)")
+            .flag("-c", None, Some("pinlist"), "hardware threads to run on (default S0:0)")
+            .flag(
+                "-g",
+                None,
+                Some("group|EVENT:CTR,..."),
+                "measure the run with this counter group",
+            )
+            .flag("-i", None, Some("iters"), "passes over the working set (default 1)")
+            .flag("-a", None, None, "list the registered kernels")
+            .flag(
+                "-W",
+                None,
+                Some("workers"),
+                "simulation worker threads for sharded kernels (default 1; never changes results)",
+            )
+            .flag(
+                "-T",
+                None,
+                Some("interval"),
+                "timeline: sample the counters every <interval> of virtual time (requires -g)",
+            )
+            .flag(
+                "--inject",
+                None,
+                Some("spec"),
+                "inject faults into the MSR substrate (e.g. seed=7,read=0.2x3,stuck=0x186@0)",
+            ),
+    )
+    .note(likwid::perfctr::multiplex_note())
 }
 
 /// Build the report of one `likwid-bench` invocation.

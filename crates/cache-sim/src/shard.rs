@@ -43,6 +43,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
 
+use likwid::trace;
+
 use crate::access::{AccessKind, HitLevel};
 use crate::config::HierarchyConfig;
 use crate::hierarchy::NodeCacheSystem;
@@ -249,6 +251,7 @@ impl WorkerPool {
                 while let Ok(Job { shard, mut sys, ops }) = rx.recv() {
                     let mut worst = HitLevel::L1;
                     let mut done = 0usize;
+                    let started = trace::now();
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
                         for &(thread, op) in &ops {
                             let level = sys
@@ -259,6 +262,17 @@ impl WorkerPool {
                             done += 1;
                         }
                     }));
+                    trace::complete_since(
+                        trace::cat::CACHESIM,
+                        started,
+                        || "shard.replay".to_string(),
+                        || vec![("shard", shard.to_string()), ("ops", ops.len().to_string())],
+                    );
+                    // Pool threads outlive the recording: hand the span to
+                    // the sink now instead of at thread exit.
+                    if trace::enabled() {
+                        trace::flush_thread();
+                    }
                     let outcome = match outcome {
                         Ok(()) => Ok(worst),
                         Err(payload) => Err((done, panic_message(payload))),
@@ -555,9 +569,11 @@ impl ShardedCacheSystem {
             }
         }
 
+        let epoch_started = trace::now();
         if !conflict {
             if multi {
                 self.epochs_parallel += 1;
+                trace::count(trace::cat::CACHESIM, "epochs_parallel", 1);
             }
             if multi && self.workers > 1 {
                 let worker_count = self.workers.min(num_shards);
@@ -630,6 +646,7 @@ impl ShardedCacheSystem {
             }
         } else {
             self.epochs_serial += 1;
+            trace::count(trace::cat::CACHESIM, "epochs_serial", 1);
             let mut lines = std::mem::take(&mut self.scratch_lines);
             for &(thread, op) in epoch {
                 let shard = self.plan.shard_of_thread[thread];
@@ -662,9 +679,24 @@ impl ShardedCacheSystem {
                             sys.invalidate_external(line);
                         }
                     }
+                    trace::count(
+                        trace::cat::CACHESIM,
+                        "cross_shard_invalidations",
+                        (lines.len() * (num_shards - 1)) as i64,
+                    );
                 }
             }
             self.scratch_lines = lines;
+        }
+        // The classification span covers dispatch, replay and merge of the
+        // whole epoch; single-shard epochs are not classified at all.
+        if multi || conflict {
+            trace::complete_since(
+                trace::cat::CACHESIM,
+                epoch_started,
+                || if conflict { "epoch.serial" } else { "epoch.parallel" }.to_string(),
+                || vec![("shards", active.len().to_string()), ("ops", epoch.len().to_string())],
+            );
         }
         worst
     }

@@ -356,7 +356,21 @@ pub fn drive(
         return Ok(Invocation::Help(spec.help_text()));
     }
     let target = parsed.output()?;
-    let report = build(&parsed)?;
+    // Tools whose spec carries `--trace` (see `trace::trace_flag`) record
+    // the build; the trace file and stderr rollup never touch the report.
+    let trace_sink = crate::trace::begin_cli(&parsed)?;
+    let report = match build(&parsed) {
+        Ok(report) => report,
+        Err(e) => {
+            if trace_sink.is_some() {
+                let _ = crate::trace::stop();
+            }
+            return Err(e);
+        }
+    };
+    if let Some(sink) = trace_sink {
+        sink.finish()?;
+    }
     Ok(Invocation::Rendered { text: target.format.render(&report), target })
 }
 

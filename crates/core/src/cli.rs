@@ -55,31 +55,34 @@ impl Tool {
             .machine_flag()
             .flag("-c", None, None, "print extended cache parameters")
             .flag("-g", None, None, "print the cache hierarchy as ASCII art"),
-            Tool::Perfctr => ArgSpec::new(
-                "likwid-perfctr",
-                "configure hardware performance counter measurements",
-            )
-            .machine_flag()
-            .flag("-c", None, Some("cpus"), "hardware threads to measure")
-            .flag("-g", None, Some("group|EVENT:CTR,..."), "event group or custom event set")
-            .flag("-a", None, None, "list the event groups available on the machine")
-            .flag(
-                "-t",
-                None,
-                Some("interval"),
-                "timeline mode: sample the counters every <interval> of virtual time (e.g. 1ms)",
-            )
-            .flag(
-                "-S",
-                None,
-                Some("duration"),
-                "stethoscope mode: measure for <duration> of virtual time and report",
-            )
-            .flag(
-                "--inject",
-                None,
-                Some("spec"),
-                "inject faults into the MSR substrate (e.g. seed=7,read=0.2x3,stuck=0x186@0)",
+            Tool::Perfctr => crate::trace::trace_flag(
+                ArgSpec::new(
+                    "likwid-perfctr",
+                    "configure hardware performance counter measurements",
+                )
+                .machine_flag()
+                .flag("-c", None, Some("cpus"), "hardware threads to measure")
+                .flag("-g", None, Some("group|EVENT:CTR,..."), "event group or custom event set")
+                .flag("-a", None, None, "list the event groups available on the machine")
+                .flag(
+                    "-t",
+                    None,
+                    Some("interval"),
+                    "timeline mode: sample the counters every <interval> of virtual time (e.g. \
+                     1ms)",
+                )
+                .flag(
+                    "-S",
+                    None,
+                    Some("duration"),
+                    "stethoscope mode: measure for <duration> of virtual time and report",
+                )
+                .flag(
+                    "--inject",
+                    None,
+                    Some("spec"),
+                    "inject faults into the MSR substrate (e.g. seed=7,read=0.2x3,stuck=0x186@0)",
+                ),
             )
             .note(crate::perfctr::multiplex_note()),
             Tool::Pin => ArgSpec::new(

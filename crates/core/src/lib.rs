@@ -24,6 +24,9 @@
 //! * [`args`] — the declarative [`args::ArgSpec`] command-line parser shared
 //!   by every binary (including the common `-O`/`-o` output switches).
 //! * [`cli`] — the four tool front ends on top of [`args`] and [`report`].
+//! * [`trace`] — the process-wide self-observability recorder: spans and
+//!   counters across the suite's concurrent subsystems, exported as Chrome
+//!   trace-event JSON or folded flamegraph stacks via `--trace <file>`.
 
 pub mod args;
 pub mod cli;
@@ -35,6 +38,7 @@ pub mod perfctr;
 pub mod pin;
 pub mod report;
 pub mod topology;
+pub mod trace;
 
 pub use args::{ArgSpec, ParsedArgs};
 pub use error::{LikwidError, Result};

@@ -268,6 +268,7 @@ pub struct PerfCtr<'m> {
 impl<'m> PerfCtr<'m> {
     /// Create a session.
     pub fn new(machine: &'m SimMachine, config: PerfCtrConfig) -> Result<Self> {
+        let setup_started = crate::trace::now();
         if config.cpus.is_empty() {
             return Err(LikwidError::Usage("no hardware threads selected (-c)".into()));
         }
@@ -360,6 +361,17 @@ impl<'m> PerfCtr<'m> {
             suspended: false,
         };
         session.program_group(0)?;
+        crate::trace::complete_since(
+            crate::trace::cat::CORE,
+            setup_started,
+            || "session.setup".to_string(),
+            || {
+                vec![
+                    ("cpus", format!("{:?}", session.cpus)),
+                    ("groups", session.groups.len().to_string()),
+                ]
+            },
+        );
         Ok(session)
     }
 

@@ -147,6 +147,22 @@ impl<'m> TimelineSession<'m> {
             group: self.session.active_group(),
             counts,
         };
+        // The interval on the session's *virtual* clock: a complete event
+        // on the virtual track of the first measured cpu, timestamped from
+        // the deterministic timeline instead of the wall clock.
+        if crate::trace::enabled() {
+            let track = self.session.cpus().first().copied().unwrap_or(0) as u64;
+            let index = self.intervals.len();
+            let group = interval.group;
+            crate::trace::complete_virtual(
+                crate::trace::cat::CORE,
+                track,
+                (interval.t_start_s * 1e9) as u64,
+                (dt_s * 1e9) as u64,
+                || "timeline.interval".to_string(),
+                || vec![("index", index.to_string()), ("group", group.to_string())],
+            );
+        }
         self.intervals.push(interval.clone());
         self.elapsed_s += dt_s;
         if self.session.num_groups() > 1 {

@@ -23,7 +23,7 @@ use likwid_daemon::SocketClient;
 use likwid_x86_machine::{FaultPlan, SimMachine};
 
 fn spec() -> ArgSpec {
-    ArgSpec::new(
+    let spec = ArgSpec::new(
         "likwid-perfctrd",
         "measurement daemon: concurrent live-streaming counter sessions over a Unix socket",
     )
@@ -34,12 +34,14 @@ fn spec() -> ArgSpec {
     .flag("-g", None, Some("group|EVENT:CTR,..."), "client: event group(s) or custom event set")
     .flag("-t", None, Some("interval"), "client: sampling interval (e.g. 1ms)")
     .flag("-S", None, Some("duration"), "client: measurement duration (e.g. 10ms)")
+    .flag("--status", None, None, "client: print the daemon's observability snapshot and exit")
     .flag(
         "--inject",
         None,
         Some("spec"),
         "serve: inject faults into the MSR substrate (e.g. seed=7,read=0.2x3)",
-    )
+    );
+    likwid::trace::trace_flag(spec)
 }
 
 fn run(args: &[String]) -> Result<String> {
@@ -48,7 +50,8 @@ fn run(args: &[String]) -> Result<String> {
     if parsed.help_requested() {
         return Ok(spec.help_text());
     }
-    match (parsed.value("--socket"), parsed.value("--connect")) {
+    let trace_sink = likwid::trace::begin_cli(&parsed)?;
+    let text = match (parsed.value("--socket"), parsed.value("--connect")) {
         (Some(path), None) => {
             let preset = likwid::cli::parse_machine(&parsed)?;
             let machine = SimMachine::new(preset);
@@ -67,10 +70,19 @@ fn run(args: &[String]) -> Result<String> {
             "exactly one of --socket <path> (serve) or --connect <path> (client) is required"
                 .into(),
         )),
+    }?;
+    if let Some(sink) = trace_sink {
+        sink.finish()?;
     }
+    Ok(text)
 }
 
 fn run_client(parsed: &likwid::ParsedArgs, path: &Path) -> Result<String> {
+    if parsed.has("--status") {
+        let (mut client, _hello) = SocketClient::connect(path)?;
+        let status = client.status()?;
+        return Ok(parsed.output()?.format.render(&status.report()));
+    }
     let cpus = parsed.value("-c").unwrap_or("0").to_string();
     let group = parsed
         .value("-g")

@@ -49,6 +49,7 @@ use likwid::perfctr::{
     parse_interval, parse_measurement_spec, MeasurementSpec, PerfCtrConfig, TimelineResult,
     TimelineSession,
 };
+use likwid::trace;
 use likwid::{LikwidError, Result};
 use likwid_affinity::parse_pin_list;
 use likwid_perf_events::{EventEngine, EventSample};
@@ -317,11 +318,20 @@ impl<'m> Daemon<'m> {
             state.peak_live = state.peak_live.max(live);
             id
         };
+        trace::count(trace::cat::DAEMON, "sessions_opened", 1);
+        trace::instant_args(trace::cat::DAEMON, "session.open", || {
+            vec![
+                ("session", id.to_string()),
+                ("cpus", format!("{:?}", config.cpus)),
+                ("uncore", uncore.to_string()),
+            ]
+        });
 
         // Uncore admission: wait until this session heads every queue it is
         // in and no socket it needs is held, then take all its locks
         // atomically and its first ticket.
         if uncore {
+            let acquire_started = trace::now();
             let mut state = self.state.lock().unwrap();
             loop {
                 let granted = sockets.iter().all(|socket| {
@@ -345,6 +355,12 @@ impl<'m> Daemon<'m> {
                 state = self.turn.wait(state).unwrap();
             }
             drop(state);
+            trace::complete_since(
+                trace::cat::DAEMON,
+                acquire_started,
+                || "uncore.acquire".to_string(),
+                || vec![("session", id.to_string()), ("sockets", format!("{sockets:?}"))],
+            );
             self.turn.notify_all();
         }
 
@@ -404,7 +420,9 @@ impl<'m> Daemon<'m> {
     /// admitted, ticket-holding session sharing a cpu has a smaller
     /// ticket.
     fn wait_turn(&self, id: u64) {
+        let wait_started = trace::now();
         let mut state = self.state.lock().unwrap();
+        let mut waited = false;
         loop {
             let me = state.slots.get(&id).expect("session slot exists until released");
             let my_ticket = match me.phase {
@@ -426,8 +444,20 @@ impl<'m> Daemon<'m> {
                 }
             });
             if !blocked {
+                if waited {
+                    // Only contended turns produce a span: an uncontended
+                    // wait_turn is the common case and would be noise.
+                    drop(state);
+                    trace::complete_since(
+                        trace::cat::DAEMON,
+                        wait_started,
+                        || "ticket.wait".to_string(),
+                        || vec![("session", id.to_string())],
+                    );
+                }
                 return;
             }
+            waited = true;
             state = self.turn.wait(state).unwrap();
         }
     }
@@ -470,10 +500,14 @@ impl<'m> Daemon<'m> {
     /// positions, wake everyone.
     fn release(&self, id: u64, aborted: bool) {
         let mut state = self.state.lock().unwrap();
+        let mut forced = 0i64;
         if let Some(slot) = state.slots.remove(&id) {
             for socket in slot.sockets {
                 if state.uncore_holders.get(&socket) == Some(&id) {
                     state.uncore_holders.remove(&socket);
+                    if aborted {
+                        forced += 1;
+                    }
                 }
                 if let Some(queue) = state.uncore_queues.get_mut(&socket) {
                     queue.retain(|&waiting| waiting != id);
@@ -486,6 +520,19 @@ impl<'m> Daemon<'m> {
             }
         }
         drop(state);
+        if forced > 0 {
+            // An aborted holder's locks are reclaimed by the broker, not
+            // handed back — the event worth spotting in a trace.
+            trace::count(trace::cat::DAEMON, "uncore_force_release", forced);
+        }
+        trace::count(
+            trace::cat::DAEMON,
+            if aborted { "sessions_aborted" } else { "sessions_finished" },
+            1,
+        );
+        trace::instant_args(trace::cat::DAEMON, "session.release", || {
+            vec![("session", id.to_string()), ("aborted", aborted.to_string())]
+        });
         self.turn.notify_all();
     }
 
@@ -503,6 +550,71 @@ impl<'m> Daemon<'m> {
         }
     }
 
+    /// A point-in-time observability snapshot for the wire `status`
+    /// request: active sessions with their phase, per-cpu ticket-queue
+    /// depth, and uncore lock holders/waiters.
+    ///
+    /// Takes only the state mutex — it never waits on the turn condvar, so
+    /// it cannot block (or be blocked by) a measurement turn, and it never
+    /// panics mid-arbitration: every lookup is total over the snapshot.
+    pub fn status(&self) -> DaemonStatus {
+        let state = self.state.lock().unwrap();
+        let mut sessions: Vec<SessionStatus> = state
+            .slots
+            .iter()
+            .map(|(&id, slot)| {
+                let (phase, ticket) = match slot.phase {
+                    Phase::WaitingUncore => ("waiting-uncore", None),
+                    Phase::Running(t) => ("running", Some(t)),
+                    Phase::Parked => ("parked", None),
+                };
+                SessionStatus {
+                    id,
+                    cpus: slot.cpus.clone(),
+                    phase: phase.to_string(),
+                    ticket,
+                    wall_extra_s: slot.wall_extra,
+                }
+            })
+            .collect();
+        sessions.sort_by_key(|s| s.id);
+
+        // Ticket-queue depth per cpu: how many ticket-holding sessions
+        // currently contend for each hardware thread.
+        let mut depth: HashMap<usize, usize> = HashMap::new();
+        for slot in state.slots.values() {
+            if matches!(slot.phase, Phase::Running(_)) {
+                for &cpu in &slot.cpus {
+                    *depth.entry(cpu).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut queue_depth: Vec<(usize, usize)> = depth.into_iter().collect();
+        queue_depth.sort_unstable();
+
+        let mut sockets: Vec<u32> = state
+            .uncore_holders
+            .keys()
+            .copied()
+            .chain(state.uncore_queues.iter().filter(|(_, q)| !q.is_empty()).map(|(&s, _)| s))
+            .collect();
+        sockets.sort_unstable();
+        sockets.dedup();
+        let uncore = sockets
+            .into_iter()
+            .map(|socket| UncoreStatus {
+                socket,
+                holder: state.uncore_holders.get(&socket).copied(),
+                waiters: state
+                    .uncore_queues
+                    .get(&socket)
+                    .map(|q| q.iter().copied().collect())
+                    .unwrap_or_default(),
+            })
+            .collect();
+        DaemonStatus { sessions, queue_depth, uncore }
+    }
+
     /// Whether the broker holds no sessions, no uncore locks and no
     /// waiters — the leak check after stress and abandon tests.
     pub fn is_quiescent(&self) -> bool {
@@ -510,6 +622,93 @@ impl<'m> Daemon<'m> {
         state.slots.is_empty()
             && state.uncore_holders.is_empty()
             && state.uncore_queues.values().all(VecDeque::is_empty)
+    }
+}
+
+/// One active session in a [`DaemonStatus`] snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionStatus {
+    /// Broker-assigned session id.
+    pub id: u64,
+    /// Measured hardware threads.
+    pub cpus: Vec<usize>,
+    /// Lifecycle phase: `waiting-uncore`, `running` or `parked`.
+    pub phase: String,
+    /// The turn ticket, when the session holds one.
+    pub ticket: Option<u64>,
+    /// Foreign virtual time charged so far (seconds).
+    pub wall_extra_s: f64,
+}
+
+/// One socket's uncore lock state in a [`DaemonStatus`] snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UncoreStatus {
+    /// Socket id.
+    pub socket: u32,
+    /// Session currently holding the lock, if any.
+    pub holder: Option<u64>,
+    /// Sessions queued for the lock, in arrival order.
+    pub waiters: Vec<u64>,
+}
+
+/// The broker's observability snapshot (the wire `status` answer).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DaemonStatus {
+    /// Active sessions, id-ordered.
+    pub sessions: Vec<SessionStatus>,
+    /// `(cpu, ticket-holding sessions on it)` pairs, cpu-ordered; cpus
+    /// nobody measures are omitted.
+    pub queue_depth: Vec<(usize, usize)>,
+    /// Uncore lock holders and waiters, socket-ordered; idle sockets are
+    /// omitted.
+    pub uncore: Vec<UncoreStatus>,
+}
+
+impl DaemonStatus {
+    /// Render the snapshot as a typed [`likwid::Report`], so the `--status`
+    /// client rides the suite's ASCII/CSV/JSON renderers.
+    pub fn report(&self) -> likwid::Report {
+        use likwid::report::{Body, Row, Section, Table, Value};
+        let mut report = likwid::Report::new("likwid-perfctrd status");
+        let mut sessions = Table::plain(vec!["session", "cpus", "phase", "ticket", "wall extra s"]);
+        for s in &self.sessions {
+            let cpus: Vec<String> = s.cpus.iter().map(|c| c.to_string()).collect();
+            sessions.push(Row::new(vec![
+                Value::Count(s.id),
+                Value::Str(cpus.join(",")),
+                Value::Str(s.phase.clone()),
+                match s.ticket {
+                    Some(t) => Value::Count(t),
+                    None => Value::Str("-".into()),
+                },
+                Value::Real(s.wall_extra_s),
+            ]));
+        }
+        report.push(
+            Section::new("status.sessions", Body::Table(sessions)).with_heading("Active sessions"),
+        );
+        let mut queues = Table::plain(vec!["cpu", "depth"]);
+        for &(cpu, depth) in &self.queue_depth {
+            queues.push(Row::new(vec![Value::Count(cpu as u64), Value::Count(depth as u64)]));
+        }
+        report.push(
+            Section::new("status.queues", Body::Table(queues)).with_heading("Ticket-queue depth"),
+        );
+        let mut uncore = Table::plain(vec!["socket", "holder", "waiters"]);
+        for u in &self.uncore {
+            let waiters: Vec<String> = u.waiters.iter().map(|w| w.to_string()).collect();
+            uncore.push(Row::new(vec![
+                Value::Count(u64::from(u.socket)),
+                match u.holder {
+                    Some(h) => Value::Count(h),
+                    None => Value::Str("-".into()),
+                },
+                Value::Str(waiters.join(",")),
+            ]));
+        }
+        report
+            .push(Section::new("status.uncore", Body::Table(uncore)).with_heading("Uncore locks"));
+        report
     }
 }
 
@@ -569,6 +768,7 @@ impl<'d, 'm> SessionHandle<'d, 'm> {
             }),
         };
 
+        let window_started = trace::now();
         self.daemon.wait_turn(self.id);
         // Our ticket is minimal on all our cpus: no conflicting session
         // will program or count until we renew it. The credit lock makes
@@ -594,6 +794,15 @@ impl<'d, 'm> SessionHandle<'d, 'm> {
         })();
         let complete = t1 >= self.duration_s;
         self.daemon.end_turn(self.id, dt, complete && outcome.is_ok());
+        // The resume → apply → tick → suspend window, wall-clocked (the
+        // session's own virtual-time intervals come from the timeline).
+        let (id, index) = (self.id, self.index);
+        trace::complete_since(
+            trace::cat::DAEMON,
+            window_started,
+            || "interval.window".to_string(),
+            || vec![("session", id.to_string()), ("index", index.to_string())],
+        );
 
         let frame = outcome?;
         self.t0 = t1;
@@ -620,6 +829,13 @@ impl<'d, 'm> SessionHandle<'d, 'm> {
         };
         self.daemon.release(self.id, false);
         self.released = true;
+        // Coverage scale in permille: a sliced session extrapolates by
+        // >1.0x; solo sessions stay at exactly 1000.
+        trace::count_with(
+            trace::cat::DAEMON,
+            || format!("session{}.coverage_permille", self.id),
+            (time_scale * 1000.0).round() as i64,
+        );
         let result = result?;
         let frame = DoneFrame {
             session: self.id,

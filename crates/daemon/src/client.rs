@@ -215,6 +215,18 @@ impl SocketClient {
         Frame::from_line(&line)
     }
 
+    /// Ask the daemon for its observability snapshot. Answered from the
+    /// broker's state mutex, so it returns promptly even while other
+    /// clients stream measurement sessions.
+    pub fn status(&mut self) -> Result<crate::broker::DaemonStatus> {
+        self.send(&crate::jsonv::obj(vec![("cmd", JsonValue::Str("status".into()))]))?;
+        match self.next_frame()? {
+            Frame::Status(status) => Ok(status),
+            Frame::Error { kind, message } => Err(error_from_frame(&kind, message)),
+            other => Err(LikwidError::Protocol(format!("expected status, got {other:?}"))),
+        }
+    }
+
     /// Open a session and drive it to completion, invoking `on_frame` for
     /// every session frame as it arrives (`opened`, each `interval`, then
     /// `done`) — the live-rendering hook. Returns the accumulated stream.

@@ -10,7 +10,7 @@
 //!   turn arbitration with monotonic tickets, FIFO per-socket uncore
 //!   locks, cross-session time-slicing with coverage extrapolation.
 //! * [`protocol`] — the line-delimited JSON wire protocol (`hello`,
-//!   `open`, `opened`, `interval`, `done`, `error` frames).
+//!   `open`, `opened`, `interval`, `done`, `status`, `error` frames).
 //! * [`client`] — the socket client and [`client::StreamAccumulator`],
 //!   which rebuilds a bit-identical post-mortem
 //!   [`likwid::perfctr::TimelineResult`] from the frame stream.
@@ -23,6 +23,9 @@ pub mod jsonv;
 pub mod protocol;
 pub mod server;
 
-pub use broker::{ActivitySource, BrokerStats, Daemon, SessionConfig, SessionHandle};
+pub use broker::{
+    ActivitySource, BrokerStats, Daemon, DaemonStatus, SessionConfig, SessionHandle, SessionStatus,
+    UncoreStatus,
+};
 pub use client::{SocketClient, StreamAccumulator};
 pub use protocol::{DoneFrame, Frame, IntervalFrame, OpenRequest, OpenedFrame};

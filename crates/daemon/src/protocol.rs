@@ -20,6 +20,12 @@
 //!   scale. Interval frames and the `done` frame together reconstruct the
 //!   complete [`TimelineResult`] bit-identically (see
 //!   [`crate::client::StreamAccumulator`]).
+//! * `status` (command) — ask for an observability snapshot of the broker;
+//!   answered immediately from the state mutex, never blocking (or blocked
+//!   by) a measurement turn.
+//! * `status` (frame) — the snapshot: active sessions with their lifecycle
+//!   phase and turn ticket, per-cpu ticket-queue depth, and uncore lock
+//!   holders/waiters per socket.
 //! * `error` — a structured protocol error; the session broker stays
 //!   healthy and the connection stays open.
 //! * `pong` / `ok` — replies to `ping` and `shutdown`.
@@ -27,6 +33,7 @@
 //! All counter values cross the wire as JSON integers ([`u64`] exactly);
 //! reals use shortest-round-trip encoding, so reconstruction is bit-exact.
 
+use crate::broker::{DaemonStatus, SessionStatus, UncoreStatus};
 use crate::jsonv::{obj, JsonValue};
 use likwid::perfctr::session::{Diagnostic, GroupCounts};
 use likwid::perfctr::{PerfCtrResults, TimelineInterval};
@@ -250,6 +257,8 @@ pub enum Frame {
     Interval(IntervalFrame),
     /// Session finished.
     Done(DoneFrame),
+    /// Reply to `status`: the broker's observability snapshot.
+    Status(DaemonStatus),
     /// A structured error; the connection survives.
     Error {
         /// Error class (`protocol`, `usage`, `internal`).
@@ -475,6 +484,65 @@ impl Frame {
                                         ),
                                     ),
                                 ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Frame::Status(s) => obj(vec![
+                ("frame", JsonValue::Str("status".into())),
+                (
+                    "sessions",
+                    JsonValue::Arr(
+                        s.sessions
+                            .iter()
+                            .map(|sess| {
+                                let mut members = vec![
+                                    ("session", JsonValue::UInt(sess.id)),
+                                    ("cpus", usize_arr(&sess.cpus)),
+                                    ("phase", JsonValue::Str(sess.phase.clone())),
+                                ];
+                                if let Some(ticket) = sess.ticket {
+                                    members.push(("ticket", JsonValue::UInt(ticket)));
+                                }
+                                members.push(("wall_extra_s", JsonValue::real(sess.wall_extra_s)));
+                                obj(members)
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "queue_depth",
+                    JsonValue::Arr(
+                        s.queue_depth
+                            .iter()
+                            .map(|&(cpu, depth)| {
+                                JsonValue::Arr(vec![
+                                    JsonValue::UInt(cpu as u64),
+                                    JsonValue::UInt(depth as u64),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "uncore",
+                    JsonValue::Arr(
+                        s.uncore
+                            .iter()
+                            .map(|u| {
+                                let mut members =
+                                    vec![("socket", JsonValue::UInt(u64::from(u.socket)))];
+                                if let Some(holder) = u.holder {
+                                    members.push(("holder", JsonValue::UInt(holder)));
+                                }
+                                members.push((
+                                    "waiters",
+                                    JsonValue::Arr(
+                                        u.waiters.iter().map(|&w| JsonValue::UInt(w)).collect(),
+                                    ),
+                                ));
+                                obj(members)
                             })
                             .collect(),
                     ),
@@ -719,6 +787,62 @@ impl Frame {
                     results,
                 }))
             }
+            "status" => {
+                let sessions = required(value, "sessions")?
+                    .as_arr()
+                    .ok_or_else(|| LikwidError::Protocol("status: sessions must be array".into()))?
+                    .iter()
+                    .map(|s| {
+                        Ok(SessionStatus {
+                            id: required_u64(s, "session")?,
+                            cpus: parse_usize_arr(required(s, "cpus")?, "status.cpus")?,
+                            phase: required_str(s, "phase")?,
+                            ticket: s.get("ticket").and_then(JsonValue::as_u64),
+                            wall_extra_s: required_f64(s, "wall_extra_s")?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                let queue_depth = required(value, "queue_depth")?
+                    .as_arr()
+                    .ok_or_else(|| {
+                        LikwidError::Protocol("status: queue_depth must be array".into())
+                    })?
+                    .iter()
+                    .map(|pair| {
+                        let pair = parse_usize_arr(pair, "status.queue_depth")?;
+                        match pair.as_slice() {
+                            [cpu, depth] => Ok((*cpu, *depth)),
+                            _ => Err(LikwidError::Protocol(
+                                "status: queue_depth entries are [cpu, depth] pairs".into(),
+                            )),
+                        }
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                let uncore = required(value, "uncore")?
+                    .as_arr()
+                    .ok_or_else(|| LikwidError::Protocol("status: uncore must be array".into()))?
+                    .iter()
+                    .map(|u| {
+                        Ok(UncoreStatus {
+                            socket: required_u64(u, "socket")? as u32,
+                            holder: u.get("holder").and_then(JsonValue::as_u64),
+                            waiters: required(u, "waiters")?
+                                .as_arr()
+                                .ok_or_else(|| {
+                                    LikwidError::Protocol("status: waiters must be array".into())
+                                })?
+                                .iter()
+                                .map(|w| {
+                                    w.as_u64().ok_or_else(|| {
+                                        LikwidError::Protocol("status: bad waiter id".into())
+                                    })
+                                })
+                                .collect::<Result<Vec<_>>>()?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                Ok(Frame::Status(DaemonStatus { sessions, queue_depth, uncore }))
+            }
             "error" => Ok(Frame::Error {
                 kind: required_str(value, "error")?,
                 message: required_str(value, "message")?,
@@ -825,6 +949,27 @@ mod tests {
                     diagnostics: vec![("cpu 3".into(), "dropped".into())],
                 }],
             }),
+            Frame::Status(DaemonStatus {
+                sessions: vec![
+                    SessionStatus {
+                        id: 1,
+                        cpus: vec![0, 1],
+                        phase: "running".into(),
+                        ticket: Some(4),
+                        wall_extra_s: 2.5e-3,
+                    },
+                    SessionStatus {
+                        id: 2,
+                        cpus: vec![12],
+                        phase: "waiting-uncore".into(),
+                        ticket: None,
+                        wall_extra_s: 0.0,
+                    },
+                ],
+                queue_depth: vec![(0, 1), (1, 1), (12, 1)],
+                uncore: vec![UncoreStatus { socket: 1, holder: Some(1), waiters: vec![2] }],
+            }),
+            Frame::Status(DaemonStatus::default()),
             Frame::Error { kind: "protocol".into(), message: "unknown group 'NOPE'".into() },
             Frame::Pong,
             Frame::Ok,

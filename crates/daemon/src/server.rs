@@ -4,7 +4,9 @@
 //! handler thread speaking the NDJSON protocol of [`crate::protocol`]. A
 //! handler greets with `hello`, then serves commands: `open` admits a
 //! measurement session through the broker and streams its interval frames
-//! until `done`; `ping` answers `pong`; `shutdown` stops the daemon. Any
+//! until `done`; `status` answers with the broker's observability snapshot
+//! (never blocking a measurement turn); `ping` answers `pong`; `shutdown`
+//! stops the daemon. Any
 //! write failure (the client vanished) aborts the in-flight session, which
 //! releases its broker slot and uncore locks.
 
@@ -55,7 +57,13 @@ pub fn serve(machine: &SimMachine, socket_path: &Path, shutdown: &AtomicBool) ->
             match listener.accept() {
                 Ok((stream, _)) => {
                     let daemon = &daemon;
-                    scope.spawn(move || handle_connection(daemon, stream, shutdown));
+                    scope.spawn(move || {
+                        handle_connection(daemon, stream, shutdown);
+                        // The scope unblocks on closure return, before the
+                        // thread-local trace buffer's exit-time flush —
+                        // hand broker spans over explicitly.
+                        likwid::trace::flush_thread();
+                    });
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => {
                     std::thread::sleep(ACCEPT_POLL);
@@ -131,6 +139,15 @@ fn handle_connection(daemon: &Daemon<'_>, stream: UnixStream, shutdown: &AtomicB
             }
             Some("ping") => {
                 if writer.write_all(Frame::Pong.to_line().as_bytes()).is_err() {
+                    return;
+                }
+            }
+            Some("status") => {
+                // Answered from the broker's state mutex alone: the snapshot
+                // never waits on a measurement turn, so a monitoring client
+                // can poll while sessions stream.
+                let frame = Frame::Status(daemon.status());
+                if writer.write_all(frame.to_line().as_bytes()).is_err() {
                     return;
                 }
             }

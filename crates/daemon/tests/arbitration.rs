@@ -8,7 +8,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
-use likwid_daemon::{Daemon, OpenRequest};
+use likwid_daemon::{Daemon, DaemonStatus, OpenRequest};
 use likwid_x86_machine::{MachinePreset, SimMachine};
 
 fn request(cpus: &str, group: &str, interval: &str, duration: &str) -> OpenRequest {
@@ -266,4 +266,57 @@ fn concurrent_disjoint_core_sessions_never_wait() {
     assert_eq!(completed.load(Ordering::SeqCst), 8);
     assert_eq!(daemon.stats().peak_live, 8, "all eight sessions were live at once");
     assert!(daemon.is_quiescent());
+}
+
+#[test]
+fn status_snapshots_sessions_queues_and_uncore_without_blocking() {
+    let machine = SimMachine::new(MachinePreset::WestmereEp2S);
+    let daemon = Daemon::new(&machine);
+    assert_eq!(daemon.status(), DaemonStatus::default(), "idle broker, empty snapshot");
+
+    let cpus = socket_cpus(&machine, 0, 2);
+    let holder = daemon.open(&request(&cpus, "MEM", "2ms", "6ms")).expect("holder admitted");
+    let core = daemon.open(&request("12", "FLOPS_DP", "2ms", "6ms")).expect("core admitted");
+
+    std::thread::scope(|scope| {
+        // A second uncore session on the same socket queues behind the
+        // holder; its `open` blocks on the lock, so it runs on its own
+        // thread while the main thread inspects the snapshot.
+        scope.spawn(|| {
+            drop(daemon.open(&request(&cpus, "MEM", "2ms", "6ms")).expect("waiter admitted"));
+        });
+        wait_for(|| daemon.stats().uncore_waiters == 1, "waiter queued");
+
+        // status() takes only the state mutex: it answers while the
+        // holder's turn is live and the waiter is parked in arbitration.
+        let status = daemon.status();
+        assert_eq!(status.sessions.len(), 3);
+        assert!(status.sessions.windows(2).all(|w| w[0].id < w[1].id), "id-ordered");
+        let phases: Vec<&str> = status.sessions.iter().map(|s| s.phase.as_str()).collect();
+        assert_eq!(phases.iter().filter(|p| **p == "waiting-uncore").count(), 1);
+        assert_eq!(phases.iter().filter(|p| **p == "running").count(), 2);
+        for session in &status.sessions {
+            assert_eq!(session.ticket.is_some(), session.phase == "running");
+        }
+
+        // Ticket-queue depth covers exactly the running sessions' cpus.
+        let holder_cpus: Vec<usize> = cpus.split(',').map(|c| c.parse().unwrap()).collect();
+        let mut expected: Vec<(usize, usize)> =
+            holder_cpus.iter().map(|&c| (c, 1)).chain([(12, 1)]).collect();
+        expected.sort_unstable();
+        assert_eq!(status.queue_depth, expected);
+
+        // Socket 0's lock: held by the first session, one queued waiter.
+        assert_eq!(status.uncore.len(), 1);
+        let uncore = &status.uncore[0];
+        assert_eq!(uncore.socket, 0);
+        assert_eq!(uncore.holder, Some(status.sessions[0].id));
+        assert_eq!(uncore.waiters.len(), 1);
+
+        // Release everything so the waiter's open() can be granted.
+        drop(holder);
+        drop(core);
+    });
+    assert!(daemon.is_quiescent());
+    assert_eq!(daemon.status(), DaemonStatus::default(), "quiescent broker, empty snapshot");
 }

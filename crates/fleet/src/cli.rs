@@ -25,7 +25,7 @@ pub const EXIT_REGRESSED: i32 = 2;
 
 /// The argument specification of `likwid-fleet`.
 pub fn fleet_spec() -> ArgSpec {
-    ArgSpec::new(
+    let spec = ArgSpec::new(
         "likwid-fleet",
         "experiment fleet runner: parallel matrix sweeps with memoization and regression tracking",
     )
@@ -65,14 +65,15 @@ pub fn fleet_spec() -> ArgSpec {
         None,
         Some("spec"),
         "arm this fault plan on every point (disables memoization)",
-    )
-    .positional("command", "run (default) | compare BASELINE CURRENT | ls", true)
-    .note(likwid::perfctr::multiplex_note())
-    .note(
-        "The axis flags take comma-separated lists and sweep their cartesian product. \
+    );
+    likwid::trace::trace_flag(spec)
+        .positional("command", "run (default) | compare BASELINE CURRENT | ls", true)
+        .note(likwid::perfctr::multiplex_note())
+        .note(
+            "The axis flags take comma-separated lists and sweep their cartesian product. \
          Reports are deterministic: a fully memoized re-run renders byte-identical output \
          (execution statistics go to stderr).",
-    )
+        )
 }
 
 fn split_list(text: &str) -> Vec<&str> {
@@ -212,6 +213,7 @@ fn memo_from_args(parsed: &ParsedArgs) -> Option<MemoStore> {
 }
 
 fn run_command(parsed: &ParsedArgs) -> Result<i32> {
+    let trace_sink = likwid::trace::begin_cli(parsed)?;
     let sweep = sweep_from_args(parsed)?;
     let store = memo_from_args(parsed);
     let opts = RunOptions {
@@ -220,6 +222,9 @@ fn run_command(parsed: &ParsedArgs) -> Result<i32> {
         daemons: &[],
     };
     let outcome = run_sweep(&sweep, &opts)?;
+    if let Some(sink) = trace_sink {
+        sink.finish()?;
+    }
     let target = parsed.output()?;
     target
         .write(&target.format.render(&fleet_report(&sweep, &outcome)))
@@ -228,11 +233,7 @@ fn run_command(parsed: &ParsedArgs) -> Result<i32> {
         fs::write(path, Trajectory::from_outcome(&outcome).encode())
             .map_err(|e| LikwidError::Output(format!("cannot write '{path}': {e}")))?;
     }
-    let s = outcome.stats;
-    eprintln!(
-        "likwid-fleet: {} points, {} executed, {} memo hits, {} errors",
-        s.total, s.executed, s.memo_hits, s.errors
-    );
+    eprintln!("{}", outcome.stats.summary_line());
     Ok(0)
 }
 

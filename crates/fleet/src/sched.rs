@@ -11,6 +11,7 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use likwid::trace;
 use likwid_daemon::Daemon;
 
 use crate::memo::MemoStore;
@@ -19,8 +20,10 @@ use crate::spec::{ExperimentPoint, SweepSpec};
 
 /// Execution counters of one sweep. Kept out of the deterministic report:
 /// the CLI prints them to stderr, so stdout stays byte-identical between
-/// cold and fully memoized runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// cold and fully memoized runs. The counts are the structured source of
+/// truth — the stderr line is derived from them by [`RunStats::summary_line`],
+/// and the same quantities flow into the trace recorder as named counters.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct RunStats {
     /// Points in the expanded sweep.
     pub total: usize,
@@ -30,6 +33,31 @@ pub struct RunStats {
     pub memo_hits: usize,
     /// Points that ended in a [`crate::PointError`].
     pub errors: usize,
+    /// Successful steals (a worker took a point from a sibling's queue).
+    pub steals: usize,
+    /// Points completed per worker (hit or executed), worker-indexed.
+    pub per_worker: Vec<usize>,
+}
+
+impl RunStats {
+    /// The human execution summary the CLI prints to stderr — derived from
+    /// the structured counts, never the other way round.
+    pub fn summary_line(&self) -> String {
+        let mut line = format!(
+            "likwid-fleet: {} points, {} executed, {} memo hits, {} errors",
+            self.total, self.executed, self.memo_hits, self.errors
+        );
+        if self.per_worker.len() > 1 {
+            let occupancy: Vec<String> =
+                self.per_worker.iter().map(|points| points.to_string()).collect();
+            line.push_str(&format!(
+                ", {} steals, points/worker [{}]",
+                self.steals,
+                occupancy.join(" ")
+            ));
+        }
+        line
+    }
 }
 
 /// How a sweep runs.
@@ -82,7 +110,14 @@ pub fn run_sweep(spec: &SweepSpec, opts: &RunOptions<'_>) -> likwid::Result<Swee
     let slots: Vec<Mutex<Option<PointOutcome>>> = (0..total).map(|_| Mutex::new(None)).collect();
     let executed = AtomicUsize::new(0);
     let memo_hits = AtomicUsize::new(0);
+    let steals = AtomicUsize::new(0);
+    let per_worker: Vec<AtomicUsize> = (0..workers).map(|_| AtomicUsize::new(0)).collect();
 
+    let _sweep = trace::span_args(
+        trace::cat::FLEET,
+        || "sweep".to_string(),
+        || vec![("points", total.to_string()), ("workers", workers.to_string())],
+    );
     std::thread::scope(|scope| {
         for me in 0..workers {
             let queues = &queues;
@@ -90,47 +125,91 @@ pub fn run_sweep(spec: &SweepSpec, opts: &RunOptions<'_>) -> likwid::Result<Swee
             let points = &points;
             let executed = &executed;
             let memo_hits = &memo_hits;
-            scope.spawn(move || loop {
-                let index = {
-                    let own = queues[me].lock().unwrap().pop_front();
-                    match own {
-                        Some(i) => Some(i),
-                        // Steal from the *back* of a sibling: the oldest
-                        // undone work, farthest from what the owner is on.
-                        None => (0..queues.len())
-                            .filter(|&other| other != me)
-                            .find_map(|other| queues[other].lock().unwrap().pop_back()),
-                    }
-                };
-                let Some(index) = index else { break };
-                let point = &points[index];
-                let memoizable = point.inject.is_none();
-                let memoized = match opts.memo {
-                    Some(store) if memoizable => store.lookup(point),
-                    _ => None,
-                };
-                let outcome = match memoized {
-                    Some(result) => {
-                        memo_hits.fetch_add(1, Ordering::Relaxed);
-                        Ok(result)
-                    }
-                    None => {
-                        executed.fetch_add(1, Ordering::Relaxed);
-                        let outcome = execute(point, opts.daemons);
-                        if let (Some(store), Ok(result), true) =
-                            (opts.memo, outcome.as_ref(), memoizable)
-                        {
-                            if let Err(e) = store.store(point, result) {
-                                eprintln!(
-                                    "likwid-fleet: memo write failed for {}: {e}",
-                                    point.key()
-                                );
+            let steals = &steals;
+            let per_worker = &per_worker;
+            scope.spawn(move || {
+                let worker_span = trace::span_with(trace::cat::FLEET, || format!("worker{me}"));
+                loop {
+                    let index = {
+                        let own = queues[me].lock().unwrap().pop_front();
+                        match own {
+                            Some(i) => Some(i),
+                            // Steal from the *back* of a sibling: the oldest
+                            // undone work, farthest from what the owner is on.
+                            None => {
+                                (0..queues.len()).filter(|&other| other != me).find_map(|other| {
+                                    let stolen = queues[other].lock().unwrap().pop_back();
+                                    if let Some(index) = stolen {
+                                        steals.fetch_add(1, Ordering::Relaxed);
+                                        trace::count(trace::cat::FLEET, "steals", 1);
+                                        trace::instant_args(trace::cat::FLEET, "steal", || {
+                                            vec![
+                                                ("thief", me.to_string()),
+                                                ("victim", other.to_string()),
+                                                ("point", index.to_string()),
+                                            ]
+                                        });
+                                    }
+                                    stolen
+                                })
                             }
                         }
-                        outcome
-                    }
-                };
-                *slots[index].lock().unwrap() = Some(outcome);
+                    };
+                    let Some(index) = index else { break };
+                    let point = &points[index];
+                    let started = trace::now();
+                    let memoizable = point.inject.is_none();
+                    let memoized = match opts.memo {
+                        Some(store) if memoizable => store.lookup(point),
+                        _ => None,
+                    };
+                    let memo_hit = memoized.is_some();
+                    let outcome = match memoized {
+                        Some(result) => {
+                            memo_hits.fetch_add(1, Ordering::Relaxed);
+                            trace::count(trace::cat::FLEET, "memo_hit", 1);
+                            Ok(result)
+                        }
+                        None => {
+                            executed.fetch_add(1, Ordering::Relaxed);
+                            trace::count(trace::cat::FLEET, "memo_miss", 1);
+                            let outcome = execute(point, opts.daemons);
+                            if let (Some(store), Ok(result), true) =
+                                (opts.memo, outcome.as_ref(), memoizable)
+                            {
+                                if let Err(e) = store.store(point, result) {
+                                    eprintln!(
+                                        "likwid-fleet: memo write failed for {}: {e}",
+                                        point.key()
+                                    );
+                                }
+                            }
+                            outcome
+                        }
+                    };
+                    per_worker[me].fetch_add(1, Ordering::Relaxed);
+                    trace::count_with(trace::cat::FLEET, || format!("worker{me}.points"), 1);
+                    trace::complete_since(
+                        trace::cat::FLEET,
+                        started,
+                        || "point".to_string(),
+                        || {
+                            vec![
+                                ("index", index.to_string()),
+                                ("key", point.key()),
+                                ("memo", if memo_hit { "hit" } else { "miss" }.to_string()),
+                                ("worker", me.to_string()),
+                            ]
+                        },
+                    );
+                    *slots[index].lock().unwrap() = Some(outcome);
+                }
+                // The scope unblocks when this closure returns — before the
+                // thread-local trace buffer's exit-time flush. Hand the
+                // buffer over explicitly (span closed first) so the last
+                // worker's events cannot race the recorder's stop.
+                drop(worker_span);
+                trace::flush_thread();
             });
         }
     });
@@ -146,6 +225,8 @@ pub fn run_sweep(spec: &SweepSpec, opts: &RunOptions<'_>) -> likwid::Result<Swee
             executed: executed.into_inner(),
             memo_hits: memo_hits.into_inner(),
             errors,
+            steals: steals.into_inner(),
+            per_worker: per_worker.into_iter().map(AtomicUsize::into_inner).collect(),
         },
         points: points.into_iter().zip(outcomes).collect(),
     })
@@ -182,6 +263,34 @@ mod tests {
             assert_eq!(pa, pb);
             assert_eq!(oa, ob, "worker count must not change results");
         }
+        // The structured occupancy counts always account for every point.
+        assert_eq!(one.stats.per_worker, vec![4]);
+        assert_eq!(one.stats.steals, 0, "one worker has nobody to steal from");
+        assert_eq!(eight.stats.per_worker.len(), 4, "workers are clamped to the point count");
+        assert_eq!(eight.stats.per_worker.iter().sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn the_stderr_summary_is_derived_from_the_structured_counts() {
+        let stats = RunStats {
+            total: 4,
+            executed: 3,
+            memo_hits: 1,
+            errors: 0,
+            steals: 2,
+            per_worker: vec![3, 1],
+        };
+        assert_eq!(
+            stats.summary_line(),
+            "likwid-fleet: 4 points, 3 executed, 1 memo hits, 0 errors, \
+             2 steals, points/worker [3 1]"
+        );
+        // Single-worker runs keep the historical short form.
+        let serial = RunStats { per_worker: vec![4], total: 4, executed: 4, ..Default::default() };
+        assert_eq!(
+            serial.summary_line(),
+            "likwid-fleet: 4 points, 4 executed, 0 memo hits, 0 errors"
+        );
     }
 
     #[test]

@@ -259,6 +259,7 @@ impl Experiment {
         let mut measured_cpus = Vec::new();
 
         for i in 0..self.samples {
+            let sample_started = likwid::trace::now();
             let mut rng = StdRng::seed_from_u64(sample_seed(self.seed, i));
             let placement = runtime.resolve_placement(topo, threads, &self.policy, &mut rng);
 
@@ -324,6 +325,18 @@ impl Experiment {
                 }
                 _ => workload.run(&machine, &placement),
             };
+            likwid::trace::complete_since(
+                likwid::trace::cat::WORKLOADS,
+                sample_started,
+                || "sample".to_string(),
+                || {
+                    vec![
+                        ("workload", workload.name().to_string()),
+                        ("index", i.to_string()),
+                        ("measured", (i == 0 && self.counters.is_some()).to_string()),
+                    ]
+                },
+            );
             runs.push(run);
             placements.push(placement);
         }
@@ -398,6 +411,7 @@ impl Experiment {
         let mut measured_cpus = Vec::new();
 
         for i in 0..self.samples {
+            let sample_started = likwid::trace::now();
             let mut rng = StdRng::seed_from_u64(sample_seed(self.seed, i));
             let placement = runtime.resolve_placement(topo, threads, &self.policy, &mut rng);
 
@@ -437,6 +451,18 @@ impl Experiment {
             } else {
                 workload.run(machine, &placement)
             };
+            likwid::trace::complete_since(
+                likwid::trace::cat::WORKLOADS,
+                sample_started,
+                || "sample.daemon".to_string(),
+                || {
+                    vec![
+                        ("workload", workload.name().to_string()),
+                        ("index", i.to_string()),
+                        ("measured", (i == 0).to_string()),
+                    ]
+                },
+            );
             runs.push(run);
             placements.push(placement);
         }

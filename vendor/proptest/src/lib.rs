@@ -40,6 +40,31 @@ pub mod collection {
     }
 }
 
+pub mod sample {
+    //! `prop::sample` — uniform choice from a fixed set.
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy drawing one of the given values uniformly.
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        values: Vec<T>,
+    }
+
+    pub fn select<T: Clone + std::fmt::Debug>(values: Vec<T>) -> Select<T> {
+        assert!(!values.is_empty(), "select from an empty set");
+        Select { values }
+    }
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.values[rng.below_range(0, self.values.len() as u64) as usize].clone()
+        }
+    }
+}
+
 pub mod bool {
     //! `prop::bool` — boolean strategies.
     use crate::strategy::Strategy;
@@ -70,6 +95,7 @@ pub mod prelude {
     pub mod prop {
         pub use crate::bool;
         pub use crate::collection;
+        pub use crate::sample;
     }
 }
 
